@@ -1,0 +1,27 @@
+//! Print Table 4 of the paper: the on-disk data structures (block types)
+//! of each file system under test — the rows of the Figure 2/3 matrices
+//! and the targets of type-aware fault injection.
+
+fn main() {
+    println!("Table 4: File System Data Structures\n");
+    println!("== ext3 / ixt3 ==");
+    for t in iron_ext3::BlockType::FIGURE2_ROWS {
+        println!("  {}", t.tag());
+    }
+    println!("  (ixt3 additions) {}, {}, {}",
+        iron_ext3::BlockType::CksumTable.tag(),
+        iron_ext3::BlockType::Replica.tag(),
+        iron_ext3::BlockType::Parity.tag());
+    println!("\n== ReiserFS ==");
+    for t in iron_reiser::ReiserBlockType::FIGURE2_ROWS {
+        println!("  {}", t.tag());
+    }
+    println!("\n== JFS ==");
+    for t in iron_jfs::JfsBlockType::FIGURE2_ROWS {
+        println!("  {}", t.tag());
+    }
+    println!("\n== NTFS ==");
+    for t in iron_ntfs::NtfsBlockType::TABLE4_ROWS {
+        println!("  {}", t.tag());
+    }
+}

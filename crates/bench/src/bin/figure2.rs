@@ -1,0 +1,17 @@
+//! Regenerate Figure 2: the failure-policy matrices of ext3, ReiserFS,
+//! and JFS under read failures, write failures, and corruption, across
+//! every (workload × block type) combination.
+
+use iron_bench::figure2_adapters;
+use iron_fingerprint::campaign::{fingerprint_fs, CampaignOptions};
+use iron_fingerprint::render::render_matrix;
+
+fn main() {
+    let opts = CampaignOptions::default();
+    for (name, adapter) in figure2_adapters() {
+        eprintln!("fingerprinting {name} (this runs the full fault campaign)…");
+        let m = fingerprint_fs(adapter.as_ref(), &opts);
+        println!("{}", render_matrix(&m));
+        println!();
+    }
+}

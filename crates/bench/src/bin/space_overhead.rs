@@ -1,0 +1,8 @@
+//! Regenerate the §6.2 space-overhead numbers: the cost of checksums,
+//! metadata replication, and per-file parity across volume profiles.
+
+use iron_workloads::space::{render_report, VolumeProfile};
+
+fn main() {
+    println!("{}", render_report(&VolumeProfile::all()));
+}

@@ -1,0 +1,39 @@
+//! Regenerate Table 6: normalized runtimes of the 32 ixt3 variants over
+//! SSH-Build, Web server, PostMark, and TPC-B.
+//!
+//! Pass `--quick` to run only the six headline rows (baseline + each
+//! single mechanism + everything).
+
+use iron_ext3::IronConfig;
+use iron_workloads::bench::{render_table6, table6, Benchmark};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let configs: Vec<IronConfig> = if quick {
+        let base = IronConfig {
+            fix_bugs: true,
+            ..IronConfig::off()
+        };
+        vec![
+            base,
+            IronConfig { meta_checksum: true, ..base },
+            IronConfig { meta_replication: true, ..base },
+            IronConfig { data_checksum: true, ..base },
+            IronConfig { data_parity: true, ..base },
+            IronConfig { txn_checksum: true, ..base },
+            IronConfig::full(),
+        ]
+    } else {
+        IronConfig::all_combinations()
+    };
+    eprintln!(
+        "running {} variants × {} benchmarks (simulated disk time; this takes a while)…",
+        configs.len(),
+        Benchmark::ALL.len()
+    );
+    let rows = table6(&configs, &Benchmark::ALL);
+    println!("{}", render_table6(&rows, &Benchmark::ALL));
+    println!("Rows are normalized to row 0 (stock ext3). Speedups are [bracketed].");
+    println!("Paper shape: SSH/Web ≈ 1.00 everywhere; PostMark/TPC-B pay for Mr/Dc/Dp;");
+    println!("Tc alone *speeds up* TPC-B (paper 0.80) and offsets the combined cost.");
+}

@@ -1,0 +1,7 @@
+//! Print Tables 1 and 2 of the paper: the IRON detection and recovery
+//! taxonomies.
+
+fn main() {
+    println!("{}", iron_core::taxonomy::render_table1());
+    println!("{}", iron_core::taxonomy::render_table2());
+}

@@ -1,0 +1,16 @@
+//! Print Table 3 of the paper: the applied workload suite, as implemented
+//! by the fingerprinting framework (columns a–t of Figure 2).
+
+use iron_fingerprint::Workload;
+
+fn main() {
+    println!("Table 3: Workloads applied to the file systems under test\n");
+    println!("{:<4} {:<16} {}", "col", "kind", "workload");
+    for w in Workload::COLUMNS {
+        let kind = match w {
+            Workload::PathTraversal | Workload::Recovery | Workload::LogWrites => "generic",
+            _ => "singlet",
+        };
+        println!("{:<4} {:<16} {}", w.letter(), kind, w.describe());
+    }
+}

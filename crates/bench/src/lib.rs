@@ -1,0 +1,48 @@
+//! # iron-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper (see
+//! DESIGN.md's experiment index) and Criterion micro-benchmarks for the
+//! performance-sensitive code paths.
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `taxonomy` | Tables 1 & 2 (IRON taxonomy) |
+//! | `workloads_table` | Table 3 (applied workloads) |
+//! | `blocktypes_table` | Table 4 (block types per file system) |
+//! | `figure2` | Figure 2 (ext3 / ReiserFS / JFS failure policies) |
+//! | `ntfs_study` | §5.4 (NTFS qualitative results) |
+//! | `table5` | Table 5 (IRON techniques summary) |
+//! | `figure3` | Figure 3 (ixt3 failure policy) + the §6.2 scenario count |
+//! | `table6` | Table 6 (overheads of ixt3 variants; `--quick` for a subset) |
+//! | `space_overhead` | §6.2 space-overhead numbers |
+//! | `scrubbing_ablation` | §3.2 eager-vs-lazy detection trade-off |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use iron_fingerprint::{
+    fingerprint_fs, CampaignOptions, Ext3Adapter, FsUnderTest, JfsAdapter, NtfsAdapter,
+    PolicyMatrix, ReiserAdapter,
+};
+
+/// Run a full fingerprinting campaign for the named file system.
+pub fn full_campaign(which: &str) -> PolicyMatrix {
+    let opts = CampaignOptions::default();
+    match which {
+        "ext3" => fingerprint_fs(&Ext3Adapter::stock(), &opts),
+        "ixt3" => fingerprint_fs(&Ext3Adapter::ixt3(), &opts),
+        "reiserfs" => fingerprint_fs(&ReiserAdapter, &opts),
+        "jfs" => fingerprint_fs(&JfsAdapter, &opts),
+        "ntfs" => fingerprint_fs(&NtfsAdapter, &opts),
+        other => panic!("unknown file system {other}"),
+    }
+}
+
+/// The adapters for the three Figure 2 file systems.
+pub fn figure2_adapters() -> Vec<(&'static str, Box<dyn FsUnderTest>)> {
+    vec![
+        ("ext3", Box::new(Ext3Adapter::stock())),
+        ("reiserfs", Box::new(ReiserAdapter)),
+        ("jfs", Box::new(JfsAdapter)),
+    ]
+}

@@ -1,0 +1,155 @@
+//! Disk geometry and service-time model.
+//!
+//! The paper's testbed disk is a Western Digital WD1200BB (7200 RPM ATA).
+//! We model a drive of that class: seek time grows with the square root of
+//! the track distance, rotational position advances continuously with
+//! simulated time, and sequential transfers stream at media rate. Absolute
+//! numbers need not match the paper's hardware (EXPERIMENTS.md discusses
+//! this); what matters is that the *relative* costs — seeks for distant
+//! replicas, lost rotations at ordering barriers — behave like a disk.
+
+/// Geometry and timing parameters of a simulated disk.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskGeometry {
+    /// Blocks per track. Together with the rotation period this fixes the
+    /// angular position of every block.
+    pub blocks_per_track: u64,
+    /// Full revolution time in nanoseconds (7200 RPM ⇒ ~8.33 ms).
+    pub rev_ns: u64,
+    /// Minimum (single-track) seek time in nanoseconds.
+    pub min_seek_ns: u64,
+    /// Maximum (full-stroke) seek time in nanoseconds.
+    pub max_seek_ns: u64,
+    /// Per-request controller/command overhead in nanoseconds.
+    pub overhead_ns: u64,
+}
+
+impl DiskGeometry {
+    /// A 7200 RPM ATA drive of the WD1200BB's era.
+    pub fn ata_7200rpm() -> Self {
+        DiskGeometry {
+            blocks_per_track: 128,
+            rev_ns: 8_333_333,
+            min_seek_ns: 800_000,    // 0.8 ms track-to-track
+            max_seek_ns: 15_000_000, // 15 ms full stroke
+            overhead_ns: 50_000,     // 50 µs command overhead
+        }
+    }
+
+    /// A fast, nearly timing-free geometry for functional tests, where
+    /// simulated time is irrelevant and should not dominate.
+    pub fn instant() -> Self {
+        DiskGeometry {
+            blocks_per_track: 128,
+            rev_ns: 8,
+            min_seek_ns: 1,
+            max_seek_ns: 2,
+            overhead_ns: 0,
+        }
+    }
+
+    /// Track number of a block address.
+    pub fn track_of(&self, addr: u64) -> u64 {
+        addr / self.blocks_per_track
+    }
+
+    /// Time to transfer one block under the head: one track passes per
+    /// revolution, so a block takes `rev_ns / blocks_per_track`.
+    pub fn transfer_ns(&self) -> u64 {
+        self.rev_ns / self.blocks_per_track
+    }
+
+    /// Seek time between two tracks: zero for the same track, otherwise
+    /// `min + (max - min) * sqrt(distance / total_tracks)` — the standard
+    /// square-root seek curve.
+    pub fn seek_ns(&self, from_track: u64, to_track: u64, total_tracks: u64) -> u64 {
+        if from_track == to_track {
+            return 0;
+        }
+        let dist = from_track.abs_diff(to_track) as f64;
+        let total = total_tracks.max(1) as f64;
+        let frac = (dist / total).sqrt();
+        self.min_seek_ns + ((self.max_seek_ns - self.min_seek_ns) as f64 * frac) as u64
+    }
+
+    /// Angular slot (0..blocks_per_track) of a block on its track.
+    pub fn slot_of(&self, addr: u64) -> u64 {
+        addr % self.blocks_per_track
+    }
+
+    /// Rotational delay from simulated time `now_ns` until the start of the
+    /// given angular slot passes under the head.
+    pub fn rotational_wait_ns(&self, now_ns: u64, slot: u64) -> u64 {
+        let slot_ns = self.transfer_ns();
+        let target = slot * slot_ns;
+        let phase = now_ns % self.rev_ns;
+        if target >= phase {
+            target - phase
+        } else {
+            self.rev_ns - phase + target
+        }
+    }
+}
+
+impl Default for DiskGeometry {
+    fn default() -> Self {
+        Self::ata_7200rpm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_divides_revolution() {
+        let g = DiskGeometry::ata_7200rpm();
+        assert_eq!(g.transfer_ns() * g.blocks_per_track, g.rev_ns - g.rev_ns % g.blocks_per_track);
+        assert!(g.transfer_ns() > 0);
+    }
+
+    #[test]
+    fn seek_zero_on_same_track() {
+        let g = DiskGeometry::ata_7200rpm();
+        assert_eq!(g.seek_ns(10, 10, 100), 0);
+    }
+
+    #[test]
+    fn seek_grows_with_distance() {
+        let g = DiskGeometry::ata_7200rpm();
+        let near = g.seek_ns(0, 1, 1000);
+        let mid = g.seek_ns(0, 250, 1000);
+        let far = g.seek_ns(0, 1000, 1000);
+        assert!(near >= g.min_seek_ns);
+        assert!(near < mid && mid < far);
+        assert!(far <= g.max_seek_ns + g.min_seek_ns);
+    }
+
+    #[test]
+    fn rotational_wait_is_bounded_by_revolution() {
+        let g = DiskGeometry::ata_7200rpm();
+        for now in [0u64, 123_456, 8_333_332, 16_666_700] {
+            for slot in [0u64, 1, 63, 127] {
+                let w = g.rotational_wait_ns(now, slot);
+                assert!(w < g.rev_ns, "wait {w} >= rev {}", g.rev_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_slots_have_no_wait_after_transfer() {
+        // After transferring slot k (ending exactly at the start of slot
+        // k+1), the wait for slot k+1 is zero.
+        let g = DiskGeometry::ata_7200rpm();
+        let end_of_slot_0 = g.transfer_ns();
+        assert_eq!(g.rotational_wait_ns(end_of_slot_0, 1), 0);
+    }
+
+    #[test]
+    fn track_and_slot_decompose_address() {
+        let g = DiskGeometry::ata_7200rpm();
+        let addr = 5 * g.blocks_per_track + 17;
+        assert_eq!(g.track_of(addr), 5);
+        assert_eq!(g.slot_of(addr), 17);
+    }
+}

@@ -1,0 +1,36 @@
+//! # iron-blockdev
+//!
+//! Simulated block devices.
+//!
+//! The paper injects faults "just beneath the file system" using a
+//! pseudo-device driver (§4.2); everything below that layer — the device
+//! driver, controller, transport, and the disk itself (Figure 1) — is here
+//! collapsed into a single simulated disk, [`MemDisk`].
+//!
+//! `MemDisk` is a *perfect* disk: it never fails. Fault injection lives one
+//! crate up, in `iron-faultinject`, which wraps any [`BlockDevice`].
+//!
+//! Two aspects matter for reproducing the paper:
+//!
+//! * **Typed I/O** ([`BlockDevice::read_tagged`]): file systems tag each
+//!   request with the block type being accessed, enabling type-aware fault
+//!   injection.
+//! * **Timing** ([`geometry::DiskGeometry`]): each request charges seek,
+//!   rotational, and transfer time to a shared [`iron_core::SimClock`]. The
+//!   performance study (Table 6) is measured in this simulated time; in
+//!   particular the *ordering barrier* ([`BlockDevice::barrier`]) models the
+//!   lost rotation that ext3 pays between journal data and the commit block
+//!   — the cost that transactional checksums (§6.1) eliminate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod geometry;
+pub mod memdisk;
+pub mod trace;
+
+pub use device::{BlockDevice, DiskError, DiskResult, RawAccess};
+pub use geometry::DiskGeometry;
+pub use memdisk::MemDisk;
+pub use trace::{IoEvent, IoOutcome, IoTrace};

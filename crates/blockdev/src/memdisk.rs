@@ -1,0 +1,320 @@
+//! [`MemDisk`]: a perfect in-memory disk with a mechanical timing model.
+
+use iron_core::{Block, BlockAddr, BlockTag, IoKind, SimClock};
+
+use crate::device::{BlockDevice, DiskError, DiskResult, RawAccess};
+use crate::geometry::DiskGeometry;
+use crate::trace::{IoOutcome, IoTrace};
+
+/// Cumulative device statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Blocks read.
+    pub reads: u64,
+    /// Blocks written.
+    pub writes: u64,
+    /// Barriers / flushes issued.
+    pub barriers: u64,
+    /// Total simulated nanoseconds spent servicing requests.
+    pub busy_ns: u64,
+    /// Seeks performed (track changes).
+    pub seeks: u64,
+}
+
+/// An in-memory disk that never fails.
+///
+/// Every request advances the shared [`SimClock`] according to the
+/// [`DiskGeometry`] service-time model and appends to the shared
+/// [`IoTrace`].
+pub struct MemDisk {
+    blocks: Vec<Block>,
+    geometry: DiskGeometry,
+    clock: SimClock,
+    trace: IoTrace,
+    stats: DiskStats,
+    current_track: u64,
+    /// Last block accessed, for sequential-streaming detection.
+    last_addr: Option<u64>,
+    /// Set by [`BlockDevice::barrier`]: the next media access must wait for
+    /// a full platter revolution (the dependent write missed its slot).
+    pending_barrier: bool,
+}
+
+impl MemDisk {
+    /// Create a disk of `num_blocks` zeroed blocks.
+    pub fn new(num_blocks: u64, geometry: DiskGeometry, clock: SimClock) -> Self {
+        MemDisk {
+            blocks: (0..num_blocks).map(|_| Block::zeroed()).collect(),
+            geometry,
+            clock,
+            trace: IoTrace::new(),
+            stats: DiskStats::default(),
+            current_track: 0,
+            last_addr: None,
+            pending_barrier: false,
+        }
+    }
+
+    /// Convenience constructor for functional tests: near-instant timing.
+    pub fn for_tests(num_blocks: u64) -> Self {
+        MemDisk::new(num_blocks, DiskGeometry::instant(), SimClock::new())
+    }
+
+    /// A deep copy of the medium with fresh clock, trace, and statistics —
+    /// the fingerprinting campaign stamps one golden image per file system
+    /// and snapshots it for every (workload × block type × fault) cell.
+    pub fn snapshot(&self) -> MemDisk {
+        MemDisk {
+            blocks: self.blocks.clone(),
+            geometry: self.geometry,
+            clock: SimClock::new(),
+            trace: IoTrace::new(),
+            stats: DiskStats::default(),
+            current_track: 0,
+            last_addr: None,
+            pending_barrier: false,
+        }
+    }
+
+    /// The shared trace handle.
+    pub fn trace(&self) -> IoTrace {
+        self.trace.clone()
+    }
+
+    /// The shared clock handle.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// The geometry in use.
+    pub fn geometry(&self) -> DiskGeometry {
+        self.geometry
+    }
+
+    fn check_range(&self, addr: BlockAddr) -> DiskResult<()> {
+        if addr.0 < self.blocks.len() as u64 {
+            Ok(())
+        } else {
+            Err(DiskError::OutOfRange { addr })
+        }
+    }
+
+    /// Charge service time for accessing `addr`: command overhead, seek,
+    /// rotational wait (plus a full lost revolution if a barrier is
+    /// pending), and media transfer.
+    ///
+    /// Sequential accesses (the block immediately after the previous one,
+    /// with no intervening barrier) *stream*: real drives service these from
+    /// the track buffer / write coalescer at media rate, so they cost only
+    /// the transfer time. Non-sequential *reads* pay overhead + seek +
+    /// rotation; non-sequential *writes* pay overhead + seek + transfer —
+    /// the drive's write-back cache acknowledges them without waiting for
+    /// the platter (rotational destaging happens in the background). An
+    /// ordering barrier defeats the write cache: the next access waits a
+    /// full revolution (its slot has passed by the time prior writes are
+    /// on the medium).
+    fn charge(&mut self, addr: BlockAddr, is_write: bool) {
+        let g = self.geometry;
+        let start = self.clock.now_ns();
+        let sequential = !self.pending_barrier
+            && self.last_addr == Some(addr.0.wrapping_sub(1))
+            && g.track_of(addr.0) == self.current_track;
+
+        let mut t = start;
+        if sequential {
+            t += g.transfer_ns();
+        } else {
+            t += g.overhead_ns;
+            let target_track = g.track_of(addr.0);
+            if target_track != self.current_track {
+                let total_tracks = (self.blocks.len() as u64).div_ceil(g.blocks_per_track);
+                t += g.seek_ns(self.current_track, target_track, total_tracks);
+                self.current_track = target_track;
+                self.stats.seeks += 1;
+            }
+            if self.pending_barrier {
+                // The dependent request was held back until prior writes hit
+                // the medium; by then the target slot has passed under the
+                // head.
+                t += g.rev_ns;
+                self.pending_barrier = false;
+                t += g.rotational_wait_ns(t, g.slot_of(addr.0));
+            } else if !is_write {
+                t += g.rotational_wait_ns(t, g.slot_of(addr.0));
+            }
+            t += g.transfer_ns();
+        }
+        self.last_addr = Some(addr.0);
+
+        self.clock.advance_to_ns(t);
+        self.stats.busy_ns += t - start;
+    }
+}
+
+impl BlockDevice for MemDisk {
+    fn num_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    fn read_tagged(&mut self, addr: BlockAddr, tag: BlockTag) -> DiskResult<Block> {
+        self.check_range(addr)?;
+        self.charge(addr, false);
+        self.stats.reads += 1;
+        let block = self.blocks[addr.0 as usize].clone();
+        self.trace
+            .record(IoKind::Read, addr, tag, IoOutcome::Ok, self.clock.now_ns());
+        Ok(block)
+    }
+
+    fn write_tagged(&mut self, addr: BlockAddr, block: &Block, tag: BlockTag) -> DiskResult<()> {
+        self.check_range(addr)?;
+        self.charge(addr, true);
+        self.stats.writes += 1;
+        self.blocks[addr.0 as usize] = block.clone();
+        self.trace
+            .record(IoKind::Write, addr, tag, IoOutcome::Ok, self.clock.now_ns());
+        Ok(())
+    }
+
+    fn barrier(&mut self) -> DiskResult<()> {
+        self.stats.barriers += 1;
+        self.pending_barrier = true;
+        Ok(())
+    }
+}
+
+impl RawAccess for MemDisk {
+    fn peek(&self, addr: BlockAddr) -> Block {
+        self.blocks[addr.0 as usize].clone()
+    }
+
+    fn poke(&mut self, addr: BlockAddr, block: &Block) {
+        self.blocks[addr.0 as usize] = block.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut d = MemDisk::for_tests(16);
+        let data = Block::filled(0xAB);
+        d.write(BlockAddr(3), &data).unwrap();
+        assert_eq!(d.read(BlockAddr(3)).unwrap(), data);
+        assert!(d.read(BlockAddr(4)).unwrap().is_zeroed());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = MemDisk::for_tests(4);
+        assert_eq!(
+            d.read(BlockAddr(4)),
+            Err(DiskError::OutOfRange { addr: BlockAddr(4) })
+        );
+        assert_eq!(
+            d.write(BlockAddr(9), &Block::zeroed()),
+            Err(DiskError::OutOfRange { addr: BlockAddr(9) })
+        );
+    }
+
+    #[test]
+    fn io_advances_clock_and_stats() {
+        let clock = SimClock::new();
+        let mut d = MemDisk::new(1024, DiskGeometry::ata_7200rpm(), clock.clone());
+        d.read(BlockAddr(0)).unwrap();
+        let after_first = clock.now_ns();
+        assert!(after_first > 0);
+        d.write(BlockAddr(512), &Block::zeroed()).unwrap();
+        assert!(clock.now_ns() > after_first);
+        let s = d.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.seeks, 1, "block 512 is on a different track");
+        assert!(s.busy_ns > 0);
+    }
+
+    #[test]
+    fn sequential_io_is_much_faster_than_random() {
+        let geom = DiskGeometry::ata_7200rpm();
+        let clock_seq = SimClock::new();
+        let mut seq = MemDisk::new(4096, geom, clock_seq.clone());
+        for i in 0..64 {
+            seq.read(BlockAddr(i)).unwrap();
+        }
+        let seq_ns = clock_seq.now_ns();
+
+        let clock_rand = SimClock::new();
+        let mut rand = MemDisk::new(4096, geom, clock_rand.clone());
+        for i in 0..64u64 {
+            // Jump across the disk each time.
+            rand.read(BlockAddr((i * 997) % 4096)).unwrap();
+        }
+        let rand_ns = clock_rand.now_ns();
+        assert!(
+            rand_ns > seq_ns * 3,
+            "random ({rand_ns}ns) should be far slower than sequential ({seq_ns}ns)"
+        );
+    }
+
+    #[test]
+    fn barrier_costs_a_revolution_on_next_access() {
+        let geom = DiskGeometry::ata_7200rpm();
+        let clock = SimClock::new();
+        let mut d = MemDisk::new(1024, geom, clock.clone());
+
+        // Without barrier: sequential writes stream.
+        d.write(BlockAddr(10), &Block::zeroed()).unwrap();
+        let t0 = clock.now_ns();
+        d.write(BlockAddr(11), &Block::zeroed()).unwrap();
+        let no_barrier_cost = clock.now_ns() - t0;
+
+        // With barrier: the next sequential write pays a full revolution.
+        d.write(BlockAddr(12), &Block::zeroed()).unwrap();
+        let t1 = clock.now_ns();
+        d.barrier().unwrap();
+        d.write(BlockAddr(13), &Block::zeroed()).unwrap();
+        let barrier_cost = clock.now_ns() - t1;
+
+        assert!(
+            barrier_cost >= no_barrier_cost + geom.rev_ns,
+            "barrier cost {barrier_cost} should exceed streaming cost {no_barrier_cost} by ~one revolution ({})",
+            geom.rev_ns
+        );
+    }
+
+    #[test]
+    fn trace_records_tags_and_outcomes() {
+        let mut d = MemDisk::for_tests(8);
+        let trace = d.trace();
+        d.read_tagged(BlockAddr(1), BlockTag("inode")).unwrap();
+        d.write_tagged(BlockAddr(2), &Block::zeroed(), BlockTag("j-commit"))
+            .unwrap();
+        let events = trace.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].tag, BlockTag("inode"));
+        assert_eq!(events[0].kind, IoKind::Read);
+        assert_eq!(events[1].tag, BlockTag("j-commit"));
+        assert_eq!(events[1].outcome, IoOutcome::Ok);
+    }
+
+    #[test]
+    fn peek_poke_bypass_trace_and_clock() {
+        let mut d = MemDisk::for_tests(8);
+        let trace = d.trace();
+        let clock = d.clock();
+        let before = clock.now_ns();
+        d.poke(BlockAddr(5), &Block::filled(7));
+        assert_eq!(d.peek(BlockAddr(5)), Block::filled(7));
+        assert_eq!(clock.now_ns(), before);
+        assert!(trace.is_empty());
+        // And the real read sees poked contents.
+        assert_eq!(d.read(BlockAddr(5)).unwrap(), Block::filled(7));
+    }
+}

@@ -1,0 +1,191 @@
+//! Low-level I/O traces.
+//!
+//! §4.3: failure-policy inference compares "the low-level I/O traces
+//! recorded by the fault-injection layer" between fault-free and faulty
+//! runs. Traces are how the inference engine sees retries (the same address
+//! re-requested), redundancy (a replica address read after a primary
+//! failure), and remapping (a write redirected elsewhere).
+
+use std::fmt;
+use std::sync::Arc;
+
+use iron_core::{BlockAddr, BlockTag, IoKind};
+use parking_lot::Mutex;
+
+/// How a traced request completed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IoOutcome {
+    /// Completed normally.
+    Ok,
+    /// Failed with an explicit error code.
+    Error,
+    /// Completed "normally" but returned corrupted data (only the injector
+    /// knows this; the file system sees `Ok`).
+    SilentlyCorrupted,
+}
+
+/// One traced block request.
+#[derive(Clone, Debug)]
+pub struct IoEvent {
+    /// Monotonic sequence number within the trace.
+    pub seq: u64,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Block address.
+    pub addr: BlockAddr,
+    /// The block-type tag the file system attached.
+    pub tag: BlockTag,
+    /// Completion status.
+    pub outcome: IoOutcome,
+    /// Simulated time at completion, in nanoseconds.
+    pub at_ns: u64,
+}
+
+impl fmt::Display for IoEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>6} {:>5} {:<10} {:<12} {:?} @{}ns",
+            self.seq, self.kind, self.addr.to_string(), self.tag, self.outcome, self.at_ns
+        )
+    }
+}
+
+/// A shareable, append-only I/O trace. Cloning shares the underlying trace.
+#[derive(Clone, Debug, Default)]
+pub struct IoTrace {
+    events: Arc<Mutex<Vec<IoEvent>>>,
+}
+
+impl IoTrace {
+    /// A new, empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an event, assigning it the next sequence number.
+    pub fn record(&self, kind: IoKind, addr: BlockAddr, tag: BlockTag, outcome: IoOutcome, at_ns: u64) {
+        let mut events = self.events.lock();
+        let seq = events.len() as u64;
+        events.push(IoEvent {
+            seq,
+            kind,
+            addr,
+            tag,
+            outcome,
+            at_ns,
+        });
+    }
+
+    /// Number of events so far (usable as a mark for [`Self::since`]).
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True if nothing was traced.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all events.
+    pub fn events(&self) -> Vec<IoEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Snapshot of events appended after `mark` (a previous `len()`).
+    pub fn since(&self, mark: usize) -> Vec<IoEvent> {
+        let guard = self.events.lock();
+        guard.get(mark..).map(<[IoEvent]>::to_vec).unwrap_or_default()
+    }
+
+    /// Discard everything.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Count of requests to `addr` with the given kind.
+    pub fn count_requests(&self, addr: BlockAddr, kind: IoKind) -> usize {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.addr == addr && e.kind == kind)
+            .count()
+    }
+
+    /// Addresses read after the first failed request, in order — the raw
+    /// material for detecting `RRetry`/`RRedundancy` in inference.
+    pub fn reads_after_first_error(&self) -> Vec<BlockAddr> {
+        let guard = self.events.lock();
+        let Some(fail_pos) = guard.iter().position(|e| e.outcome == IoOutcome::Error) else {
+            return Vec::new();
+        };
+        guard[fail_pos + 1..]
+            .iter()
+            .filter(|e| e.kind == IoKind::Read)
+            .map(|e| e.addr)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(trace: &IoTrace, kind: IoKind, addr: u64, outcome: IoOutcome) {
+        trace.record(kind, BlockAddr(addr), BlockTag("t"), outcome, 0);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic() {
+        let t = IoTrace::new();
+        ev(&t, IoKind::Read, 1, IoOutcome::Ok);
+        ev(&t, IoKind::Write, 2, IoOutcome::Error);
+        let events = t.events();
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+    }
+
+    #[test]
+    fn count_requests_filters_by_addr_and_kind() {
+        let t = IoTrace::new();
+        ev(&t, IoKind::Read, 5, IoOutcome::Error);
+        ev(&t, IoKind::Read, 5, IoOutcome::Ok);
+        ev(&t, IoKind::Write, 5, IoOutcome::Ok);
+        ev(&t, IoKind::Read, 6, IoOutcome::Ok);
+        assert_eq!(t.count_requests(BlockAddr(5), IoKind::Read), 2);
+        assert_eq!(t.count_requests(BlockAddr(5), IoKind::Write), 1);
+        assert_eq!(t.count_requests(BlockAddr(7), IoKind::Read), 0);
+    }
+
+    #[test]
+    fn reads_after_first_error() {
+        let t = IoTrace::new();
+        ev(&t, IoKind::Read, 1, IoOutcome::Ok);
+        ev(&t, IoKind::Read, 2, IoOutcome::Error);
+        ev(&t, IoKind::Read, 2, IoOutcome::Error); // retry
+        ev(&t, IoKind::Read, 9, IoOutcome::Ok); // replica
+        ev(&t, IoKind::Write, 3, IoOutcome::Ok);
+        assert_eq!(
+            t.reads_after_first_error(),
+            vec![BlockAddr(2), BlockAddr(9)]
+        );
+    }
+
+    #[test]
+    fn no_error_means_no_post_error_reads() {
+        let t = IoTrace::new();
+        ev(&t, IoKind::Read, 1, IoOutcome::Ok);
+        assert!(t.reads_after_first_error().is_empty());
+    }
+
+    #[test]
+    fn since_and_clear() {
+        let t = IoTrace::new();
+        ev(&t, IoKind::Read, 1, IoOutcome::Ok);
+        let mark = t.len();
+        ev(&t, IoKind::Read, 2, IoOutcome::Ok);
+        assert_eq!(t.since(mark).len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Checksums used across the workspace.
+//!
+//! The paper's ixt3 prototype uses SHA-1 over block contents (§6.1); journal
+//! self-checks in several of our file-system models use CRC32. Both are
+//! implemented here, test-vectored against the published standards, so the
+//! workspace carries no external crypto dependency.
+
+/// A SHA-1 digest (20 bytes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Sha1Digest(pub [u8; 20]);
+
+impl Sha1Digest {
+    /// Render as lowercase hex.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// A truncated 64-bit view of the digest, used where a compact on-disk
+    /// checksum field is wanted (first 8 bytes, big-endian, as SHA-1 output
+    /// order).
+    pub fn truncated64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("20 >= 8"))
+    }
+}
+
+/// Compute the SHA-1 digest of `data` (FIPS 180-1).
+pub fn sha1(data: &[u8]) -> Sha1Digest {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Message padding: 0x80, zeros, then the 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for chunk in msg.chunks_exact(64) {
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(word.try_into().expect("4 bytes"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    Sha1Digest(out)
+}
+
+/// Compute the CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of
+/// `data`, as used by zlib/gzip.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Incremental CRC-32 update. `state` starts as `0xFFFF_FFFF`; the final
+/// checksum is `state ^ 0xFFFF_FFFF`.
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &byte in data {
+        state ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (state & 1).wrapping_neg();
+            state = (state >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-1 / RFC 3174 test vectors.
+    #[test]
+    fn sha1_empty() {
+        assert_eq!(sha1(b"").to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn sha1_abc() {
+        assert_eq!(
+            sha1(b"abc").to_hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+    }
+
+    #[test]
+    fn sha1_two_block_message() {
+        assert_eq!(
+            sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn sha1_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha1(&data).to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn sha1_truncated64_matches_prefix() {
+        let d = sha1(b"abc");
+        assert_eq!(d.truncated64(), 0xa9993e364706816a);
+    }
+
+    // Canonical CRC-32 check value.
+    #[test]
+    fn crc32_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_empty_is_zero() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let oneshot = crc32(data);
+        let mut st = 0xFFFF_FFFF;
+        for chunk in data.chunks(7) {
+            st = crc32_update(st, chunk);
+        }
+        assert_eq!(st ^ 0xFFFF_FFFF, oneshot);
+    }
+
+    #[test]
+    fn checksums_distinguish_single_bit_flips() {
+        let base = vec![0xA5u8; 4096];
+        let base_sha = sha1(&base);
+        let base_crc = crc32(&base);
+        for pos in [0usize, 1, 2048, 4095] {
+            let mut flipped = base.clone();
+            flipped[pos] ^= 0x01;
+            assert_ne!(sha1(&flipped), base_sha, "sha1 missed flip at {pos}");
+            assert_ne!(crc32(&flipped), base_crc, "crc32 missed flip at {pos}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! POSIX-style error numbers returned through the simulated VFS API.
+//!
+//! The fingerprinting framework (§4.3) observes "the error codes and data
+//! returned by the file system API" — these are those error codes.
+
+use std::fmt;
+
+/// A POSIX-flavored error code, as visible to applications.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)] // Names are the documentation, as in errno(3).
+pub enum Errno {
+    /// I/O error — the canonical propagation of a block failure.
+    EIO,
+    ENOENT,
+    EEXIST,
+    ENOTDIR,
+    EISDIR,
+    ENOTEMPTY,
+    ENOSPC,
+    /// Read-only file system — returned after an `RStop` read-only remount.
+    EROFS,
+    EINVAL,
+    ENAMETOOLONG,
+    EFBIG,
+    EBADF,
+    ENODEV,
+    EACCES,
+    EMLINK,
+    ENFILE,
+    EXDEV,
+    /// Too many levels of symbolic links.
+    ELOOP,
+    /// "Structure needs cleaning" — Linux's code for detected on-disk
+    /// corruption (`EUCLEAN`), the canonical propagation of a failed sanity
+    /// check.
+    EUCLEAN,
+    /// Operation not supported by this file system model.
+    ENOSYS,
+}
+
+impl Errno {
+    /// Short description in the style of `strerror(3)`.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Errno::EIO => "Input/output error",
+            Errno::ENOENT => "No such file or directory",
+            Errno::EEXIST => "File exists",
+            Errno::ENOTDIR => "Not a directory",
+            Errno::EISDIR => "Is a directory",
+            Errno::ENOTEMPTY => "Directory not empty",
+            Errno::ENOSPC => "No space left on device",
+            Errno::EROFS => "Read-only file system",
+            Errno::EINVAL => "Invalid argument",
+            Errno::ENAMETOOLONG => "File name too long",
+            Errno::EFBIG => "File too large",
+            Errno::EBADF => "Bad file descriptor",
+            Errno::ENODEV => "No such device",
+            Errno::EACCES => "Permission denied",
+            Errno::EMLINK => "Too many links",
+            Errno::ENFILE => "Too many open files",
+            Errno::EXDEV => "Cross-device link",
+            Errno::ELOOP => "Too many levels of symbolic links",
+            Errno::EUCLEAN => "Structure needs cleaning",
+            Errno::ENOSYS => "Function not implemented",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?} ({})", self.describe())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_description() {
+        assert_eq!(format!("{}", Errno::EIO), "EIO (Input/output error)");
+        assert_eq!(
+            format!("{}", Errno::EUCLEAN),
+            "EUCLEAN (Structure needs cleaning)"
+        );
+    }
+
+    #[test]
+    fn errnos_are_comparable() {
+        assert_eq!(Errno::ENOENT, Errno::ENOENT);
+        assert_ne!(Errno::ENOENT, Errno::EIO);
+    }
+}

@@ -1,0 +1,41 @@
+//! # iron-core
+//!
+//! Shared foundation for the IRON file systems reproduction
+//! (Prabhakaran et al., *IRON File Systems*, SOSP 2005).
+//!
+//! This crate defines the vocabulary every other crate in the workspace
+//! speaks:
+//!
+//! * the **fail-partial failure model** for disks (§2 of the paper):
+//!   whole-disk failures, block failures (latent sector errors), and block
+//!   corruption, with sticky/transient behavior and spatial locality
+//!   ([`model`]);
+//! * the **IRON taxonomy** of detection and recovery levels (§3, Tables 1
+//!   and 2) ([`taxonomy`]);
+//! * block-level primitives: the 4 KiB [`block::Block`] buffer, typed block
+//!   tags used for type-aware fault injection, and little-endian codecs;
+//! * checksums used by ixt3 and by journal self-checks: SHA-1 and CRC32,
+//!   implemented here to keep the workspace dependency-free ([`checksum`]);
+//! * the simulated clock ([`clock::SimClock`]) that the disk timing model
+//!   advances and the benchmarks read;
+//! * the simulated kernel log ([`klog::KernelLog`]) that file systems write
+//!   detection/recovery messages to and the fingerprinting framework reads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod checksum;
+pub mod clock;
+pub mod errno;
+pub mod klog;
+pub mod model;
+pub mod policy;
+pub mod taxonomy;
+
+pub use block::{Block, BlockAddr, BlockTag, BLOCK_SIZE};
+pub use clock::SimClock;
+pub use errno::Errno;
+pub use klog::KernelLog;
+pub use model::{FaultKind, IoKind, Transience};
+pub use taxonomy::{DetectionLevel, RecoveryLevel};

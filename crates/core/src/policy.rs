@@ -1,0 +1,248 @@
+//! Failure-policy observations: sets of IRON levels.
+//!
+//! A *failure policy* (§3) is, per scenario, the set of detection techniques
+//! and the set of recovery techniques a file system applied. One cell of
+//! Figure 2/3 is a [`PolicyCell`]; this module provides compact bitset-backed
+//! sets over [`DetectionLevel`] and [`RecoveryLevel`] plus the glyph
+//! superimposition the paper's figures use ("if multiple mechanisms are
+//! observed, the symbols are superimposed").
+
+use std::fmt;
+
+use crate::taxonomy::{DetectionLevel, RecoveryLevel};
+
+/// A set of detection levels, stored as a bitmask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct DetectionSet(u8);
+
+impl DetectionSet {
+    /// The empty set (≡ `DZero` only, once normalized).
+    pub const EMPTY: DetectionSet = DetectionSet(0);
+
+    /// Singleton set.
+    pub fn just(level: DetectionLevel) -> Self {
+        let mut s = Self::EMPTY;
+        s.insert(level);
+        s
+    }
+
+    /// Insert a level.
+    pub fn insert(&mut self, level: DetectionLevel) {
+        self.0 |= 1 << level as u8;
+    }
+
+    /// Membership test.
+    pub fn contains(&self, level: DetectionLevel) -> bool {
+        self.0 & (1 << level as u8) != 0
+    }
+
+    /// Union with another set.
+    pub fn union(self, other: DetectionSet) -> DetectionSet {
+        DetectionSet(self.0 | other.0)
+    }
+
+    /// True if no level was recorded (interpreted as `DZero`).
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0 || *self == DetectionSet::just(DetectionLevel::DZero)
+    }
+
+    /// Iterate members in taxonomy order.
+    pub fn iter(&self) -> impl Iterator<Item = DetectionLevel> + '_ {
+        DetectionLevel::ALL.into_iter().filter(|l| self.contains(*l))
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+}
+
+impl FromIterator<DetectionLevel> for DetectionSet {
+    fn from_iter<T: IntoIterator<Item = DetectionLevel>>(iter: T) -> Self {
+        let mut s = Self::EMPTY;
+        for l in iter {
+            s.insert(l);
+        }
+        s
+    }
+}
+
+impl fmt::Display for DetectionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("DZero");
+        }
+        let names: Vec<String> = self
+            .iter()
+            .filter(|l| *l != DetectionLevel::DZero)
+            .map(|l| l.to_string())
+            .collect();
+        f.write_str(&names.join("+"))
+    }
+}
+
+/// A set of recovery levels, stored as a bitmask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct RecoverySet(u8);
+
+impl RecoverySet {
+    /// The empty set (≡ `RZero` only, once normalized).
+    pub const EMPTY: RecoverySet = RecoverySet(0);
+
+    /// Singleton set.
+    pub fn just(level: RecoveryLevel) -> Self {
+        let mut s = Self::EMPTY;
+        s.insert(level);
+        s
+    }
+
+    /// Insert a level.
+    pub fn insert(&mut self, level: RecoveryLevel) {
+        self.0 |= 1 << level as u8;
+    }
+
+    /// Membership test.
+    pub fn contains(&self, level: RecoveryLevel) -> bool {
+        self.0 & (1 << level as u8) != 0
+    }
+
+    /// Union with another set.
+    pub fn union(self, other: RecoverySet) -> RecoverySet {
+        RecoverySet(self.0 | other.0)
+    }
+
+    /// True if no level was recorded (interpreted as `RZero`).
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0 || *self == RecoverySet::just(RecoveryLevel::RZero)
+    }
+
+    /// Iterate members in taxonomy order.
+    pub fn iter(&self) -> impl Iterator<Item = RecoveryLevel> + '_ {
+        RecoveryLevel::ALL.into_iter().filter(|l| self.contains(*l))
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+}
+
+impl FromIterator<RecoveryLevel> for RecoverySet {
+    fn from_iter<T: IntoIterator<Item = RecoveryLevel>>(iter: T) -> Self {
+        let mut s = Self::EMPTY;
+        for l in iter {
+            s.insert(l);
+        }
+        s
+    }
+}
+
+impl fmt::Display for RecoverySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("RZero");
+        }
+        let names: Vec<String> = self
+            .iter()
+            .filter(|l| *l != RecoveryLevel::RZero)
+            .map(|l| l.to_string())
+            .collect();
+        f.write_str(&names.join("+"))
+    }
+}
+
+/// One cell of a Figure 2/3-style failure-policy matrix: the detection and
+/// recovery levels observed for one (workload × block type × fault type)
+/// scenario.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PolicyCell {
+    /// Detection techniques observed.
+    pub detection: DetectionSet,
+    /// Recovery techniques observed.
+    pub recovery: RecoverySet,
+}
+
+impl PolicyCell {
+    /// Superimpose the detection glyphs of this cell into a short string, as
+    /// the paper's figures superimpose symbols. `DZero` renders as `.`.
+    pub fn detection_glyphs(&self) -> String {
+        if self.detection.is_empty() {
+            return ".".into();
+        }
+        self.detection
+            .iter()
+            .filter(|l| *l != DetectionLevel::DZero)
+            .map(|l| l.glyph())
+            .collect()
+    }
+
+    /// Superimpose the recovery glyphs of this cell. `RZero` renders as `.`.
+    pub fn recovery_glyphs(&self) -> String {
+        if self.recovery.is_empty() {
+            return ".".into();
+        }
+        self.recovery
+            .iter()
+            .filter(|l| *l != RecoveryLevel::RZero)
+            .map(|l| l.glyph())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_set_operations() {
+        let mut s = DetectionSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(DetectionLevel::DErrorCode);
+        s.insert(DetectionLevel::DSanity);
+        assert!(s.contains(DetectionLevel::DErrorCode));
+        assert!(!s.contains(DetectionLevel::DRedundancy));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.to_string(), "DErrorCode+DSanity");
+    }
+
+    #[test]
+    fn recovery_set_union_and_iter_order() {
+        let a = RecoverySet::just(RecoveryLevel::RStop);
+        let b = RecoverySet::just(RecoveryLevel::RPropagate);
+        let u = a.union(b);
+        let levels: Vec<_> = u.iter().collect();
+        assert_eq!(levels, vec![RecoveryLevel::RPropagate, RecoveryLevel::RStop]);
+    }
+
+    #[test]
+    fn zero_sets_display_as_zero() {
+        assert_eq!(DetectionSet::EMPTY.to_string(), "DZero");
+        assert_eq!(RecoverySet::EMPTY.to_string(), "RZero");
+        assert_eq!(
+            DetectionSet::just(DetectionLevel::DZero).to_string(),
+            "DZero"
+        );
+    }
+
+    #[test]
+    fn cell_glyph_superimposition() {
+        let cell = PolicyCell {
+            detection: DetectionSet::just(DetectionLevel::DErrorCode),
+            recovery: [RecoveryLevel::RPropagate, RecoveryLevel::RStop]
+                .into_iter()
+                .collect(),
+        };
+        assert_eq!(cell.detection_glyphs(), "-");
+        assert_eq!(cell.recovery_glyphs(), "-|");
+        assert_eq!(PolicyCell::default().detection_glyphs(), ".");
+        assert_eq!(PolicyCell::default().recovery_glyphs(), ".");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: DetectionSet = [DetectionLevel::DSanity, DetectionLevel::DSanity]
+            .into_iter()
+            .collect();
+        assert_eq!(s.len(), 1);
+    }
+}

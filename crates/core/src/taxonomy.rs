@@ -1,0 +1,257 @@
+//! The **IRON taxonomy** (§3, Tables 1 and 2 of the paper).
+//!
+//! The taxonomy gives a vocabulary for *failure policy*: which techniques a
+//! file system uses to detect partial disk faults (Level D) and to recover
+//! from them (Level R). The fingerprinting framework classifies observed
+//! behavior into these levels, and the resulting per-(workload × block type ×
+//! fault) sets of levels *are* Figure 2 and Figure 3 of the paper.
+
+use std::fmt;
+
+/// Level D of the IRON taxonomy: how a file system *detects* that a block
+/// could not be accessed or was corrupted (Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DetectionLevel {
+    /// No detection at all: the file system assumes the disk works.
+    DZero,
+    /// Check error codes returned by the lower levels of the storage stack.
+    DErrorCode,
+    /// Verify data structures for consistency (magic numbers, field ranges,
+    /// cross-block checks).
+    DSanity,
+    /// Redundancy over one or more blocks — checksums, replica comparison —
+    /// detecting corruption in an end-to-end way.
+    DRedundancy,
+}
+
+impl DetectionLevel {
+    /// All levels, in taxonomy order.
+    pub const ALL: [DetectionLevel; 4] = [
+        DetectionLevel::DZero,
+        DetectionLevel::DErrorCode,
+        DetectionLevel::DSanity,
+        DetectionLevel::DRedundancy,
+    ];
+
+    /// The single-character glyph used in the Figure 2/3 matrices.
+    ///
+    /// Matches the paper's key: blank for `DZero`, `-` for `DErrorCode`,
+    /// `|` for `DSanity`, `\` for `DRedundancy`.
+    pub fn glyph(&self) -> char {
+        match self {
+            DetectionLevel::DZero => ' ',
+            DetectionLevel::DErrorCode => '-',
+            DetectionLevel::DSanity => '|',
+            DetectionLevel::DRedundancy => '\\',
+        }
+    }
+
+    /// The technique, as worded in Table 1.
+    pub fn technique(&self) -> &'static str {
+        match self {
+            DetectionLevel::DZero => "No detection",
+            DetectionLevel::DErrorCode => "Check return codes from lower levels",
+            DetectionLevel::DSanity => "Check data structures for consistency",
+            DetectionLevel::DRedundancy => "Redundancy over one or more blocks",
+        }
+    }
+
+    /// The comment column of Table 1.
+    pub fn comment(&self) -> &'static str {
+        match self {
+            DetectionLevel::DZero => "Assumes disk works",
+            DetectionLevel::DErrorCode => "Assumes lower level can detect errors",
+            DetectionLevel::DSanity => "May require extra space per block",
+            DetectionLevel::DRedundancy => "Detect corruption in end-to-end way",
+        }
+    }
+}
+
+impl fmt::Display for DetectionLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DetectionLevel::DZero => "DZero",
+            DetectionLevel::DErrorCode => "DErrorCode",
+            DetectionLevel::DSanity => "DSanity",
+            DetectionLevel::DRedundancy => "DRedundancy",
+        })
+    }
+}
+
+/// Level R of the IRON taxonomy: how a file system *recovers* once a fault
+/// is detected (Table 2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RecoveryLevel {
+    /// No recovery; not even client notification.
+    RZero,
+    /// Propagate the error to the calling application.
+    RPropagate,
+    /// Stop activity: crash/panic, remount read-only, or abort the journal.
+    RStop,
+    /// Manufacture a response (e.g. return a blank block) and keep running.
+    RGuess,
+    /// Retry the failed read or write.
+    RRetry,
+    /// Repair inconsistent data structures (fsck-style).
+    RRepair,
+    /// Remap the block (or a whole semantic unit) to a different locale.
+    RRemap,
+    /// Use block replication, parity, or another redundant copy.
+    RRedundancy,
+}
+
+impl RecoveryLevel {
+    /// All levels, in taxonomy order.
+    pub const ALL: [RecoveryLevel; 8] = [
+        RecoveryLevel::RZero,
+        RecoveryLevel::RPropagate,
+        RecoveryLevel::RStop,
+        RecoveryLevel::RGuess,
+        RecoveryLevel::RRetry,
+        RecoveryLevel::RRepair,
+        RecoveryLevel::RRemap,
+        RecoveryLevel::RRedundancy,
+    ];
+
+    /// The single-character glyph used in the Figure 2/3 matrices.
+    ///
+    /// Matches the paper's key: blank for `RZero`, `/` for `RRetry`, `-` for
+    /// `RPropagate`, `|` for `RStop`, `\` for `RRedundancy`. Levels the
+    /// paper's figures never needed glyphs for get distinct characters.
+    pub fn glyph(&self) -> char {
+        match self {
+            RecoveryLevel::RZero => ' ',
+            RecoveryLevel::RPropagate => '-',
+            RecoveryLevel::RStop => '|',
+            RecoveryLevel::RGuess => 'g',
+            RecoveryLevel::RRetry => '/',
+            RecoveryLevel::RRepair => 'r',
+            RecoveryLevel::RRemap => 'm',
+            RecoveryLevel::RRedundancy => '\\',
+        }
+    }
+
+    /// The technique, as worded in Table 2.
+    pub fn technique(&self) -> &'static str {
+        match self {
+            RecoveryLevel::RZero => "No recovery",
+            RecoveryLevel::RPropagate => "Propagate error",
+            RecoveryLevel::RStop => "Stop activity (crash, prevent writes)",
+            RecoveryLevel::RGuess => "Return \"guess\" at block contents",
+            RecoveryLevel::RRetry => "Retry read or write",
+            RecoveryLevel::RRepair => "Repair data structs",
+            RecoveryLevel::RRemap => "Remaps block or file to different locale",
+            RecoveryLevel::RRedundancy => "Block replication or other forms",
+        }
+    }
+
+    /// The comment column of Table 2.
+    pub fn comment(&self) -> &'static str {
+        match self {
+            RecoveryLevel::RZero => "Assumes disk works",
+            RecoveryLevel::RPropagate => "Informs user",
+            RecoveryLevel::RStop => "Limit amount of damage",
+            RecoveryLevel::RGuess => "Could be wrong; failure hidden",
+            RecoveryLevel::RRetry => "Handles failures that are transient",
+            RecoveryLevel::RRepair => "Could lose data",
+            RecoveryLevel::RRemap => "Assumes disk informs FS of failures",
+            RecoveryLevel::RRedundancy => "Enables recovery from loss/corruption",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecoveryLevel::RZero => "RZero",
+            RecoveryLevel::RPropagate => "RPropagate",
+            RecoveryLevel::RStop => "RStop",
+            RecoveryLevel::RGuess => "RGuess",
+            RecoveryLevel::RRetry => "RRetry",
+            RecoveryLevel::RRepair => "RRepair",
+            RecoveryLevel::RRemap => "RRemap",
+            RecoveryLevel::RRedundancy => "RRedundancy",
+        })
+    }
+}
+
+/// Render Table 1 of the paper as text.
+pub fn render_table1() -> String {
+    let mut out = String::from("Table 1: The Levels of the IRON Detection Taxonomy\n");
+    out.push_str(&format!(
+        "{:<14} {:<42} {}\n",
+        "Level", "Technique", "Comment"
+    ));
+    for d in DetectionLevel::ALL {
+        out.push_str(&format!(
+            "{:<14} {:<42} {}\n",
+            d.to_string(),
+            d.technique(),
+            d.comment()
+        ));
+    }
+    out
+}
+
+/// Render Table 2 of the paper as text.
+pub fn render_table2() -> String {
+    let mut out = String::from("Table 2: The Levels of the IRON Recovery Taxonomy\n");
+    out.push_str(&format!(
+        "{:<14} {:<42} {}\n",
+        "Level", "Technique", "Comment"
+    ));
+    for r in RecoveryLevel::ALL {
+        out.push_str(&format!(
+            "{:<14} {:<42} {}\n",
+            r.to_string(),
+            r.technique(),
+            r.comment()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_match_paper_key() {
+        assert_eq!(DetectionLevel::DZero.glyph(), ' ');
+        assert_eq!(DetectionLevel::DErrorCode.glyph(), '-');
+        assert_eq!(DetectionLevel::DSanity.glyph(), '|');
+        assert_eq!(DetectionLevel::DRedundancy.glyph(), '\\');
+        assert_eq!(RecoveryLevel::RRetry.glyph(), '/');
+        assert_eq!(RecoveryLevel::RPropagate.glyph(), '-');
+        assert_eq!(RecoveryLevel::RStop.glyph(), '|');
+        assert_eq!(RecoveryLevel::RRedundancy.glyph(), '\\');
+    }
+
+    #[test]
+    fn all_levels_enumerated_in_order() {
+        assert_eq!(DetectionLevel::ALL.len(), 4);
+        assert_eq!(RecoveryLevel::ALL.len(), 8);
+        assert!(DetectionLevel::ALL.windows(2).all(|w| w[0] < w[1]));
+        assert!(RecoveryLevel::ALL.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn tables_render_every_row() {
+        let t1 = render_table1();
+        for d in DetectionLevel::ALL {
+            assert!(t1.contains(&d.to_string()), "missing {d}");
+        }
+        let t2 = render_table2();
+        for r in RecoveryLevel::ALL {
+            assert!(t2.contains(&r.to_string()), "missing {r}");
+        }
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let mut names: Vec<String> = RecoveryLevel::ALL.iter().map(|r| r.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), RecoveryLevel::ALL.len());
+    }
+}

@@ -1,0 +1,96 @@
+//! Bitmap allocation primitives.
+//!
+//! ext3 tracks block and inode allocation with one bitmap block per group.
+//! These helpers operate on raw bitmap blocks; the file system composes them
+//! with group iteration. Note there is deliberately **no** validity checking
+//! here: ext3 trusts bitmap contents completely (§5.1 — bitmaps get no type
+//! or sanity checks), so a corrupted bitmap silently mis-allocates.
+
+use iron_core::Block;
+
+/// Test bit `i`.
+pub fn bit_test(b: &Block, i: u64) -> bool {
+    let byte = (i / 8) as usize;
+    let mask = 1u8 << (i % 8);
+    b[byte] & mask != 0
+}
+
+/// Set bit `i` (mark allocated).
+pub fn bit_set(b: &mut Block, i: u64) {
+    let byte = (i / 8) as usize;
+    b[byte] |= 1u8 << (i % 8);
+}
+
+/// Clear bit `i` (mark free).
+pub fn bit_clear(b: &mut Block, i: u64) {
+    let byte = (i / 8) as usize;
+    b[byte] &= !(1u8 << (i % 8));
+}
+
+/// Find the first zero bit below `limit`, preferring bits at or after
+/// `hint` (simple locality heuristic, like ext3's goal blocks).
+pub fn find_free(b: &Block, limit: u64, hint: u64) -> Option<u64> {
+    let start = hint.min(limit);
+    (start..limit).chain(0..start).find(|&i| !bit_test(b, i))
+}
+
+/// Count zero bits below `limit`.
+pub fn count_free(b: &Block, limit: u64) -> u64 {
+    (0..limit).filter(|&i| !bit_test(b, i)).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_test_clear() {
+        let mut b = Block::zeroed();
+        assert!(!bit_test(&b, 0));
+        bit_set(&mut b, 0);
+        bit_set(&mut b, 7);
+        bit_set(&mut b, 8);
+        bit_set(&mut b, 1023);
+        assert!(bit_test(&b, 0));
+        assert!(bit_test(&b, 7));
+        assert!(bit_test(&b, 8));
+        assert!(bit_test(&b, 1023));
+        assert!(!bit_test(&b, 9));
+        bit_clear(&mut b, 7);
+        assert!(!bit_test(&b, 7));
+        assert!(bit_test(&b, 8), "neighbors untouched");
+    }
+
+    #[test]
+    fn find_free_respects_limit_and_hint() {
+        let mut b = Block::zeroed();
+        for i in 0..10 {
+            bit_set(&mut b, i);
+        }
+        assert_eq!(find_free(&b, 1024, 0), Some(10));
+        // Hint skips ahead…
+        assert_eq!(find_free(&b, 1024, 100), Some(100));
+        // …but wraps around when the tail is full.
+        let mut c = Block::zeroed();
+        for i in 5..1024 {
+            bit_set(&mut c, i);
+        }
+        assert_eq!(find_free(&c, 1024, 500), Some(0));
+        // Full bitmap yields None.
+        let mut full = Block::zeroed();
+        for i in 0..64 {
+            bit_set(&mut full, i);
+        }
+        assert_eq!(find_free(&full, 64, 0), None);
+    }
+
+    #[test]
+    fn count_free_counts() {
+        let mut b = Block::zeroed();
+        assert_eq!(count_free(&b, 100), 100);
+        bit_set(&mut b, 3);
+        bit_set(&mut b, 99);
+        assert_eq!(count_free(&b, 100), 98);
+        assert_eq!(count_free(&b, 3), 3, "limit excludes later bits");
+    }
+}

@@ -1,0 +1,321 @@
+//! An offline consistency checker (fsck) for the ext3 model.
+//!
+//! The IRON taxonomy's `RRepair` level is fsck-style repair; the paper notes
+//! that even journaling file systems benefit from periodic full-scan
+//! integrity checks (§3.1). This checker walks the on-disk image through
+//! [`RawAccess`] (no faults, no timing) and reports structural
+//! inconsistencies. It is the oracle for the crash-consistency and
+//! property-based test suites, and `repair` implements the subset of fixes
+//! the paper calls out (freeing leaked blocks, fixing link counts).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use iron_blockdev::RawAccess;
+use iron_core::{Block, BlockAddr, BLOCK_SIZE};
+use iron_vfs::FileType;
+
+use crate::alloc;
+use crate::dir;
+use crate::inode::{DiskInode, NDIRECT, PTRS_PER_BLOCK};
+use crate::layout::{DiskLayout, ROOT_INO};
+use crate::superblock::Superblock;
+
+/// One inconsistency found by [`check`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FsckIssue {
+    /// The superblock failed to decode.
+    BadSuperblock,
+    /// A directory entry references a free or out-of-range inode.
+    DanglingEntry {
+        /// The directory containing the entry.
+        dir: u64,
+        /// The entry name.
+        name: String,
+        /// The referenced inode.
+        ino: u64,
+    },
+    /// An inode's link count disagrees with the directory tree.
+    WrongLinkCount {
+        /// The inode.
+        ino: u64,
+        /// Count stored on disk.
+        stored: u32,
+        /// Count derived from the tree walk.
+        actual: u32,
+    },
+    /// A block used by a file is not marked allocated in the bitmap.
+    BlockNotMarked {
+        /// The block.
+        addr: u64,
+    },
+    /// A block marked allocated is not referenced by anything ("leaked").
+    BlockLeaked {
+        /// The block.
+        addr: u64,
+    },
+    /// Two files reference the same block.
+    BlockDoublyUsed {
+        /// The block.
+        addr: u64,
+    },
+    /// An allocated inode is unreachable from the root.
+    OrphanInode {
+        /// The inode.
+        ino: u64,
+    },
+    /// An inode bitmap bit is set for a free inode slot (or vice versa).
+    InodeBitmapMismatch {
+        /// The inode.
+        ino: u64,
+    },
+}
+
+/// The result of a consistency check.
+#[derive(Clone, Debug, Default)]
+pub struct FsckReport {
+    /// Everything found, in discovery order.
+    pub issues: Vec<FsckIssue>,
+}
+
+impl FsckReport {
+    /// True if the image is fully consistent.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+fn inode_at<D: RawAccess>(dev: &D, layout: &DiskLayout, ino: u64) -> DiskInode {
+    let (blk, off) = layout.inode_location(ino);
+    DiskInode::decode_from(&dev.peek(blk), off)
+}
+
+fn file_block_addrs<D: RawAccess>(dev: &D, di: &DiskInode) -> (Vec<u64>, Vec<u64>) {
+    // Returns (data blocks in index order incl. holes as 0, indirect blocks).
+    let nblocks = di.size.div_ceil(BLOCK_SIZE as u64);
+    let mut data = Vec::new();
+    let mut indirect = Vec::new();
+    let ppb = PTRS_PER_BLOCK as u64;
+    let l1: Option<Block> = if di.indirect != 0 {
+        indirect.push(di.indirect as u64);
+        Some(dev.peek(BlockAddr(di.indirect as u64)))
+    } else {
+        None
+    };
+    let l2root: Option<Block> = if di.double_indirect != 0 {
+        indirect.push(di.double_indirect as u64);
+        Some(dev.peek(BlockAddr(di.double_indirect as u64)))
+    } else {
+        None
+    };
+    if let Some(root) = &l2root {
+        for i in 0..PTRS_PER_BLOCK {
+            let p = root.get_u32(i * 4) as u64;
+            if p != 0 {
+                indirect.push(p);
+            }
+        }
+    }
+    for idx in 0..nblocks {
+        let addr = if idx < NDIRECT as u64 {
+            di.direct[idx as usize] as u64
+        } else if idx < NDIRECT as u64 + ppb {
+            match &l1 {
+                Some(b) => b.get_u32((idx - NDIRECT as u64) as usize * 4) as u64,
+                None => 0,
+            }
+        } else {
+            let rel = idx - NDIRECT as u64 - ppb;
+            match &l2root {
+                Some(root) => {
+                    let p = root.get_u32((rel / ppb) as usize * 4) as u64;
+                    if p == 0 {
+                        0
+                    } else {
+                        dev.peek(BlockAddr(p)).get_u32((rel % ppb) as usize * 4) as u64
+                    }
+                }
+                None => 0,
+            }
+        };
+        data.push(addr);
+    }
+    (data, indirect)
+}
+
+/// Check the on-disk image for structural consistency.
+pub fn check<D: RawAccess>(dev: &D, layout: &DiskLayout) -> FsckReport {
+    let mut report = FsckReport::default();
+    let Some(_sb) = Superblock::decode(&dev.peek(BlockAddr(0))) else {
+        report.issues.push(FsckIssue::BadSuperblock);
+        return report;
+    };
+
+    // Pass 1: walk the tree from the root.
+    let mut used_blocks: BTreeMap<u64, u64> = BTreeMap::new(); // block -> owner ino
+    let mut link_counts: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut reachable: BTreeSet<u64> = BTreeSet::new();
+    let mut queue = VecDeque::from([ROOT_INO]);
+    // Root's ".." refers to itself; seed its parent link.
+    let mut note_block = |report: &mut FsckReport, addr: u64, ino: u64| {
+        if addr == 0 {
+            return;
+        }
+        if used_blocks.insert(addr, ino).is_some() {
+            report.issues.push(FsckIssue::BlockDoublyUsed { addr });
+        }
+    };
+
+    while let Some(ino) = queue.pop_front() {
+        if !reachable.insert(ino) {
+            continue;
+        }
+        let di = inode_at(dev, layout, ino);
+        if di.is_free() || di.file_type().is_none() {
+            continue; // reported as dangling where referenced
+        }
+        let (data, indirect) = file_block_addrs(dev, &di);
+        for a in &indirect {
+            note_block(&mut report, *a, ino);
+        }
+        if di.parity != 0 {
+            note_block(&mut report, di.parity as u64, ino);
+        }
+        match di.file_type() {
+            Some(FileType::Directory) => {
+                for a in &data {
+                    note_block(&mut report, *a, ino);
+                    if *a == 0 {
+                        continue;
+                    }
+                    for e in dir::parse_block(&dev.peek(BlockAddr(*a))) {
+                        let child = e.ino as u64;
+                        if child == 0 || child > layout.total_inodes() {
+                            report.issues.push(FsckIssue::DanglingEntry {
+                                dir: ino,
+                                name: e.name.clone(),
+                                ino: child,
+                            });
+                            continue;
+                        }
+                        let cdi = inode_at(dev, layout, child);
+                        if cdi.is_free() {
+                            report.issues.push(FsckIssue::DanglingEntry {
+                                dir: ino,
+                                name: e.name.clone(),
+                                ino: child,
+                            });
+                            continue;
+                        }
+                        *link_counts.entry(child).or_insert(0) += 1;
+                        if e.name != "." && e.name != ".." {
+                            queue.push_back(child);
+                        }
+                    }
+                }
+            }
+            _ => {
+                for a in &data {
+                    note_block(&mut report, *a, ino);
+                }
+            }
+        }
+    }
+
+    // Pass 2: link counts.
+    for (&ino, &actual) in &link_counts {
+        let di = inode_at(dev, layout, ino);
+        if !di.is_free() && di.links_count != actual {
+            report.issues.push(FsckIssue::WrongLinkCount {
+                ino,
+                stored: di.links_count,
+                actual,
+            });
+        }
+    }
+
+    // Pass 3: bitmaps vs. usage.
+    for g in 0..layout.num_groups {
+        let base = layout.group_base(g);
+        let dbm = dev.peek(layout.data_bitmap(g));
+        let data_lo = layout.data_start(g) - base;
+        let data_hi = layout.params.blocks_per_group - 1; // super replica excluded
+        for bit in data_lo..data_hi {
+            let addr = base + bit;
+            let marked = alloc::bit_test(&dbm, bit);
+            let used = used_blocks.contains_key(&addr);
+            if used && !marked {
+                report.issues.push(FsckIssue::BlockNotMarked { addr });
+            }
+            if marked && !used {
+                report.issues.push(FsckIssue::BlockLeaked { addr });
+            }
+        }
+        // Inode bitmap vs. table.
+        let ibm = dev.peek(layout.inode_bitmap(g));
+        for bit in 0..layout.params.inodes_per_group {
+            let ino = g * layout.params.inodes_per_group + bit + 1;
+            if ino == 1 {
+                continue; // reserved
+            }
+            let marked = alloc::bit_test(&ibm, bit);
+            let di = inode_at(dev, layout, ino);
+            if marked != !di.is_free() {
+                report.issues.push(FsckIssue::InodeBitmapMismatch { ino });
+            }
+            if !di.is_free() && !reachable.contains(&ino) {
+                report.issues.push(FsckIssue::OrphanInode { ino });
+            }
+        }
+    }
+
+    report
+}
+
+/// Repair the subset of issues that can be fixed mechanically (`RRepair`):
+/// leaked blocks are freed, wrong link counts corrected, inode-bitmap
+/// mismatches resolved in favor of the inode table. Returns the number of
+/// fixes applied. Dangling entries and double-used blocks are *reported*
+/// but left alone (fixing them is data-loss territory — "Could lose data",
+/// Table 2).
+pub fn repair<D: RawAccess>(dev: &mut D, layout: &DiskLayout) -> usize {
+    let report = check(dev, layout);
+    let mut fixes = 0;
+    for issue in &report.issues {
+        match issue {
+            FsckIssue::BlockLeaked { addr } => {
+                if let Some(g) = layout.group_of_block(*addr) {
+                    let bm_addr = layout.data_bitmap(g);
+                    let mut bm = dev.peek(bm_addr);
+                    alloc::bit_clear(&mut bm, addr - layout.group_base(g));
+                    dev.poke(bm_addr, &bm);
+                    fixes += 1;
+                }
+            }
+            FsckIssue::WrongLinkCount { ino, actual, .. } => {
+                let (blk, off) = layout.inode_location(*ino);
+                let mut b = dev.peek(blk);
+                let mut di = DiskInode::decode_from(&b, off);
+                di.links_count = *actual;
+                di.encode_into(&mut b, off);
+                dev.poke(blk, &b);
+                fixes += 1;
+            }
+            FsckIssue::InodeBitmapMismatch { ino } => {
+                let g = (ino - 1) / layout.params.inodes_per_group;
+                let bit = (ino - 1) % layout.params.inodes_per_group;
+                let bm_addr = layout.inode_bitmap(g);
+                let mut bm = dev.peek(bm_addr);
+                let di = inode_at(dev, layout, *ino);
+                if di.is_free() {
+                    alloc::bit_clear(&mut bm, bit);
+                } else {
+                    alloc::bit_set(&mut bm, bit);
+                }
+                dev.poke(bm_addr, &bm);
+                fixes += 1;
+            }
+            _ => {}
+        }
+    }
+    fixes
+}

@@ -1,0 +1,462 @@
+//! Journal block formats and the in-memory running transaction.
+//!
+//! ext3-style full-block journaling (JBD): a transaction is a descriptor
+//! block naming the home addresses, the journaled copies themselves, and a
+//! commit block. Revoke blocks name addresses that must *not* be replayed.
+//! The commit block optionally carries a **transactional checksum** over the
+//! whole transaction (the paper's `Tc`, §6.1) — that is what lets ixt3 issue
+//! the commit without waiting for the journal data, and what lets recovery
+//! reject a partially written transaction.
+
+use std::collections::{BTreeSet, HashMap};
+
+use iron_core::checksum::{crc32_update, sha1};
+use iron_core::{Block, BLOCK_SIZE};
+
+use crate::layout::BlockType;
+
+/// Magic for the journal superblock.
+pub const JSUPER_MAGIC: u32 = 0xC03B_3998; // JBD's real magic
+/// Block-type discriminator within journal control blocks.
+const JDESC_KIND: u32 = 1;
+const JCOMMIT_KIND: u32 = 2;
+const JREVOKE_KIND: u32 = 5;
+
+/// Decoded journal superblock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalSuper {
+    /// Next transaction sequence number.
+    pub sequence: u64,
+    /// True if the log may contain committed-but-not-checkpointed
+    /// transactions (recovery needed).
+    pub dirty: bool,
+    /// Length of the log area in blocks.
+    pub log_len: u64,
+}
+
+impl JournalSuper {
+    /// Serialize.
+    pub fn encode(&self) -> Block {
+        let mut b = Block::zeroed();
+        b.put_u32(0, JSUPER_MAGIC);
+        b.put_u64(8, self.sequence);
+        b.put_u32(16, u32::from(self.dirty));
+        b.put_u64(24, self.log_len);
+        b
+    }
+
+    /// Decode; `None` on bad magic (ext3 *does* type-check its journal
+    /// superblock — §5.1).
+    pub fn decode(b: &Block) -> Option<JournalSuper> {
+        if b.get_u32(0) != JSUPER_MAGIC {
+            return None;
+        }
+        Some(JournalSuper {
+            sequence: b.get_u64(8),
+            dirty: b.get_u32(16) != 0,
+            log_len: b.get_u64(24),
+        })
+    }
+}
+
+/// Maximum home-address records in one descriptor block.
+pub const DESC_CAPACITY: usize = (BLOCK_SIZE - 32) / 12;
+
+/// A journal descriptor block: the home addresses (and types) of the
+/// journaled copies that follow it in the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DescriptorBlock {
+    /// Transaction sequence number.
+    pub sequence: u64,
+    /// (home address, block type) per following journal-data block.
+    pub entries: Vec<(u64, BlockType)>,
+}
+
+impl DescriptorBlock {
+    /// Serialize.
+    ///
+    /// # Panics
+    /// Panics if there are more than [`DESC_CAPACITY`] entries.
+    pub fn encode(&self) -> Block {
+        assert!(self.entries.len() <= DESC_CAPACITY, "descriptor overflow");
+        let mut b = Block::zeroed();
+        b.put_u32(0, JSUPER_MAGIC);
+        b.put_u32(4, JDESC_KIND);
+        b.put_u64(8, self.sequence);
+        b.put_u32(16, self.entries.len() as u32);
+        let mut off = 32;
+        for (addr, ty) in &self.entries {
+            b.put_u64(off, *addr);
+            b[off + 8] = ty.code();
+            off += 12;
+        }
+        b
+    }
+
+    /// Decode; `None` on bad magic/kind/counts (ext3 type-checks journal
+    /// descriptor blocks).
+    pub fn decode(b: &Block) -> Option<DescriptorBlock> {
+        if b.get_u32(0) != JSUPER_MAGIC || b.get_u32(4) != JDESC_KIND {
+            return None;
+        }
+        let count = b.get_u32(16) as usize;
+        if count > DESC_CAPACITY {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(count);
+        let mut off = 32;
+        for _ in 0..count {
+            let addr = b.get_u64(off);
+            let ty = BlockType::from_code(b[off + 8])?;
+            entries.push((addr, ty));
+            off += 12;
+        }
+        Some(DescriptorBlock {
+            sequence: b.get_u64(8),
+            entries,
+        })
+    }
+}
+
+/// A journal commit block, optionally carrying a transactional checksum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitBlock {
+    /// Transaction sequence number.
+    pub sequence: u64,
+    /// Transactional checksum over descriptor + journal data (present only
+    /// when `Tc` is enabled).
+    pub txn_checksum: Option<u64>,
+}
+
+impl CommitBlock {
+    /// Serialize.
+    pub fn encode(&self) -> Block {
+        let mut b = Block::zeroed();
+        b.put_u32(0, JSUPER_MAGIC);
+        b.put_u32(4, JCOMMIT_KIND);
+        b.put_u64(8, self.sequence);
+        match self.txn_checksum {
+            Some(c) => {
+                b.put_u32(16, 1);
+                b.put_u64(24, c);
+            }
+            None => b.put_u32(16, 0),
+        }
+        b
+    }
+
+    /// Decode; `None` on bad magic/kind.
+    pub fn decode(b: &Block) -> Option<CommitBlock> {
+        if b.get_u32(0) != JSUPER_MAGIC || b.get_u32(4) != JCOMMIT_KIND {
+            return None;
+        }
+        let txn_checksum = if b.get_u32(16) != 0 {
+            Some(b.get_u64(24))
+        } else {
+            None
+        };
+        Some(CommitBlock {
+            sequence: b.get_u64(8),
+            txn_checksum,
+        })
+    }
+}
+
+/// A revoke block: home addresses that must not be replayed from earlier
+/// transactions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RevokeBlock {
+    /// Transaction sequence number.
+    pub sequence: u64,
+    /// Revoked home addresses.
+    pub addrs: Vec<u64>,
+}
+
+/// Maximum addresses in one revoke block.
+pub const REVOKE_CAPACITY: usize = (BLOCK_SIZE - 32) / 8;
+
+impl RevokeBlock {
+    /// Serialize.
+    ///
+    /// # Panics
+    /// Panics if there are more than [`REVOKE_CAPACITY`] addresses.
+    pub fn encode(&self) -> Block {
+        assert!(self.addrs.len() <= REVOKE_CAPACITY, "revoke overflow");
+        let mut b = Block::zeroed();
+        b.put_u32(0, JSUPER_MAGIC);
+        b.put_u32(4, JREVOKE_KIND);
+        b.put_u64(8, self.sequence);
+        b.put_u32(16, self.addrs.len() as u32);
+        let mut off = 32;
+        for a in &self.addrs {
+            b.put_u64(off, *a);
+            off += 8;
+        }
+        b
+    }
+
+    /// Decode; `None` on bad magic/kind/count.
+    pub fn decode(b: &Block) -> Option<RevokeBlock> {
+        if b.get_u32(0) != JSUPER_MAGIC || b.get_u32(4) != JREVOKE_KIND {
+            return None;
+        }
+        let count = b.get_u32(16) as usize;
+        if count > REVOKE_CAPACITY {
+            return None;
+        }
+        let mut addrs = Vec::with_capacity(count);
+        let mut off = 32;
+        for _ in 0..count {
+            addrs.push(b.get_u64(off));
+            off += 8;
+        }
+        Some(RevokeBlock {
+            sequence: b.get_u64(8),
+            addrs,
+        })
+    }
+}
+
+/// Which kind of journal block a log block decodes as.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A descriptor block.
+    Descriptor(DescriptorBlock),
+    /// A commit block.
+    Commit(CommitBlock),
+    /// A revoke block.
+    Revoke(RevokeBlock),
+}
+
+/// Classify a journal log block (used by recovery and by the gray-box
+/// classifier in `iron-fingerprint`).
+pub fn classify_log_block(b: &Block) -> Option<JournalRecord> {
+    if b.get_u32(0) != JSUPER_MAGIC {
+        return None;
+    }
+    match b.get_u32(4) {
+        JDESC_KIND => DescriptorBlock::decode(b).map(JournalRecord::Descriptor),
+        JCOMMIT_KIND => CommitBlock::decode(b).map(JournalRecord::Commit),
+        JREVOKE_KIND => RevokeBlock::decode(b).map(JournalRecord::Revoke),
+        _ => None,
+    }
+}
+
+/// Compute a transactional checksum over the descriptor and journal-data
+/// blocks of a transaction (`Tc`, §6.1). CRC32 folded over every block,
+/// strengthened with a truncated SHA-1 of the running state.
+pub fn txn_checksum(blocks: &[&Block]) -> u64 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for b in blocks {
+        crc = crc32_update(crc, &b[..]);
+    }
+    let crc = crc ^ 0xFFFF_FFFF;
+    // Widen to 64 bits via SHA-1 so collisions across reordered blocks are
+    // not a concern for recovery decisions.
+    let mut seed = [0u8; 8];
+    seed.copy_from_slice(&(crc as u64).to_le_bytes());
+    let mut material = Vec::with_capacity(8 + blocks.len() * 8);
+    material.extend_from_slice(&seed);
+    for b in blocks {
+        material.extend_from_slice(&sha1(&b[..]).0[..8]);
+    }
+    sha1(&material).truncated64()
+}
+
+/// The in-memory running transaction: dirty metadata blocks in first-dirty
+/// order, plus revoked addresses.
+#[derive(Debug, Default)]
+pub struct Txn {
+    order: Vec<u64>,
+    map: HashMap<u64, (Block, BlockType)>,
+    /// Addresses revoked in this transaction.
+    pub revoked: BTreeSet<u64>,
+}
+
+impl Txn {
+    /// An empty transaction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stage a dirty metadata block.
+    pub fn put(&mut self, addr: u64, block: Block, ty: BlockType) {
+        if !self.map.contains_key(&addr) {
+            self.order.push(addr);
+        }
+        self.map.insert(addr, (block, ty));
+        self.revoked.remove(&addr);
+    }
+
+    /// Fetch the staged copy of `addr`, if any.
+    pub fn get(&self, addr: u64) -> Option<&Block> {
+        self.map.get(&addr).map(|(b, _)| b)
+    }
+
+    /// Revoke `addr`: drop any staged copy and record the revocation.
+    pub fn revoke(&mut self, addr: u64) {
+        if self.map.remove(&addr).is_some() {
+            self.order.retain(|a| *a != addr);
+        }
+        self.revoked.insert(addr);
+    }
+
+    /// Dirty blocks in first-dirty order.
+    pub fn blocks(&self) -> Vec<(u64, Block, BlockType)> {
+        self.order
+            .iter()
+            .map(|a| {
+                let (b, t) = &self.map[a];
+                (*a, b.clone(), *t)
+            })
+            .collect()
+    }
+
+    /// Number of dirty blocks.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if there is nothing to commit.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty() && self.revoked.is_empty()
+    }
+
+    /// Reset after commit.
+    pub fn clear(&mut self) {
+        self.order.clear();
+        self.map.clear();
+        self.revoked.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_super_round_trip() {
+        let js = JournalSuper {
+            sequence: 42,
+            dirty: true,
+            log_len: 256,
+        };
+        assert_eq!(JournalSuper::decode(&js.encode()), Some(js));
+        assert_eq!(JournalSuper::decode(&Block::zeroed()), None);
+    }
+
+    #[test]
+    fn descriptor_round_trip() {
+        let d = DescriptorBlock {
+            sequence: 9,
+            entries: vec![(100, BlockType::Inode), (200, BlockType::Dir)],
+        };
+        assert_eq!(DescriptorBlock::decode(&d.encode()), Some(d));
+    }
+
+    #[test]
+    fn descriptor_rejects_commit_block() {
+        let c = CommitBlock {
+            sequence: 9,
+            txn_checksum: None,
+        };
+        assert_eq!(DescriptorBlock::decode(&c.encode()), None);
+    }
+
+    #[test]
+    fn commit_round_trip_with_and_without_checksum() {
+        for cks in [None, Some(0xDEAD_BEEF_u64)] {
+            let c = CommitBlock {
+                sequence: 3,
+                txn_checksum: cks,
+            };
+            assert_eq!(CommitBlock::decode(&c.encode()), Some(c));
+        }
+    }
+
+    #[test]
+    fn revoke_round_trip() {
+        let r = RevokeBlock {
+            sequence: 5,
+            addrs: vec![1, 2, 77],
+        };
+        assert_eq!(RevokeBlock::decode(&r.encode()), Some(r));
+    }
+
+    #[test]
+    fn classify_distinguishes_kinds() {
+        let d = DescriptorBlock {
+            sequence: 1,
+            entries: vec![],
+        };
+        let c = CommitBlock {
+            sequence: 1,
+            txn_checksum: None,
+        };
+        let r = RevokeBlock {
+            sequence: 1,
+            addrs: vec![],
+        };
+        assert!(matches!(
+            classify_log_block(&d.encode()),
+            Some(JournalRecord::Descriptor(_))
+        ));
+        assert!(matches!(
+            classify_log_block(&c.encode()),
+            Some(JournalRecord::Commit(_))
+        ));
+        assert!(matches!(
+            classify_log_block(&r.encode()),
+            Some(JournalRecord::Revoke(_))
+        ));
+        assert_eq!(classify_log_block(&Block::filled(0xAA)), None);
+    }
+
+    #[test]
+    fn txn_checksum_detects_any_block_change() {
+        let a = Block::filled(1);
+        let b = Block::filled(2);
+        let base = txn_checksum(&[&a, &b]);
+        let mut b2 = b.clone();
+        b2[100] ^= 1;
+        assert_ne!(txn_checksum(&[&a, &b2]), base);
+        assert_ne!(txn_checksum(&[&b, &a]), base, "order matters");
+        assert_eq!(txn_checksum(&[&a, &b]), base, "deterministic");
+    }
+
+    #[test]
+    fn txn_staging_and_revoke() {
+        let mut t = Txn::new();
+        assert!(t.is_empty());
+        t.put(10, Block::filled(1), BlockType::Inode);
+        t.put(20, Block::filled(2), BlockType::Dir);
+        t.put(10, Block::filled(3), BlockType::Inode); // overwrite keeps order
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(10), Some(&Block::filled(3)));
+        let blocks = t.blocks();
+        assert_eq!(blocks[0].0, 10);
+        assert_eq!(blocks[1].0, 20);
+
+        t.revoke(20);
+        assert_eq!(t.len(), 1);
+        assert!(t.revoked.contains(&20));
+        // Re-dirtying un-revokes.
+        t.put(20, Block::filled(4), BlockType::Dir);
+        assert!(!t.revoked.contains(&20));
+
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn desc_capacity_fits_in_block() {
+        let entries: Vec<(u64, BlockType)> =
+            (0..DESC_CAPACITY as u64).map(|i| (i, BlockType::Data)).collect();
+        let d = DescriptorBlock {
+            sequence: 1,
+            entries,
+        };
+        let decoded = DescriptorBlock::decode(&d.encode()).unwrap();
+        assert_eq!(decoded.entries.len(), DESC_CAPACITY);
+    }
+}

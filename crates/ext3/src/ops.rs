@@ -1,0 +1,1165 @@
+//! File-system operations: the [`SpecificFs`] implementation and its
+//! supporting machinery (inode I/O, allocation, block maps, directories),
+//! with ext3's per-operation failure policy — bugs included.
+
+use iron_core::{Block, BlockAddr, Errno, BLOCK_SIZE};
+use iron_blockdev::{BlockDevice, RawAccess};
+use iron_vfs::{DirEntry, FileType, FsEnv, InodeAttr, MountState, SpecificFs, StatFs, VfsResult};
+
+use crate::alloc;
+use crate::dir::{self, ftype_from_code, RawDirEntry};
+use crate::fs::Ext3Fs;
+use crate::inode::{DiskInode, NDIRECT, PTRS_PER_BLOCK};
+use crate::layout::{BlockType, FIRST_FREE_INO, ROOT_INO};
+use crate::superblock::FsState;
+
+type Ino = u64;
+
+impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
+    // ==================================================================
+    // Metadata read path — the centerpiece of the failure policy.
+    // ==================================================================
+
+    /// Read a metadata block with full policy:
+    ///
+    /// * staged transaction copy and buffer cache are consulted first;
+    /// * a device error is detected via the error code (`DErrorCode`),
+    ///   logged, and — stock ext3 — the journal is aborted (`RStop`) and
+    ///   `EIO` propagates (`RPropagate`);
+    /// * with `Mc`, contents are verified against the checksum table
+    ///   (`DRedundancy`); with `Mr`, a failed/corrupt primary is recovered
+    ///   from the distant replica (`RRedundancy`).
+    pub(crate) fn read_meta(&mut self, addr: u64, ty: BlockType) -> VfsResult<Block> {
+        if let Some(b) = self.txn.get(addr) {
+            return Ok(b.clone());
+        }
+        if let Some(b) = self.cache.get(BlockAddr(addr)) {
+            return Ok(b);
+        }
+        match self.dev.read_tagged(BlockAddr(addr), ty.tag()) {
+            Ok(b) => {
+                if self.opts.iron.meta_checksum && !self.verify_cksum(addr, &b) {
+                    self.env.klog.error(
+                        "ixt3",
+                        format!("checksum mismatch on metadata block {addr} ({})", ty.tag()),
+                    );
+                    return self.meta_recover(addr, ty);
+                }
+                self.cache.insert(BlockAddr(addr), b.clone());
+                Ok(b)
+            }
+            Err(_) => {
+                self.env.klog.error(
+                    "ext3",
+                    format!("I/O error reading metadata block {addr} ({})", ty.tag()),
+                );
+                self.meta_recover(addr, ty)
+            }
+        }
+    }
+
+    /// Recover a lost/corrupt metadata block: replica if `Mr`, else ext3's
+    /// stock reaction (abort journal, propagate).
+    fn meta_recover(&mut self, addr: u64, _ty: BlockType) -> VfsResult<Block> {
+        if self.opts.iron.meta_replication {
+            // A replica still in the write-back set is the freshest copy.
+            if let Some(b) = self.replica_pending.get(&addr).cloned() {
+                self.env.klog.info(
+                    "ixt3",
+                    format!("metadata block {addr} recovered from replica"),
+                );
+                self.cache.insert(BlockAddr(addr), b.clone());
+                return Ok(b);
+            }
+            let raddr = self.layout().replica_of(addr);
+            if let Ok(b) = self.dev.read_tagged(raddr, BlockType::Replica.tag()) {
+                let ok = !self.opts.iron.meta_checksum || self.verify_cksum(addr, &b);
+                if ok {
+                    self.env.klog.info(
+                        "ixt3",
+                        format!("metadata block {addr} recovered from replica"),
+                    );
+                    self.cache.insert(BlockAddr(addr), b.clone());
+                    return Ok(b);
+                }
+                self.env.klog.error(
+                    "ixt3",
+                    format!("replica of metadata block {addr} also bad"),
+                );
+            } else {
+                self.env.klog.error(
+                    "ixt3",
+                    format!("replica read failed for metadata block {addr}"),
+                );
+            }
+        }
+        self.abort_journal("metadata read failure");
+        Err(Errno::EIO.into())
+    }
+
+    // ==================================================================
+    // Data block paths.
+    // ==================================================================
+
+    /// Read a data block. `file` supplies parity context when available.
+    ///
+    /// Stock policy: error code checked; one retry of the originally
+    /// requested block (ext3's prefetch behavior — §5.1 "when a prefetch
+    /// read fails, ext3 retries only the originally requested block");
+    /// then `EIO` propagates — no journal abort for data. With `Dc`,
+    /// contents are checksum-verified; with `Dp`, a lost block is
+    /// reconstructed from the file's other blocks and its parity block.
+    pub(crate) fn read_data_block(
+        &mut self,
+        file: Option<(Ino, DiskInode)>,
+        addr: u64,
+    ) -> VfsResult<Block> {
+        if let Some(b) = self.cache.get(BlockAddr(addr)) {
+            return Ok(b);
+        }
+        let first = self.dev.read_tagged(BlockAddr(addr), BlockType::Data.tag());
+        let outcome = match first {
+            Ok(b) => Ok(b),
+            Err(_) => {
+                self.env
+                    .klog
+                    .error("ext3", format!("I/O error reading data block {addr}"));
+                // RRetry: retry the originally requested block once.
+                self.dev.read_tagged(BlockAddr(addr), BlockType::Data.tag())
+            }
+        };
+        match outcome {
+            Ok(b) => {
+                if self.opts.iron.data_checksum && !self.verify_cksum(addr, &b) {
+                    self.env.klog.error(
+                        "ixt3",
+                        format!("checksum mismatch on data block {addr}"),
+                    );
+                    return self.data_recover(file, addr);
+                }
+                self.cache.insert(BlockAddr(addr), b.clone());
+                Ok(b)
+            }
+            Err(_) => self.data_recover(file, addr),
+        }
+    }
+
+    /// Recover a lost data block from parity, or propagate `EIO`.
+    fn data_recover(&mut self, file: Option<(Ino, DiskInode)>, addr: u64) -> VfsResult<Block> {
+        if self.opts.iron.data_parity {
+            if let Some((ino, di)) = file {
+                if di.parity != 0 {
+                    match self.reconstruct_from_parity(ino, di, addr) {
+                        Ok(b) => {
+                            self.env.klog.info(
+                                "ixt3",
+                                format!("data block {addr} reconstructed from parity"),
+                            );
+                            self.cache.insert(BlockAddr(addr), b.clone());
+                            return Ok(b);
+                        }
+                        Err(_) => {
+                            self.env.klog.error(
+                                "ixt3",
+                                format!("parity reconstruction failed for block {addr}"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Err(Errno::EIO.into())
+    }
+
+    /// XOR together the file's other data blocks and its parity block to
+    /// rebuild `failed`.
+    fn reconstruct_from_parity(
+        &mut self,
+        ino: Ino,
+        di: DiskInode,
+        failed: u64,
+    ) -> VfsResult<Block> {
+        let mut acc = if let Some(p) = self.parity_dirty.get(&ino) {
+            p.clone()
+        } else {
+            self.dev
+                .read_tagged(BlockAddr(di.parity as u64), BlockType::Parity.tag())
+                .map_err(|_| iron_vfs::VfsError::Errno(Errno::EIO))?
+        };
+        for baddr in self.file_blocks(&di)? {
+            if baddr == failed {
+                continue;
+            }
+            let b = match self.cache.get(BlockAddr(baddr)) {
+                Some(b) => b,
+                None => self
+                    .dev
+                    .read_tagged(BlockAddr(baddr), BlockType::Data.tag())
+                    .map_err(|_| iron_vfs::VfsError::Errno(Errno::EIO))?,
+            };
+            for i in 0..BLOCK_SIZE {
+                acc[i] ^= b[i];
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Write a data block in place (ordered-mode approximation).
+    ///
+    /// PAPER-BUG (stock): the write's error code is dropped on the floor —
+    /// "when a write fails, ext3 does not record the error code; hence,
+    /// write errors are often ignored". The page cache still holds the new
+    /// contents, so subsequent reads *hide* the failure. With `fix_bugs`
+    /// the error aborts the journal and propagates.
+    pub(crate) fn write_data_block(&mut self, addr: u64, block: &Block) -> VfsResult<()> {
+        self.note_cksum(addr, block, false);
+        let r = self.dev.write_tagged(BlockAddr(addr), block, BlockType::Data.tag());
+        self.cache.insert(BlockAddr(addr), block.clone());
+        match r {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                if self.opts.iron.fix_bugs {
+                    self.env
+                        .klog
+                        .error("ext3", format!("I/O error writing data block {addr}"));
+                    self.abort_journal("data write failure");
+                    Err(Errno::EIO.into())
+                } else {
+                    // PAPER-BUG: silently ignored.
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    // ==================================================================
+    // Inode I/O.
+    // ==================================================================
+
+    /// Read an inode without any sanity checking (internal paths that must
+    /// not double-report).
+    pub(crate) fn raw_iget(&mut self, ino: Ino) -> VfsResult<DiskInode> {
+        let (blk, off) = self.layout().inode_location(ino);
+        let b = self.read_meta(blk.0, BlockType::Inode)?;
+        Ok(DiskInode::decode_from(&b, off))
+    }
+
+    /// Read an inode, applying ext3's sanity checks: a free slot is
+    /// `ENOENT`; invalid type bits or an overly-large size are detected
+    /// (`DSanity`) and propagate as `EUCLEAN`.
+    pub(crate) fn iget(&mut self, ino: Ino) -> VfsResult<DiskInode> {
+        if ino == 0 || ino > self.layout().total_inodes() {
+            return Err(Errno::ENOENT.into());
+        }
+        let di = self.raw_iget(ino)?;
+        if di.is_free() {
+            return Err(Errno::ENOENT.into());
+        }
+        if !di.sanity_check() {
+            self.env.klog.error(
+                "ext3",
+                format!("corrupted inode {ino}: bad mode/size (sanity check failed)"),
+            );
+            return Err(Errno::EUCLEAN.into());
+        }
+        Ok(di)
+    }
+
+    /// Write an inode back (read-modify-write of its table block, staged in
+    /// the journal).
+    pub(crate) fn iput(&mut self, ino: Ino, di: &DiskInode) -> VfsResult<()> {
+        let (blk, off) = self.layout().inode_location(ino);
+        let mut b = self.read_meta(blk.0, BlockType::Inode)?;
+        di.encode_into(&mut b, off);
+        self.write_meta(blk.0, b, BlockType::Inode);
+        Ok(())
+    }
+
+    // ==================================================================
+    // Allocation.
+    // ==================================================================
+
+    /// Allocate a data block, preferring `hint_group`. No sanity checking
+    /// of bitmap contents (§5.1): a corrupted bitmap silently misallocates.
+    pub(crate) fn alloc_block(&mut self, hint_group: u64) -> VfsResult<u64> {
+        let ng = self.layout().num_groups;
+        let bpg = self.layout().params.blocks_per_group;
+        for i in 0..ng {
+            let g = (hint_group + i) % ng;
+            let bm_addr = self.layout().data_bitmap(g).0;
+            let mut bm = self.read_meta(bm_addr, BlockType::DataBitmap)?;
+            let data_lo = self.layout().data_start(g) - self.layout().group_base(g);
+            if let Some(bit) = alloc::find_free(&bm, bpg, data_lo) {
+                alloc::bit_set(&mut bm, bit);
+                self.write_meta(bm_addr, bm, BlockType::DataBitmap);
+                self.sb.free_blocks = self.sb.free_blocks.saturating_sub(1);
+                if let Some(gd) = self.gdt.get_mut(g as usize) {
+                    gd.0 = gd.0.saturating_sub(1);
+                }
+                self.write_counters();
+                return Ok(self.layout().group_base(g) + bit);
+            }
+        }
+        Err(Errno::ENOSPC.into())
+    }
+
+    /// Free a data block.
+    pub(crate) fn free_block(&mut self, addr: u64) -> VfsResult<()> {
+        let Some(g) = self.layout().group_of_block(addr) else {
+            return Ok(()); // out-of-layout pointer: freed "nowhere", silently
+        };
+        let bm_addr = self.layout().data_bitmap(g).0;
+        let mut bm = self.read_meta(bm_addr, BlockType::DataBitmap)?;
+        let bit = addr - self.layout().group_base(g);
+        alloc::bit_clear(&mut bm, bit);
+        self.write_meta(bm_addr, bm, BlockType::DataBitmap);
+        self.sb.free_blocks += 1;
+        if let Some(gd) = self.gdt.get_mut(g as usize) {
+            gd.0 += 1;
+        }
+        self.write_counters();
+        self.cache.invalidate(BlockAddr(addr));
+        Ok(())
+    }
+
+    /// Allocate an inode.
+    pub(crate) fn alloc_inode(&mut self) -> VfsResult<Ino> {
+        let ipg = self.layout().params.inodes_per_group;
+        for g in 0..self.layout().num_groups {
+            let bm_addr = self.layout().inode_bitmap(g).0;
+            let mut bm = self.read_meta(bm_addr, BlockType::InodeBitmap)?;
+            if let Some(bit) = alloc::find_free(&bm, ipg, 0) {
+                alloc::bit_set(&mut bm, bit);
+                self.write_meta(bm_addr, bm, BlockType::InodeBitmap);
+                self.sb.free_inodes = self.sb.free_inodes.saturating_sub(1);
+                if let Some(gd) = self.gdt.get_mut(g as usize) {
+                    gd.1 = gd.1.saturating_sub(1);
+                }
+                self.write_counters();
+                let ino = g * ipg + bit + 1;
+                debug_assert!(ino >= FIRST_FREE_INO || ino == ROOT_INO || g > 0);
+                return Ok(ino);
+            }
+        }
+        Err(Errno::ENOSPC.into())
+    }
+
+    /// Free an inode (clears its bitmap bit and zeroes its table slot).
+    pub(crate) fn free_inode(&mut self, ino: Ino) -> VfsResult<()> {
+        let ipg = self.layout().params.inodes_per_group;
+        let g = (ino - 1) / ipg;
+        let bit = (ino - 1) % ipg;
+        let bm_addr = self.layout().inode_bitmap(g).0;
+        let mut bm = self.read_meta(bm_addr, BlockType::InodeBitmap)?;
+        alloc::bit_clear(&mut bm, bit);
+        self.write_meta(bm_addr, bm, BlockType::InodeBitmap);
+        self.sb.free_inodes += 1;
+        if let Some(gd) = self.gdt.get_mut(g as usize) {
+            gd.1 += 1;
+        }
+        self.write_counters();
+        self.iput(ino, &DiskInode::empty())
+    }
+
+    /// Stage the superblock and GDT with updated counters.
+    fn write_counters(&mut self) {
+        let sb_block = self.sb.encode();
+        self.write_meta(0, sb_block, BlockType::Super);
+        let mut gdt_block = Block::zeroed();
+        for (g, (fb, fi)) in self.gdt.iter().enumerate() {
+            gdt_block.put_u32(g * 8, *fb);
+            gdt_block.put_u32(g * 8 + 4, *fi);
+        }
+        self.write_meta(1, gdt_block, BlockType::GroupDesc);
+    }
+
+    // ==================================================================
+    // Block map (direct / indirect / double-indirect).
+    // ==================================================================
+
+    /// Map a file block index to a device address (0 = hole). Indirect
+    /// blocks are read with **no sanity checking** — corrupted pointers are
+    /// followed blindly (§5.1).
+    pub(crate) fn get_file_block(&mut self, di: &DiskInode, idx: u64) -> VfsResult<u64> {
+        let ppb = PTRS_PER_BLOCK as u64;
+        if idx < NDIRECT as u64 {
+            return Ok(di.direct[idx as usize] as u64);
+        }
+        let idx = idx - NDIRECT as u64;
+        if idx < ppb {
+            if di.indirect == 0 {
+                return Ok(0);
+            }
+            let ib = self.read_meta(di.indirect as u64, BlockType::Indirect)?;
+            return Ok(ib.get_u32(idx as usize * 4) as u64);
+        }
+        let idx = idx - ppb;
+        if idx < ppb * ppb {
+            if di.double_indirect == 0 {
+                return Ok(0);
+            }
+            let l1 = self.read_meta(di.double_indirect as u64, BlockType::Indirect)?;
+            let l2_ptr = l1.get_u32((idx / ppb) as usize * 4) as u64;
+            if l2_ptr == 0 {
+                return Ok(0);
+            }
+            let l2 = self.read_meta(l2_ptr, BlockType::Indirect)?;
+            return Ok(l2.get_u32((idx % ppb) as usize * 4) as u64);
+        }
+        Err(Errno::EFBIG.into())
+    }
+
+    /// Point file block `idx` at `addr`, allocating indirect blocks as
+    /// needed. Updates `di` in place (caller must `iput`).
+    pub(crate) fn set_file_block(
+        &mut self,
+        di: &mut DiskInode,
+        idx: u64,
+        addr: u64,
+        hint_group: u64,
+    ) -> VfsResult<()> {
+        let ppb = PTRS_PER_BLOCK as u64;
+        if idx < NDIRECT as u64 {
+            di.direct[idx as usize] = addr as u32;
+            return Ok(());
+        }
+        let idx = idx - NDIRECT as u64;
+        if idx < ppb {
+            if di.indirect == 0 {
+                let nb = self.alloc_block(hint_group)?;
+                di.indirect = nb as u32;
+                di.blocks_count += 1;
+                self.write_meta(nb, Block::zeroed(), BlockType::Indirect);
+            }
+            let iaddr = di.indirect as u64;
+            let mut ib = self.read_meta(iaddr, BlockType::Indirect)?;
+            ib.put_u32(idx as usize * 4, addr as u32);
+            self.write_meta(iaddr, ib, BlockType::Indirect);
+            return Ok(());
+        }
+        let idx = idx - ppb;
+        if idx < ppb * ppb {
+            if di.double_indirect == 0 {
+                let nb = self.alloc_block(hint_group)?;
+                di.double_indirect = nb as u32;
+                di.blocks_count += 1;
+                self.write_meta(nb, Block::zeroed(), BlockType::Indirect);
+            }
+            let l1_addr = di.double_indirect as u64;
+            let mut l1 = self.read_meta(l1_addr, BlockType::Indirect)?;
+            let slot = (idx / ppb) as usize * 4;
+            let mut l2_ptr = l1.get_u32(slot) as u64;
+            if l2_ptr == 0 {
+                l2_ptr = self.alloc_block(hint_group)?;
+                di.blocks_count += 1;
+                self.write_meta(l2_ptr, Block::zeroed(), BlockType::Indirect);
+                l1.put_u32(slot, l2_ptr as u32);
+                self.write_meta(l1_addr, l1, BlockType::Indirect);
+            }
+            let mut l2 = self.read_meta(l2_ptr, BlockType::Indirect)?;
+            l2.put_u32((idx % ppb) as usize * 4, addr as u32);
+            self.write_meta(l2_ptr, l2, BlockType::Indirect);
+            return Ok(());
+        }
+        Err(Errno::EFBIG.into())
+    }
+
+    /// Every allocated data-block address of a file, in index order.
+    pub(crate) fn file_blocks(&mut self, di: &DiskInode) -> VfsResult<Vec<u64>> {
+        let nblocks = di.size.div_ceil(BLOCK_SIZE as u64);
+        let mut out = Vec::new();
+        for idx in 0..nblocks {
+            let a = self.get_file_block(di, idx)?;
+            if a != 0 {
+                out.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    // ==================================================================
+    // Directories.
+    // ==================================================================
+
+    /// All entries of a directory (parsed leniently, per ext3).
+    pub(crate) fn dir_entries_all(&mut self, di: &DiskInode) -> VfsResult<Vec<RawDirEntry>> {
+        let nblocks = di.size.div_ceil(BLOCK_SIZE as u64);
+        let mut out = Vec::new();
+        for idx in 0..nblocks {
+            let addr = self.get_file_block(di, idx)?;
+            if addr == 0 {
+                continue;
+            }
+            let b = self.read_meta(addr, BlockType::Dir)?;
+            out.extend(dir::parse_block(&b));
+        }
+        Ok(out)
+    }
+
+    /// Rewrite a directory's entries, growing/shrinking its blocks.
+    pub(crate) fn dir_write_entries(
+        &mut self,
+        dir_ino: Ino,
+        di: &mut DiskInode,
+        entries: &[RawDirEntry],
+    ) -> VfsResult<()> {
+        let blocks = dir::pack_blocks(entries);
+        let old_nblocks = di.size.div_ceil(BLOCK_SIZE as u64);
+        let hint = (dir_ino - 1) / self.layout().params.inodes_per_group;
+        for (idx, b) in blocks.iter().enumerate() {
+            let mut addr = self.get_file_block(di, idx as u64)?;
+            if addr == 0 {
+                addr = self.alloc_block(hint)?;
+                di.blocks_count += 1;
+                self.set_file_block(di, idx as u64, addr, hint)?;
+            }
+            self.write_meta(addr, b.clone(), BlockType::Dir);
+        }
+        // Shrink: free surplus blocks.
+        for idx in blocks.len() as u64..old_nblocks {
+            let addr = self.get_file_block(di, idx)?;
+            if addr != 0 {
+                self.free_block(addr)?;
+                self.revoke_meta(addr);
+                di.blocks_count = di.blocks_count.saturating_sub(1);
+                self.set_file_block(di, idx, 0, hint)?;
+            }
+        }
+        di.size = (blocks.len() * BLOCK_SIZE) as u64;
+        self.iput(dir_ino, di)
+    }
+
+    /// Find `name` in a directory.
+    pub(crate) fn dir_find(&mut self, di: &DiskInode, name: &str) -> VfsResult<Option<RawDirEntry>> {
+        Ok(self
+            .dir_entries_all(di)?
+            .into_iter()
+            .find(|e| e.name == name))
+    }
+
+    /// The allocated data-block addresses of a file, in index order —
+    /// public so the fingerprinting framework and tests can aim faults at
+    /// a specific file's blocks (type-aware injection needs addresses for
+    /// dynamic block types).
+    pub fn blocks_of(&mut self, ino: Ino) -> VfsResult<Vec<u64>> {
+        let di = self.iget(ino)?;
+        self.file_blocks(&di)
+    }
+
+    /// The (single/double) indirect block addresses of a file, in tree
+    /// order — fault-injection targets for the `indirect` block type.
+    pub fn indirect_blocks_of(&mut self, ino: Ino) -> VfsResult<Vec<u64>> {
+        let di = self.iget(ino)?;
+        let mut out = Vec::new();
+        if di.indirect != 0 {
+            out.push(di.indirect as u64);
+        }
+        if di.double_indirect != 0 {
+            out.push(di.double_indirect as u64);
+            let l1 = self.read_meta(di.double_indirect as u64, BlockType::Indirect)?;
+            for i in 0..PTRS_PER_BLOCK {
+                let p = l1.get_u32(i * 4) as u64;
+                if p != 0 {
+                    out.push(p);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The parity-block address of a file (`Dp`), if any.
+    pub fn parity_block_of(&mut self, ino: Ino) -> VfsResult<Option<u64>> {
+        let di = self.iget(ino)?;
+        Ok((di.parity != 0).then_some(di.parity as u64))
+    }
+
+    /// Group hint for allocating near an inode.
+    fn group_hint(&self, ino: Ino) -> u64 {
+        (ino - 1) / self.layout().params.inodes_per_group
+    }
+
+    // ==================================================================
+    // File body management.
+    // ==================================================================
+
+    /// Free every data/indirect block of a file (used by unlink and
+    /// truncate-to-zero). Read errors on indirect blocks are swallowed when
+    /// bugs are intact — PAPER-BUG: "while dealing with indirect blocks …
+    /// it updates the bitmaps and super block incorrectly, leaking space"
+    /// (that is ReiserFS's flavor; ext3's flavor is the silent truncate,
+    /// handled by the caller).
+    fn free_file_blocks(&mut self, di: &mut DiskInode) -> VfsResult<()> {
+        let nblocks = di.size.div_ceil(BLOCK_SIZE as u64);
+        for idx in 0..nblocks {
+            let addr = self.get_file_block(di, idx)?;
+            if addr != 0 {
+                self.free_block(addr)?;
+            }
+        }
+        if di.indirect != 0 {
+            let a = di.indirect as u64;
+            self.free_block(a)?;
+            self.revoke_meta(a);
+            di.indirect = 0;
+        }
+        if di.double_indirect != 0 {
+            let l1_addr = di.double_indirect as u64;
+            let l1 = self.read_meta(l1_addr, BlockType::Indirect)?;
+            for i in 0..PTRS_PER_BLOCK {
+                let p = l1.get_u32(i * 4) as u64;
+                if p != 0 {
+                    self.free_block(p)?;
+                    self.revoke_meta(p);
+                }
+            }
+            self.free_block(l1_addr)?;
+            self.revoke_meta(l1_addr);
+            di.double_indirect = 0;
+        }
+        di.direct = [0; NDIRECT];
+        di.blocks_count = if di.parity != 0 { 1 } else { 0 };
+        di.size = 0;
+        Ok(())
+    }
+
+    /// Create an inode of the given type, allocating its parity block when
+    /// `Dp` is on.
+    fn new_inode(&mut self, ftype: FileType, perm: u32) -> VfsResult<Ino> {
+        let ino = self.alloc_inode()?;
+        let mut di = DiskInode::new(ftype, perm);
+        if self.opts.iron.data_parity && ftype == FileType::Regular {
+            let p = self.alloc_block(self.group_hint(ino))?;
+            di.parity = p as u32;
+            di.blocks_count += 1;
+            // Preallocated parity starts as zeros (§6.1: "we preallocate
+            // parity blocks and assign them to files when they are
+            // created").
+            let r = self
+                .dev
+                .write_tagged(BlockAddr(p), &Block::zeroed(), BlockType::Parity.tag());
+            if r.is_err() && self.opts.iron.fix_bugs {
+                self.env.klog.error("ixt3", "parity preallocation write failed");
+                self.abort_journal("parity write failure");
+                return Err(Errno::EIO.into());
+            }
+            self.cache.insert(BlockAddr(p), Block::zeroed());
+        }
+        self.iput(ino, &di)?;
+        Ok(ino)
+    }
+}
+
+impl<D: BlockDevice + RawAccess> SpecificFs for Ext3Fs<D> {
+    fn env(&self) -> &FsEnv {
+        self.env_ref()
+    }
+
+    fn root_ino(&self) -> u64 {
+        ROOT_INO
+    }
+
+    fn lookup(&mut self, dir: Ino, name: &str) -> VfsResult<Ino> {
+        self.env.check_alive()?;
+        let di = self.iget(dir)?;
+        if di.file_type() != Some(FileType::Directory) {
+            return Err(Errno::ENOTDIR.into());
+        }
+        match self.dir_find(&di, name)? {
+            Some(e) => Ok(e.ino as u64),
+            None => Err(Errno::ENOENT.into()),
+        }
+    }
+
+    fn getattr(&mut self, ino: Ino) -> VfsResult<InodeAttr> {
+        self.env.check_alive()?;
+        Ok(self.iget(ino)?.attr(ino))
+    }
+
+    fn chmod(&mut self, ino: Ino, mode: u32) -> VfsResult<()> {
+        self.env.check_writable()?;
+        let mut di = self.iget(ino)?;
+        di.mode = (di.mode & 0xF000) | (mode & 0o7777);
+        self.iput(ino, &di)?;
+        self.maybe_commit()
+    }
+
+    fn chown(&mut self, ino: Ino, uid: u32, gid: u32) -> VfsResult<()> {
+        self.env.check_writable()?;
+        let mut di = self.iget(ino)?;
+        di.uid = uid;
+        di.gid = gid;
+        self.iput(ino, &di)?;
+        self.maybe_commit()
+    }
+
+    fn utimes(&mut self, ino: Ino, mtime: u64) -> VfsResult<()> {
+        self.env.check_writable()?;
+        let mut di = self.iget(ino)?;
+        di.mtime = mtime;
+        self.iput(ino, &di)?;
+        self.maybe_commit()
+    }
+
+    fn create(&mut self, dir: Ino, name: &str, mode: u32) -> VfsResult<Ino> {
+        self.env.check_writable()?;
+        let mut dd = self.iget(dir)?;
+        if dd.file_type() != Some(FileType::Directory) {
+            return Err(Errno::ENOTDIR.into());
+        }
+        if self.dir_find(&dd, name)?.is_some() {
+            return Err(Errno::EEXIST.into());
+        }
+        let ino = self.new_inode(FileType::Regular, mode)?;
+        let mut entries = self.dir_entries_all(&dd)?;
+        entries.push(RawDirEntry::new(ino as u32, FileType::Regular, name));
+        self.dir_write_entries(dir, &mut dd, &entries)?;
+        self.maybe_commit()?;
+        Ok(ino)
+    }
+
+    fn mkdir(&mut self, dir: Ino, name: &str, mode: u32) -> VfsResult<Ino> {
+        self.env.check_writable()?;
+        let mut dd = self.iget(dir)?;
+        if dd.file_type() != Some(FileType::Directory) {
+            return Err(Errno::ENOTDIR.into());
+        }
+        if self.dir_find(&dd, name)?.is_some() {
+            return Err(Errno::EEXIST.into());
+        }
+        let ino = self.new_inode(FileType::Directory, mode)?;
+        let mut child = self.raw_iget(ino)?;
+        let child_entries = vec![
+            RawDirEntry::new(ino as u32, FileType::Directory, "."),
+            RawDirEntry::new(dir as u32, FileType::Directory, ".."),
+        ];
+        self.dir_write_entries(ino, &mut child, &child_entries)?;
+        let mut entries = self.dir_entries_all(&dd)?;
+        entries.push(RawDirEntry::new(ino as u32, FileType::Directory, name));
+        dd.links_count += 1; // child's ".." link
+        self.dir_write_entries(dir, &mut dd, &entries)?;
+        self.maybe_commit()?;
+        Ok(ino)
+    }
+
+    fn unlink(&mut self, dir: Ino, name: &str) -> VfsResult<()> {
+        self.env.check_writable()?;
+        let mut dd = self.iget(dir)?;
+        let Some(entry) = self.dir_find(&dd, name)? else {
+            return Err(Errno::ENOENT.into());
+        };
+        let ino = entry.ino as u64;
+        let mut di = self.iget(ino)?;
+        if di.file_type() == Some(FileType::Directory) {
+            return Err(Errno::EISDIR.into());
+        }
+        // PAPER-BUG: ext3's unlink "does not check the linkscount field
+        // before modifying it and therefore a corrupted value can lead to a
+        // system crash."
+        if di.links_count == 0 {
+            if self.opts.iron.fix_bugs {
+                self.env
+                    .klog
+                    .error("ext3", format!("inode {ino} has zero link count"));
+                return Err(Errno::EUCLEAN.into());
+            }
+            return Err(self.env.panic(
+                "ext3",
+                format!("kernel BUG: inode {ino} links_count underflow in unlink"),
+            ));
+        }
+        let mut entries = self.dir_entries_all(&dd)?;
+        entries.retain(|e| e.name != name);
+        self.dir_write_entries(dir, &mut dd, &entries)?;
+        di.links_count -= 1;
+        if di.links_count == 0 {
+            self.free_file_blocks(&mut di)?;
+            if di.parity != 0 {
+                self.free_block(di.parity as u64)?;
+                self.parity_dirty.remove(&ino);
+            }
+            self.free_inode(ino)?;
+        } else {
+            self.iput(ino, &di)?;
+        }
+        self.maybe_commit()
+    }
+
+    fn rmdir(&mut self, dir: Ino, name: &str) -> VfsResult<()> {
+        self.env.check_writable()?;
+        // PAPER-BUG: rmdir "fails silently" — internal I/O errors are not
+        // propagated to the caller.
+        let inner = (|| -> VfsResult<()> {
+            let mut dd = self.iget(dir)?;
+            let Some(entry) = self.dir_find(&dd, name)? else {
+                return Err(Errno::ENOENT.into());
+            };
+            let ino = entry.ino as u64;
+            let mut di = self.iget(ino)?;
+            if di.file_type() != Some(FileType::Directory) {
+                return Err(Errno::ENOTDIR.into());
+            }
+            let child_entries = self.dir_entries_all(&di)?;
+            if child_entries.iter().any(|e| e.name != "." && e.name != "..") {
+                return Err(Errno::ENOTEMPTY.into());
+            }
+            let mut entries = self.dir_entries_all(&dd)?;
+            entries.retain(|e| e.name != name);
+            dd.links_count = dd.links_count.saturating_sub(1);
+            self.dir_write_entries(dir, &mut dd, &entries)?;
+            self.free_file_blocks(&mut di)?;
+            self.free_inode(ino)?;
+            self.maybe_commit()
+        })();
+        match inner {
+            Err(iron_vfs::VfsError::Errno(Errno::EIO)) if !self.opts.iron.fix_bugs => {
+                // Swallowed: the user sees success while the directory
+                // remains (the paper's silent rmdir failure).
+                Ok(())
+            }
+            other => other,
+        }
+    }
+
+    fn link(&mut self, ino: Ino, dir: Ino, name: &str) -> VfsResult<()> {
+        self.env.check_writable()?;
+        let mut dd = self.iget(dir)?;
+        if self.dir_find(&dd, name)?.is_some() {
+            return Err(Errno::EEXIST.into());
+        }
+        let mut di = self.iget(ino)?;
+        di.links_count += 1;
+        self.iput(ino, &di)?;
+        let mut entries = self.dir_entries_all(&dd)?;
+        entries.push(RawDirEntry::new(
+            ino as u32,
+            di.file_type().unwrap_or(FileType::Regular),
+            name,
+        ));
+        self.dir_write_entries(dir, &mut dd, &entries)?;
+        self.maybe_commit()
+    }
+
+    fn symlink(&mut self, dir: Ino, name: &str, target: &str) -> VfsResult<Ino> {
+        self.env.check_writable()?;
+        let mut dd = self.iget(dir)?;
+        if self.dir_find(&dd, name)?.is_some() {
+            return Err(Errno::EEXIST.into());
+        }
+        if target.len() > BLOCK_SIZE {
+            return Err(Errno::ENAMETOOLONG.into());
+        }
+        let ino = self.new_inode(FileType::Symlink, 0o777)?;
+        let mut di = self.raw_iget(ino)?;
+        let baddr = self.alloc_block(self.group_hint(ino))?;
+        self.set_file_block(&mut di, 0, baddr, self.group_hint(ino))?;
+        di.blocks_count += 1;
+        di.size = target.len() as u64;
+        self.write_data_block(baddr, &Block::from_bytes(target.as_bytes()))?;
+        self.iput(ino, &di)?;
+        let mut entries = self.dir_entries_all(&dd)?;
+        entries.push(RawDirEntry::new(ino as u32, FileType::Symlink, name));
+        self.dir_write_entries(dir, &mut dd, &entries)?;
+        self.maybe_commit()?;
+        Ok(ino)
+    }
+
+    fn readlink(&mut self, ino: Ino) -> VfsResult<String> {
+        self.env.check_alive()?;
+        let di = self.iget(ino)?;
+        if di.file_type() != Some(FileType::Symlink) {
+            return Err(Errno::EINVAL.into());
+        }
+        let addr = self.get_file_block(&di, 0)?;
+        if addr == 0 {
+            return Ok(String::new());
+        }
+        let b = self.read_data_block(Some((ino, di)), addr)?;
+        Ok(String::from_utf8_lossy(b.get_bytes(0, di.size as usize)).into_owned())
+    }
+
+    fn rename(
+        &mut self,
+        src_dir: Ino,
+        src_name: &str,
+        dst_dir: Ino,
+        dst_name: &str,
+    ) -> VfsResult<()> {
+        self.env.check_writable()?;
+        let sd = self.iget(src_dir)?;
+        let Some(entry) = self.dir_find(&sd, src_name)? else {
+            return Err(Errno::ENOENT.into());
+        };
+        let moved_ino = entry.ino as u64;
+        let moved_is_dir = ftype_from_code(entry.ftype) == FileType::Directory;
+
+        // Replace an existing destination file.
+        let dd = self.iget(dst_dir)?;
+        if let Some(existing) = self.dir_find(&dd, dst_name)? {
+            if existing.ino as u64 != moved_ino {
+                if ftype_from_code(existing.ftype) == FileType::Directory {
+                    return Err(Errno::EISDIR.into());
+                }
+                self.unlink(dst_dir, dst_name)?;
+            } else {
+                return Ok(()); // same object
+            }
+        }
+
+        // Remove from source.
+        let mut sd = self.iget(src_dir)?;
+        let mut src_entries = self.dir_entries_all(&sd)?;
+        src_entries.retain(|e| e.name != src_name);
+        if moved_is_dir && src_dir != dst_dir {
+            sd.links_count = sd.links_count.saturating_sub(1);
+        }
+        self.dir_write_entries(src_dir, &mut sd, &src_entries)?;
+
+        // Add to destination.
+        let mut dd = self.iget(dst_dir)?;
+        let mut dst_entries = self.dir_entries_all(&dd)?;
+        dst_entries.push(RawDirEntry {
+            ino: moved_ino as u32,
+            ftype: entry.ftype,
+            name: dst_name.to_string(),
+        });
+        if moved_is_dir && src_dir != dst_dir {
+            dd.links_count += 1;
+        }
+        self.dir_write_entries(dst_dir, &mut dd, &dst_entries)?;
+
+        // Fix the moved directory's "..".
+        if moved_is_dir && src_dir != dst_dir {
+            let mut md = self.iget(moved_ino)?;
+            let mut mentries = self.dir_entries_all(&md)?;
+            for e in &mut mentries {
+                if e.name == ".." {
+                    e.ino = dst_dir as u32;
+                }
+            }
+            self.dir_write_entries(moved_ino, &mut md, &mentries)?;
+        }
+        self.maybe_commit()
+    }
+
+    fn read(&mut self, ino: Ino, off: u64, len: usize) -> VfsResult<Vec<u8>> {
+        self.env.check_alive()?;
+        let di = self.iget(ino)?;
+        if di.file_type() == Some(FileType::Directory) {
+            return Err(Errno::EISDIR.into());
+        }
+        if off >= di.size {
+            return Ok(Vec::new());
+        }
+        let end = (off + len as u64).min(di.size);
+        let mut out = Vec::with_capacity((end - off) as usize);
+        let bs = BLOCK_SIZE as u64;
+        let mut pos = off;
+        while pos < end {
+            let idx = pos / bs;
+            let within = (pos % bs) as usize;
+            let take = ((end - pos) as usize).min(BLOCK_SIZE - within);
+            let addr = self.get_file_block(&di, idx)?;
+            if addr == 0 {
+                out.extend(std::iter::repeat(0u8).take(take));
+            } else {
+                let b = self.read_data_block(Some((ino, di)), addr)?;
+                out.extend_from_slice(b.get_bytes(within, take));
+            }
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    fn write(&mut self, ino: Ino, off: u64, data: &[u8]) -> VfsResult<usize> {
+        self.env.check_writable()?;
+        let mut di = self.iget(ino)?;
+        if di.file_type() == Some(FileType::Directory) {
+            return Err(Errno::EISDIR.into());
+        }
+        let hint = self.group_hint(ino);
+        let bs = BLOCK_SIZE as u64;
+        let mut pos = off;
+        let end = off + data.len() as u64;
+        if end > DiskInode::max_file_size() {
+            return Err(Errno::EFBIG.into());
+        }
+        let mut src = 0usize;
+        while pos < end {
+            let idx = pos / bs;
+            let within = (pos % bs) as usize;
+            let take = ((end - pos) as usize).min(BLOCK_SIZE - within);
+            let mut addr = self.get_file_block(&di, idx)?;
+            let old = if addr == 0 {
+                Block::zeroed()
+            } else if within == 0 && take == BLOCK_SIZE && !self.opts.iron.data_parity {
+                // Full-block overwrite without parity: old contents unneeded.
+                Block::zeroed()
+            } else {
+                self.read_data_block(Some((ino, di)), addr)?
+            };
+            if addr == 0 {
+                addr = self.alloc_block(hint)?;
+                di.blocks_count += 1;
+                self.set_file_block(&mut di, idx, addr, hint)?;
+            }
+            let mut new = old.clone();
+            new.put_bytes(within, &data[src..src + take]);
+            if self.opts.iron.data_parity && di.parity != 0 {
+                self.parity_update(ino, di.parity as u64, &old, &new);
+            }
+            // `Rm` extension: a failed data write is remapped to a fresh
+            // block instead of aborting (RRemap, Table 2). The raw write is
+            // probed first so the stock error-swallowing path is bypassed.
+            if self.opts.iron.remap_writes {
+                let probe = self
+                    .dev
+                    .write_tagged(BlockAddr(addr), &new, BlockType::Data.tag());
+                if probe.is_err() {
+                    let fresh = self.alloc_block(hint)?;
+                    self.env.klog.warn(
+                        "ixt3",
+                        format!("data write to block {addr} failed; remapped to {fresh}"),
+                    );
+                    self.write_data_block(fresh, &new)?;
+                    self.free_block(addr)?;
+                    self.set_file_block(&mut di, idx, fresh, hint)?;
+                } else {
+                    self.note_cksum(addr, &new, false);
+                    self.cache.insert(BlockAddr(addr), new.clone());
+                }
+            } else {
+                self.write_data_block(addr, &new)?;
+            }
+            pos += take as u64;
+            src += take;
+        }
+        if end > di.size {
+            di.size = end;
+        }
+        self.iput(ino, &di)?;
+        self.maybe_commit()?;
+        Ok(data.len())
+    }
+
+    fn truncate(&mut self, ino: Ino, size: u64) -> VfsResult<()> {
+        self.env.check_writable()?;
+        // PAPER-BUG: like rmdir, ext3's truncate swallows internal I/O
+        // errors ("truncate and rmdir fail silently").
+        let inner = (|| -> VfsResult<()> {
+            let mut di = self.iget(ino)?;
+            if di.file_type() == Some(FileType::Directory) {
+                return Err(Errno::EISDIR.into());
+            }
+            if size >= di.size {
+                // Extension: becomes a hole; reads return zeros.
+                di.size = size;
+                self.iput(ino, &di)?;
+                return self.maybe_commit();
+            }
+            let bs = BLOCK_SIZE as u64;
+            let keep_blocks = size.div_ceil(bs);
+            let old_blocks = di.size.div_ceil(bs);
+            let hint = self.group_hint(ino);
+            for idx in keep_blocks..old_blocks {
+                let addr = self.get_file_block(&di, idx)?;
+                if addr != 0 {
+                    if self.opts.iron.data_parity && di.parity != 0 {
+                        let old = self.read_data_block(Some((ino, di)), addr)?;
+                        self.parity_update(ino, di.parity as u64, &old, &Block::zeroed());
+                    }
+                    self.free_block(addr)?;
+                    di.blocks_count = di.blocks_count.saturating_sub(1);
+                    self.set_file_block(&mut di, idx, 0, hint)?;
+                }
+            }
+            // Zero the tail of a partial final block.
+            if size % bs != 0 {
+                let idx = size / bs;
+                let addr = self.get_file_block(&di, idx)?;
+                if addr != 0 {
+                    let mut b = self.read_data_block(Some((ino, di)), addr)?;
+                    let keep = (size % bs) as usize;
+                    let old = b.clone();
+                    for byte in &mut b[keep..] {
+                        *byte = 0;
+                    }
+                    if self.opts.iron.data_parity && di.parity != 0 {
+                        self.parity_update(ino, di.parity as u64, &old, &b);
+                    }
+                    self.write_data_block(addr, &b)?;
+                }
+            }
+            di.size = size;
+            self.iput(ino, &di)?;
+            self.maybe_commit()
+        })();
+        match inner {
+            Err(iron_vfs::VfsError::Errno(Errno::EIO)) if !self.opts.iron.fix_bugs => Ok(()),
+            other => other,
+        }
+    }
+
+    fn readdir(&mut self, dirino: Ino) -> VfsResult<Vec<DirEntry>> {
+        self.env.check_alive()?;
+        let di = self.iget(dirino)?;
+        if di.file_type() != Some(FileType::Directory) {
+            return Err(Errno::ENOTDIR.into());
+        }
+        Ok(self
+            .dir_entries_all(&di)?
+            .into_iter()
+            .map(|e| DirEntry {
+                name: e.name,
+                ino: e.ino as u64,
+                ftype: ftype_from_code(e.ftype),
+            })
+            .collect())
+    }
+
+    fn fsync(&mut self, _ino: Ino) -> VfsResult<()> {
+        self.env.check_alive()?;
+        self.commit()?;
+        self.dev
+            .flush()
+            .map_err(|_| iron_vfs::VfsError::Errno(Errno::EIO))
+    }
+
+    fn sync(&mut self) -> VfsResult<()> {
+        self.env.check_alive()?;
+        self.commit()?;
+        self.dev
+            .flush()
+            .map_err(|_| iron_vfs::VfsError::Errno(Errno::EIO))
+    }
+
+    fn statfs(&mut self) -> VfsResult<StatFs> {
+        self.env.check_alive()?;
+        Ok(StatFs {
+            block_size: BLOCK_SIZE as u32,
+            blocks: self.layout().num_groups * self.layout().data_blocks_per_group(),
+            blocks_free: self.sb.free_blocks,
+            inodes: self.layout().total_inodes(),
+            inodes_free: self.sb.free_inodes,
+        })
+    }
+
+    fn unmount(&mut self) -> VfsResult<()> {
+        self.env.check_alive()?;
+        self.commit()?;
+        self.flush_replicas();
+        self.sb.state = FsState::Clean;
+        let enc = self.sb.encode();
+        let r = self
+            .dev
+            .write_tagged(BlockAddr(0), &enc, BlockType::Super.tag());
+        if r.is_err() && self.opts.iron.fix_bugs {
+            self.env.klog.error("ext3", "superblock write failed at unmount");
+            return Err(Errno::EIO.into());
+        }
+        self.note_cksum(0, &enc, true);
+        self.mirror_meta_write(0, &enc);
+        let _ = self.dev.flush();
+        self.env.set_state(MountState::Unmounted);
+        Ok(())
+    }
+}

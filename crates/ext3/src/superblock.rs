@@ -1,0 +1,154 @@
+//! The ext3 superblock: on-disk format and sanity checks.
+
+use iron_core::Block;
+
+use crate::layout::Ext3Params;
+
+/// ext3 superblock magic (the real one).
+pub const EXT3_MAGIC: u32 = 0xEF53;
+
+/// Mount-state values stored in the superblock.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FsState {
+    /// Cleanly unmounted.
+    Clean,
+    /// Mounted (or crashed while mounted) — journal recovery needed.
+    Dirty,
+}
+
+/// Decoded superblock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Superblock {
+    /// Total device blocks.
+    pub total_blocks: u64,
+    /// Blocks per group.
+    pub blocks_per_group: u64,
+    /// Inodes per group.
+    pub inodes_per_group: u64,
+    /// Journal log-area length.
+    pub journal_blocks: u64,
+    /// Upper-half metadata mirror present.
+    pub mirror_metadata: bool,
+    /// Free data blocks (maintained at commit).
+    pub free_blocks: u64,
+    /// Free inodes.
+    pub free_inodes: u64,
+    /// Clean/dirty state.
+    pub state: FsState,
+    /// Mount count (incremented on each mount; exercises super updates).
+    pub mount_count: u32,
+}
+
+impl Superblock {
+    /// A fresh superblock for `params`.
+    pub fn new(params: Ext3Params, free_blocks: u64, free_inodes: u64) -> Self {
+        Superblock {
+            total_blocks: params.total_blocks,
+            blocks_per_group: params.blocks_per_group,
+            inodes_per_group: params.inodes_per_group,
+            journal_blocks: params.journal_blocks,
+            mirror_metadata: params.mirror_metadata,
+            free_blocks,
+            free_inodes,
+            state: FsState::Clean,
+            mount_count: 0,
+        }
+    }
+
+    /// The formatting parameters recorded in this superblock.
+    pub fn params(&self) -> Ext3Params {
+        Ext3Params {
+            total_blocks: self.total_blocks,
+            blocks_per_group: self.blocks_per_group,
+            inodes_per_group: self.inodes_per_group,
+            journal_blocks: self.journal_blocks,
+            mirror_metadata: self.mirror_metadata,
+        }
+    }
+
+    /// Serialize into a block.
+    pub fn encode(&self) -> Block {
+        let mut b = Block::zeroed();
+        b.put_u32(0, EXT3_MAGIC);
+        b.put_u64(8, self.total_blocks);
+        b.put_u64(16, self.blocks_per_group);
+        b.put_u64(24, self.inodes_per_group);
+        b.put_u64(32, self.journal_blocks);
+        b.put_u32(40, u32::from(self.mirror_metadata));
+        b.put_u64(48, self.free_blocks);
+        b.put_u64(56, self.free_inodes);
+        b.put_u32(
+            64,
+            match self.state {
+                FsState::Clean => 1,
+                FsState::Dirty => 2,
+            },
+        );
+        b.put_u32(68, self.mount_count);
+        b
+    }
+
+    /// Decode, performing ext3's mount-time sanity check: the magic number.
+    /// Returns `None` if the magic is wrong (ext3 refuses to mount).
+    pub fn decode(b: &Block) -> Option<Superblock> {
+        if b.get_u32(0) != EXT3_MAGIC {
+            return None;
+        }
+        let state = match b.get_u32(64) {
+            1 => FsState::Clean,
+            _ => FsState::Dirty,
+        };
+        Some(Superblock {
+            total_blocks: b.get_u64(8),
+            blocks_per_group: b.get_u64(16),
+            inodes_per_group: b.get_u64(24),
+            journal_blocks: b.get_u64(32),
+            mirror_metadata: b.get_u32(40) != 0,
+            free_blocks: b.get_u64(48),
+            free_inodes: b.get_u64(56),
+            state,
+            mount_count: b.get_u32(68),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Superblock {
+        let mut s = Superblock::new(Ext3Params::small(), 3000, 1500);
+        s.state = FsState::Dirty;
+        s.mount_count = 7;
+        s
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = sample();
+        assert_eq!(Superblock::decode(&s.encode()), Some(s));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut b = sample().encode();
+        b.put_u32(0, 0xDEAD);
+        assert_eq!(Superblock::decode(&b), None);
+    }
+
+    #[test]
+    fn zeroed_block_rejected() {
+        assert_eq!(Superblock::decode(&Block::zeroed()), None);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let p = Ext3Params::small();
+        let s = Superblock::new(p, 0, 0);
+        let q = s.params();
+        assert_eq!(q.total_blocks, p.total_blocks);
+        assert_eq!(q.blocks_per_group, p.blocks_per_group);
+        assert_eq!(q.inodes_per_group, p.inodes_per_group);
+        assert_eq!(q.journal_blocks, p.journal_blocks);
+    }
+}

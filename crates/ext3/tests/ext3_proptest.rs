@@ -1,0 +1,189 @@
+//! Property-based differential testing: arbitrary operation sequences are
+//! applied both to the ext3 model and to the in-memory reference
+//! (`RamFs`); every observable result must agree, and the ext3 image must
+//! pass `fsck` afterwards — on a healthy disk *and* across a
+//! crash-and-recover cycle.
+
+use iron_blockdev::MemDisk;
+use iron_core::Errno;
+use iron_ext3::{fsck, Ext3Fs, Ext3Options, Ext3Params, IronConfig};
+use iron_vfs::{ramfs::RamFs, FsEnv, SpecificFs, Vfs, VfsError};
+use proptest::prelude::*;
+
+/// A file-system operation over a small namespace.
+#[derive(Clone, Debug)]
+enum Op {
+    Create(u8),
+    Mkdir(u8),
+    Write(u8, u16, Vec<u8>),
+    Truncate(u8, u16),
+    Read(u8),
+    Unlink(u8),
+    Rmdir(u8),
+    Rename(u8, u8),
+    Link(u8, u8),
+    Symlink(u8, u8),
+    Stat(u8),
+    Readdir(u8),
+    Sync,
+}
+
+fn path(n: u8) -> String {
+    // A small namespace mixing root-level and nested names.
+    match n % 12 {
+        0 => "/a".into(),
+        1 => "/b".into(),
+        2 => "/c".into(),
+        3 => "/dir".into(),
+        4 => "/dir/x".into(),
+        5 => "/dir/y".into(),
+        6 => "/dir/sub".into(),
+        7 => "/dir/sub/z".into(),
+        8 => "/f1".into(),
+        9 => "/f2".into(),
+        10 => "/dir/f3".into(),
+        _ => "/dir/sub/f4".into(),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Create),
+        any::<u8>().prop_map(Op::Mkdir),
+        (any::<u8>(), any::<u16>(), prop::collection::vec(any::<u8>(), 0..2048))
+            .prop_map(|(p, o, d)| Op::Write(p, o % 8192, d)),
+        (any::<u8>(), any::<u16>()).prop_map(|(p, s)| Op::Truncate(p, s % 8192)),
+        any::<u8>().prop_map(Op::Read),
+        any::<u8>().prop_map(Op::Unlink),
+        any::<u8>().prop_map(Op::Rmdir),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Link(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Symlink(a, b)),
+        any::<u8>().prop_map(Op::Stat),
+        any::<u8>().prop_map(Op::Readdir),
+        Just(Op::Sync),
+    ]
+}
+
+/// Normalize errors for comparison: both sides must agree on success, and
+/// on the errno when both fail.
+fn norm(r: Result<(), VfsError>) -> Result<(), Option<Errno>> {
+    r.map_err(|e| e.errno())
+}
+
+fn apply<F: SpecificFs>(v: &mut Vfs<F>, op: &Op) -> Result<Vec<u8>, VfsError> {
+    match op {
+        Op::Create(p) => v.creat(&path(*p)).and_then(|fd| v.close(fd)).map(|_| vec![]),
+        Op::Mkdir(p) => v.mkdir(&path(*p), 0o755).map(|_| vec![]),
+        Op::Write(p, off, data) => {
+            let fd = v.open(&path(*p), iron_vfs::OpenFlags::rdwr())?;
+            let r = v.pwrite(fd, *off as u64, data);
+            v.close(fd)?;
+            r.map(|n| n.to_le_bytes().to_vec())
+        }
+        Op::Truncate(p, s) => v.truncate(&path(*p), *s as u64).map(|_| vec![]),
+        Op::Read(p) => v.read_file(&path(*p)),
+        Op::Unlink(p) => v.unlink(&path(*p)).map(|_| vec![]),
+        Op::Rmdir(p) => v.rmdir(&path(*p)).map(|_| vec![]),
+        Op::Rename(a, b) => v.rename(&path(*a), &path(*b)).map(|_| vec![]),
+        Op::Link(a, b) => v.link(&path(*a), &path(*b)).map(|_| vec![]),
+        Op::Symlink(a, b) => v.symlink(&path(*a), &path(*b)).map(|_| vec![]),
+        Op::Stat(p) => v.stat(&path(*p)).map(|a| {
+            // Directory sizes are representation-specific (ext3 counts
+            // blocks, the reference counts nothing): compare 0 for dirs.
+            let size = if a.ftype == iron_vfs::FileType::Directory {
+                0
+            } else {
+                a.size
+            };
+            let mut out = size.to_le_bytes().to_vec();
+            out.push(a.nlink as u8);
+            out.push(match a.ftype {
+                iron_vfs::FileType::Regular => 0,
+                iron_vfs::FileType::Directory => 1,
+                iron_vfs::FileType::Symlink => 2,
+            });
+            out
+        }),
+        Op::Readdir(p) => v.readdir(&path(*p)).map(|es| {
+            let mut names: Vec<String> = es.into_iter().map(|e| e.name).collect();
+            names.sort();
+            names.join(",").into_bytes()
+        }),
+        Op::Sync => v.sync().map(|_| vec![]),
+    }
+}
+
+fn run_differential(ops: &[Op], iron: IronConfig, crash_and_recover: bool) {
+    let params = Ext3Params {
+        mirror_metadata: iron.meta_replication,
+        ..Ext3Params::small()
+    };
+    let dev = MemDisk::for_tests(4096);
+    let opts = Ext3Options::with_iron(iron);
+    let fs = Ext3Fs::format_and_mount(dev, FsEnv::new(), params, opts.clone()).unwrap();
+    let mut ext3 = Vfs::new(fs);
+    let mut ram = Vfs::new(RamFs::new());
+
+    for op in ops {
+        let a = apply(&mut ext3, op);
+        let b = apply(&mut ram, op);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => assert_eq!(x, y, "divergent success on {op:?}"),
+            (Err(x), Err(y)) => assert_eq!(
+                x.errno(),
+                y.errno(),
+                "divergent errno on {op:?}: ext3={x:?} ram={y:?}"
+            ),
+            _ => panic!("divergence on {op:?}: ext3={a:?} ram={b:?}"),
+        }
+        let _ = norm(Ok(()));
+    }
+
+    ext3.sync().unwrap();
+    let mut fs = ext3.into_fs();
+    let layout = *fs.layout();
+
+    if crash_and_recover {
+        // Crash (drop in-memory state), recover, and re-verify every file.
+        let dev = fs.into_device();
+        let fs2 = Ext3Fs::mount(dev, FsEnv::new(), opts).expect("recovery mount");
+        let mut ext3 = Vfs::new(fs2);
+        for n in 0..12u8 {
+            let p = path(n);
+            let a = ext3.read_file(&p);
+            let b = ram.read_file(&p);
+            match (&a, &b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y, "post-recovery divergence at {p}"),
+                (Err(x), Err(y)) => assert_eq!(x.errno(), y.errno(), "post-recovery errno at {p}"),
+                _ => panic!("post-recovery divergence at {p}: {a:?} vs {b:?}"),
+            }
+        }
+        fs = ext3.into_fs();
+    }
+
+    let dev = fs.into_device();
+    let report = fsck::check(&dev, &layout);
+    assert!(report.is_clean(), "fsck issues: {:?}", report.issues);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn ext3_matches_reference(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        run_differential(&ops, IronConfig::off(), false);
+    }
+
+    #[test]
+    fn full_ixt3_matches_reference(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        run_differential(&ops, IronConfig::full(), false);
+    }
+
+    #[test]
+    fn ext3_consistent_after_crash_recovery(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        run_differential(&ops, IronConfig::off(), true);
+    }
+}

@@ -1,0 +1,338 @@
+//! Robustness tests of the IRON mechanisms (§6.2): checksums detect
+//! corruption, replicas and parity recover lost blocks, transactional
+//! checksums protect journal replay.
+
+use iron_blockdev::{MemDisk, RawAccess};
+use iron_core::model::CorruptionStyle;
+use iron_core::{Block, BlockAddr, BlockTag, Errno, FaultKind};
+use iron_ext3::{Ext3Fs, Ext3Options, Ext3Params, IronConfig};
+use iron_faultinject::{FaultController, FaultSpec, FaultTarget, FaultyDisk};
+use iron_vfs::{FsEnv, MountState, Vfs};
+
+type Fs = Ext3Fs<FaultyDisk<MemDisk>>;
+
+fn mount_iron(iron: IronConfig) -> (Vfs<Fs>, FaultController, FsEnv) {
+    let params = Ext3Params {
+        mirror_metadata: iron.meta_replication,
+        ..Ext3Params::small()
+    };
+    let mut md = MemDisk::for_tests(4096);
+    Ext3Fs::<MemDisk>::mkfs(&mut md, params).expect("mkfs");
+    let faulty = FaultyDisk::new(md);
+    let ctl = faulty.controller();
+    let env = FsEnv::new();
+    let fs = Ext3Fs::mount(faulty, env.clone(), Ext3Options::with_iron(iron)).expect("mount");
+    (Vfs::new(fs), ctl, env)
+}
+
+fn remount(v: Vfs<Fs>, iron: IronConfig) -> (Vfs<Fs>, FsEnv) {
+    let mut v = v;
+    v.umount().expect("umount");
+    let dev = v.into_fs().into_device();
+    let env = FsEnv::new();
+    let fs = Ext3Fs::mount(dev, env.clone(), Ext3Options::with_iron(iron)).expect("remount");
+    (Vfs::new(fs), env)
+}
+
+#[test]
+fn meta_checksum_detects_silent_corruption() {
+    let iron = IronConfig {
+        meta_checksum: true,
+        fix_bugs: true,
+        ..IronConfig::off()
+    };
+    let (mut v, ctl, _env) = mount_iron(iron);
+    v.write_file("/f", b"guarded").unwrap();
+    v.sync().unwrap();
+    let (v2, env) = remount(v, iron);
+    let mut v = v2;
+    // Silently corrupt the next inode-table read with a *plausible* block —
+    // a misdirected write of another valid-looking block. Plain sanity
+    // checks cannot catch this (§5.6); checksums do.
+    ctl.inject(FaultSpec::sticky(
+        FaultKind::Corruption(CorruptionStyle::BitFlip { offset: 40, len: 4 }),
+        FaultTarget::Tag(BlockTag("inode")),
+    ));
+    let err = v.stat("/f").unwrap_err();
+    assert_eq!(err.errno(), Some(Errno::EIO), "DRedundancy detected, no replica");
+    assert!(env.klog.contains("checksum mismatch"));
+}
+
+#[test]
+fn meta_replication_recovers_read_failure() {
+    let iron = IronConfig {
+        meta_replication: true,
+        fix_bugs: true,
+        ..IronConfig::off()
+    };
+    let (mut v, ctl, _env) = mount_iron(iron);
+    v.mkdir("/d", 0o755).unwrap();
+    v.write_file("/d/f", b"replicated").unwrap();
+    v.sync().unwrap();
+    let (mut v, env) = remount(v, iron);
+    // Every inode read fails at the primary location.
+    ctl.inject(FaultSpec::sticky(
+        FaultKind::ReadError,
+        FaultTarget::Tag(BlockTag("inode")),
+    ));
+    assert_eq!(
+        v.read_file("/d/f").unwrap(),
+        b"replicated",
+        "RRedundancy: replica served the read"
+    );
+    assert!(env.klog.contains("recovered from replica"));
+    assert_eq!(env.state(), MountState::ReadWrite, "no RStop needed");
+}
+
+#[test]
+fn meta_checksum_plus_replication_recovers_corruption() {
+    let iron = IronConfig {
+        meta_checksum: true,
+        meta_replication: true,
+        fix_bugs: true,
+        ..IronConfig::off()
+    };
+    let (mut v, ctl, _env) = mount_iron(iron);
+    v.mkdir("/d", 0o755).unwrap();
+    v.write_file("/d/f", b"healed").unwrap();
+    v.sync().unwrap();
+    let (mut v, env) = remount(v, iron);
+    // Corrupt primary dir reads silently; checksum detects, replica heals.
+    ctl.inject(FaultSpec::sticky(
+        FaultKind::Corruption(CorruptionStyle::RandomNoise),
+        FaultTarget::Tag(BlockTag("dir")),
+    ));
+    assert_eq!(v.read_file("/d/f").unwrap(), b"healed");
+    assert!(env.klog.contains("checksum mismatch"));
+    assert!(env.klog.contains("recovered from replica"));
+}
+
+#[test]
+fn data_checksum_detects_data_corruption() {
+    let iron = IronConfig {
+        data_checksum: true,
+        fix_bugs: true,
+        ..IronConfig::off()
+    };
+    let (mut v, ctl, _env) = mount_iron(iron);
+    v.write_file("/f", &vec![0x42; 8192]).unwrap();
+    v.sync().unwrap();
+    let (mut v, env) = remount(v, iron);
+    ctl.inject(FaultSpec::sticky(
+        FaultKind::Corruption(CorruptionStyle::BitFlip {
+            offset: 1000,
+            len: 1,
+        }),
+        FaultTarget::Tag(BlockTag("data")),
+    ));
+    // Without Dp there is nothing to recover from: error propagates. The
+    // crucial part is that the corruption did NOT reach the application.
+    let err = v.read_file("/f").unwrap_err();
+    assert_eq!(err.errno(), Some(Errno::EIO));
+    assert!(env.klog.contains("checksum mismatch on data block"));
+}
+
+#[test]
+fn parity_reconstructs_lost_data_block() {
+    let iron = IronConfig {
+        data_parity: true,
+        fix_bugs: true,
+        ..IronConfig::off()
+    };
+    let (mut v, ctl, _env) = mount_iron(iron);
+    let data: Vec<u8> = (0..20_000u32).map(|i| (i * 7 % 256) as u8).collect();
+    v.write_file("/f", &data).unwrap();
+    v.sync().unwrap();
+    let failed = v.fs_mut().blocks_of(3).unwrap()[2];
+    let (mut v, env) = remount(v, iron);
+    ctl.inject(FaultSpec::sticky(
+        FaultKind::ReadError,
+        FaultTarget::Addr(BlockAddr(failed)),
+    ));
+    assert_eq!(v.read_file("/f").unwrap(), data, "RRedundancy via parity");
+    assert!(env.klog.contains("reconstructed from parity"));
+}
+
+#[test]
+fn checksum_plus_parity_heals_data_corruption() {
+    let iron = IronConfig {
+        data_checksum: true,
+        data_parity: true,
+        fix_bugs: true,
+        ..IronConfig::off()
+    };
+    let (mut v, ctl, _env) = mount_iron(iron);
+    let data: Vec<u8> = (0..30_000u32).map(|i| (i % 253) as u8).collect();
+    v.write_file("/f", &data).unwrap();
+    v.sync().unwrap();
+    let victim = v.fs_mut().blocks_of(3).unwrap()[4];
+    let (mut v, env) = remount(v, iron);
+    ctl.inject(FaultSpec::sticky(
+        FaultKind::Corruption(CorruptionStyle::Zeroed),
+        FaultTarget::Addr(BlockAddr(victim)),
+    ));
+    assert_eq!(v.read_file("/f").unwrap(), data);
+    assert!(env.klog.contains("checksum mismatch on data block"));
+    assert!(env.klog.contains("reconstructed from parity"));
+}
+
+#[test]
+fn parity_tracks_overwrites_and_truncates() {
+    let iron = IronConfig {
+        data_parity: true,
+        fix_bugs: true,
+        ..IronConfig::off()
+    };
+    let (mut v, ctl, _env) = mount_iron(iron);
+    v.write_file("/f", &vec![1u8; 12_000]).unwrap();
+    // Overwrite the middle block, truncate to 1.5 blocks, then extend.
+    let fd = v.open("/f", iron_vfs::OpenFlags::rdwr()).unwrap();
+    v.pwrite(fd, 4096, &vec![9u8; 4096]).unwrap();
+    v.close(fd).unwrap();
+    v.truncate("/f", 6000).unwrap();
+    v.sync().unwrap();
+    let expected = {
+        let mut e = vec![1u8; 6000];
+        e[4096..6000].copy_from_slice(&vec![9u8; 6000 - 4096]);
+        e
+    };
+    assert_eq!(v.read_file("/f").unwrap(), expected);
+    // Lose block 0; parity must still reconstruct the current contents.
+    let victim = v.fs_mut().blocks_of(3).unwrap()[0];
+    let (mut v, _env) = remount(v, iron);
+    ctl.inject(FaultSpec::sticky(
+        FaultKind::ReadError,
+        FaultTarget::Addr(BlockAddr(victim)),
+    ));
+    assert_eq!(v.read_file("/f").unwrap(), expected);
+}
+
+#[test]
+fn transactional_checksum_rejects_corrupt_journal_replay() {
+    // Crash with a committed-but-not-checkpointed transaction in the log,
+    // then corrupt one journal data block. Stock ext3 replays the garbage;
+    // Tc detects the mismatch and skips the transaction.
+    for (tc, expect_corrupt_applied) in [(false, true), (true, false)] {
+        let iron = IronConfig {
+            txn_checksum: tc,
+            ..IronConfig::off()
+        };
+        let params = Ext3Params::small();
+        let mut md = MemDisk::for_tests(4096);
+        Ext3Fs::<MemDisk>::mkfs(&mut md, params).unwrap();
+        let faulty = FaultyDisk::new(md);
+        let ctl = faulty.controller();
+        let opts = Ext3Options {
+            iron,
+            crash_mode: true,
+            ..Default::default()
+        };
+        let fs = Ext3Fs::mount(faulty, FsEnv::new(), opts).unwrap();
+        let mut v = Vfs::new(fs);
+        v.write_file("/f", b"will be in journal").unwrap();
+        v.sync().unwrap(); // committed to journal; never checkpointed
+
+        // "Crash", then corrupt a journal data block on the medium.
+        let mut dev = v.into_fs().into_device();
+        let layout = iron_ext3::DiskLayout::compute(params);
+        // Find a journal-data block: scan the log for a block that is
+        // neither a descriptor/commit/revoke (those carry magic).
+        let mut jdata = None;
+        for a in layout.journal_start..layout.journal_start + layout.journal_len {
+            let b = dev.peek(BlockAddr(a));
+            if !b.is_zeroed() && iron_ext3::journal::classify_log_block(&b).is_none() {
+                jdata = Some(a);
+                break;
+            }
+        }
+        let jdata = jdata.expect("journal contains data blocks");
+        dev.poke(BlockAddr(jdata), &Block::filled(0xEE));
+
+        let env = FsEnv::new();
+        let fs = Ext3Fs::mount(dev, env.clone(), Ext3Options::with_iron(iron)).unwrap();
+        let applied_garbage = {
+            // Did any home block end up as 0xEE garbage?
+            let dev = fs.into_device();
+            (0..4096u64).any(|a| dev.peek(BlockAddr(a)) == Block::filled(0xEE)
+                && a < layout.journal_start || dev.peek(BlockAddr(a)) == Block::filled(0xEE)
+                && a >= layout.groups_start)
+        };
+        assert_eq!(
+            applied_garbage, expect_corrupt_applied,
+            "tc={tc}: garbage replay mismatch"
+        );
+        if tc {
+            assert!(env.klog.contains("transactional checksum mismatch"));
+        }
+        let _ = ctl;
+    }
+}
+
+#[test]
+fn full_ixt3_survives_over_200_fault_scenarios() {
+    // §6.2: "ixt3 detects and recovers from over 200 possible different
+    // partial-error scenarios that we induced." Sweep (block tag × fault
+    // kind × transience) read-side scenarios against the full config and
+    // count survivals (operation still yields correct data, no crash).
+    let iron = IronConfig::full();
+    let tags = ["inode", "dir", "bitmap", "i-bitmap", "indirect", "data"];
+    let faults = [
+        FaultKind::ReadError,
+        FaultKind::Corruption(CorruptionStyle::RandomNoise),
+        FaultKind::Corruption(CorruptionStyle::Zeroed),
+        FaultKind::Corruption(CorruptionStyle::BitFlip { offset: 7, len: 9 }),
+    ];
+    let mut survived = 0;
+    let mut total = 0;
+    for tag in tags {
+        for fault in faults {
+            for nth in 0..3u32 {
+                total += 1;
+                let (mut v, ctl, env) = mount_iron(iron);
+                // A tree with enough structure to touch every block type.
+                v.mkdir("/d", 0o755).unwrap();
+                let data: Vec<u8> = (0..80_000u32).map(|i| (i % 241) as u8).collect();
+                v.write_file("/d/f", &data).unwrap();
+                v.sync().unwrap();
+                let (mut v, env2) = remount(v, iron);
+                drop(env);
+                ctl.inject(FaultSpec::sticky(
+                    fault,
+                    FaultTarget::TagNth {
+                        tag: BlockTag(tag),
+                        nth,
+                    },
+                ));
+                let ok = matches!(v.read_file("/d/f"), Ok(d) if d == data)
+                    && env2.state() == MountState::ReadWrite;
+                if ok {
+                    survived += 1;
+                }
+            }
+        }
+    }
+    // All read-side single-fault scenarios must be survivable with full
+    // IRON. (The paper's 200+ scenarios span its whole campaign; our
+    // per-scenario count is asserted exactly here, and the full campaign
+    // count is checked in the fingerprint crate.)
+    assert_eq!(survived, total, "survived {survived}/{total}");
+}
+
+#[test]
+fn fsck_clean_with_all_iron_features() {
+    let iron = IronConfig::full();
+    let (mut v, _ctl, _env) = mount_iron(iron);
+    v.mkdir("/a", 0o755).unwrap();
+    for i in 0..20 {
+        v.write_file(&format!("/a/f{i}"), &vec![i as u8; 9_000]).unwrap();
+    }
+    for i in (0..20).step_by(3) {
+        v.unlink(&format!("/a/f{i}")).unwrap();
+    }
+    v.sync().unwrap();
+    let fs = v.into_fs();
+    let layout = *fs.layout();
+    let dev = fs.into_device();
+    let report = iron_ext3::fsck::check(&dev, &layout);
+    assert!(report.is_clean(), "fsck: {:?}", report.issues);
+}

@@ -1,0 +1,353 @@
+//! [`FaultyDisk`]: the pseudo-device driver that enacts a [`FaultPlan`].
+
+use iron_core::model::CorruptionStyle;
+use iron_core::{Block, BlockAddr, BlockTag, FaultKind, IoKind, BLOCK_SIZE};
+use iron_blockdev::{BlockDevice, DiskError, DiskResult, IoOutcome, IoTrace, RawAccess};
+
+use crate::plan::{FaultController, FaultPlan};
+
+/// A block device that injects faults per a shared [`FaultPlan`].
+///
+/// Wraps any inner device; healthy requests pass through (and are charged
+/// the inner device's service time). Injected read/write failures return the
+/// appropriate [`DiskError`] *without* touching the medium — matching §4.2:
+/// "To emulate a block failure, we simply return the appropriate error code
+/// and do not issue the operation to the underlying disk." Corruption is
+/// applied to data read from the medium before returning it.
+pub struct FaultyDisk<D> {
+    inner: D,
+    plan: FaultPlan,
+    trace: IoTrace,
+    /// Seed for deterministic noise fabrication.
+    noise_seed: u64,
+}
+
+impl<D: BlockDevice + RawAccess> FaultyDisk<D> {
+    /// Wrap `inner` with a fresh (empty) fault plan.
+    pub fn new(inner: D) -> Self {
+        FaultyDisk {
+            inner,
+            plan: FaultPlan::new(),
+            trace: IoTrace::new(),
+            noise_seed: 0x1234_5678_9ABC_DEF0,
+        }
+    }
+
+    /// Wrap `inner` with an existing plan (shared with a controller).
+    pub fn with_plan(inner: D, plan: FaultPlan) -> Self {
+        FaultyDisk {
+            inner,
+            plan,
+            trace: IoTrace::new(),
+            noise_seed: 0x1234_5678_9ABC_DEF0,
+        }
+    }
+
+    /// Controller handle for injecting faults while the file system owns
+    /// this device.
+    pub fn controller(&self) -> FaultController {
+        self.plan.controller()
+    }
+
+    /// The trace of record for fingerprinting: includes failed and silently
+    /// corrupted requests.
+    pub fn trace(&self) -> IoTrace {
+        self.trace.clone()
+    }
+
+    /// Access the wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped device.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Fabricate corrupted contents for `addr` per `style`, based on the
+    /// block actually on the medium.
+    fn corrupt(&mut self, addr: BlockAddr, style: CorruptionStyle) -> Block {
+        match style {
+            CorruptionStyle::RandomNoise => {
+                let mut b = Block::zeroed();
+                // xorshift64* keyed by (seed, addr): deterministic per block,
+                // different across blocks.
+                let mut x = self.noise_seed ^ (addr.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+                for chunk in b.chunks_mut(8) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let bytes = x.to_le_bytes();
+                    let n = chunk.len();
+                    chunk.copy_from_slice(&bytes[..n]);
+                }
+                b
+            }
+            CorruptionStyle::Zeroed => Block::zeroed(),
+            CorruptionStyle::BitFlip { offset, len } => {
+                let mut b = self.inner.peek(addr);
+                let end = (offset + len).min(BLOCK_SIZE);
+                for byte in &mut b[offset.min(BLOCK_SIZE)..end] {
+                    *byte = !*byte;
+                }
+                b
+            }
+            CorruptionStyle::Field { offset, value } => {
+                let mut b = self.inner.peek(addr);
+                if offset + 4 <= BLOCK_SIZE {
+                    b.put_u32(offset, value);
+                }
+                b
+            }
+            CorruptionStyle::MisdirectedFrom(src) => self.inner.peek(src),
+        }
+    }
+}
+
+impl<D: BlockDevice + RawAccess> BlockDevice for FaultyDisk<D> {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_tagged(&mut self, addr: BlockAddr, tag: BlockTag) -> DiskResult<Block> {
+        match self.plan.check(IoKind::Read, addr, tag) {
+            Some(FaultKind::WholeDisk) => {
+                self.trace
+                    .record(IoKind::Read, addr, tag, IoOutcome::Error, 0);
+                Err(DiskError::DeviceFailed)
+            }
+            Some(FaultKind::ReadError) => {
+                self.trace
+                    .record(IoKind::Read, addr, tag, IoOutcome::Error, 0);
+                Err(DiskError::Io {
+                    addr,
+                    kind: IoKind::Read,
+                })
+            }
+            Some(FaultKind::Corruption(style)) => {
+                // The device "succeeds": charge normal service time, then
+                // hand back bad bytes.
+                let _ = self.inner.read_tagged(addr, tag)?;
+                let bad = self.corrupt(addr, style);
+                self.trace
+                    .record(IoKind::Read, addr, tag, IoOutcome::SilentlyCorrupted, 0);
+                Ok(bad)
+            }
+            Some(FaultKind::WriteError) | None => {
+                let block = self.inner.read_tagged(addr, tag)?;
+                self.trace
+                    .record(IoKind::Read, addr, tag, IoOutcome::Ok, 0);
+                Ok(block)
+            }
+        }
+    }
+
+    fn write_tagged(&mut self, addr: BlockAddr, block: &Block, tag: BlockTag) -> DiskResult<()> {
+        match self.plan.check(IoKind::Write, addr, tag) {
+            Some(FaultKind::WholeDisk) => {
+                self.trace
+                    .record(IoKind::Write, addr, tag, IoOutcome::Error, 0);
+                Err(DiskError::DeviceFailed)
+            }
+            Some(FaultKind::WriteError) => {
+                self.trace
+                    .record(IoKind::Write, addr, tag, IoOutcome::Error, 0);
+                Err(DiskError::Io {
+                    addr,
+                    kind: IoKind::Write,
+                })
+            }
+            _ => {
+                self.inner.write_tagged(addr, block, tag)?;
+                self.trace
+                    .record(IoKind::Write, addr, tag, IoOutcome::Ok, 0);
+                Ok(())
+            }
+        }
+    }
+
+    fn barrier(&mut self) -> DiskResult<()> {
+        self.inner.barrier()
+    }
+}
+
+impl<D: RawAccess> RawAccess for FaultyDisk<D> {
+    fn peek(&self, addr: BlockAddr) -> Block {
+        self.inner.peek(addr)
+    }
+
+    fn poke(&mut self, addr: BlockAddr, block: &Block) {
+        self.inner.poke(addr, block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultSpec, FaultTarget};
+    use iron_blockdev::MemDisk;
+    use iron_core::Transience;
+
+    fn setup() -> (FaultyDisk<MemDisk>, FaultController) {
+        let mut inner = MemDisk::for_tests(64);
+        for i in 0..64u64 {
+            inner.poke(BlockAddr(i), &Block::filled(i as u8 + 1));
+        }
+        let disk = FaultyDisk::new(inner);
+        let ctl = disk.controller();
+        (disk, ctl)
+    }
+
+    #[test]
+    fn passthrough_when_no_faults() {
+        let (mut disk, _ctl) = setup();
+        assert_eq!(disk.read(BlockAddr(3)).unwrap(), Block::filled(4));
+        disk.write(BlockAddr(3), &Block::filled(0xFF)).unwrap();
+        assert_eq!(disk.read(BlockAddr(3)).unwrap(), Block::filled(0xFF));
+    }
+
+    #[test]
+    fn read_error_returns_error_code_and_leaves_medium() {
+        let (mut disk, ctl) = setup();
+        ctl.inject(FaultSpec::sticky(
+            FaultKind::ReadError,
+            FaultTarget::Addr(BlockAddr(7)),
+        ));
+        assert_eq!(
+            disk.read(BlockAddr(7)),
+            Err(DiskError::Io {
+                addr: BlockAddr(7),
+                kind: IoKind::Read
+            })
+        );
+        // Medium untouched; peek still sees the original contents.
+        assert_eq!(disk.peek(BlockAddr(7)), Block::filled(8));
+    }
+
+    #[test]
+    fn write_error_does_not_reach_medium() {
+        let (mut disk, ctl) = setup();
+        ctl.inject(FaultSpec::sticky(
+            FaultKind::WriteError,
+            FaultTarget::Addr(BlockAddr(9)),
+        ));
+        let r = disk.write(BlockAddr(9), &Block::filled(0xEE));
+        assert!(r.is_err());
+        assert_eq!(disk.peek(BlockAddr(9)), Block::filled(10), "medium unchanged");
+        // Reads of the same block still succeed.
+        assert_eq!(disk.read(BlockAddr(9)).unwrap(), Block::filled(10));
+    }
+
+    #[test]
+    fn transient_read_error_clears_for_retry() {
+        let (mut disk, ctl) = setup();
+        ctl.inject(FaultSpec::transient(
+            FaultKind::ReadError,
+            FaultTarget::Addr(BlockAddr(2)),
+            1,
+        ));
+        assert!(disk.read(BlockAddr(2)).is_err());
+        assert_eq!(disk.read(BlockAddr(2)).unwrap(), Block::filled(3));
+    }
+
+    #[test]
+    fn corruption_returns_success_with_bad_data() {
+        let (mut disk, ctl) = setup();
+        ctl.inject(FaultSpec::sticky(
+            FaultKind::Corruption(CorruptionStyle::RandomNoise),
+            FaultTarget::Addr(BlockAddr(5)),
+        ));
+        let got = disk.read(BlockAddr(5)).unwrap();
+        assert_ne!(got, Block::filled(6), "data must be corrupted");
+        // Deterministic: the same corruption every time (sticky).
+        assert_eq!(disk.read(BlockAddr(5)).unwrap(), got);
+        // Trace knows it was silently corrupted even though the FS saw Ok.
+        let last = disk.trace().events().pop().unwrap();
+        assert_eq!(last.outcome, IoOutcome::SilentlyCorrupted);
+    }
+
+    #[test]
+    fn field_corruption_preserves_rest_of_block() {
+        let (mut disk, ctl) = setup();
+        ctl.inject(FaultSpec::sticky(
+            FaultKind::Corruption(CorruptionStyle::Field {
+                offset: 16,
+                value: 0xDEAD_BEEF,
+            }),
+            FaultTarget::Addr(BlockAddr(4)),
+        ));
+        let got = disk.read(BlockAddr(4)).unwrap();
+        assert_eq!(got.get_u32(16), 0xDEAD_BEEF);
+        assert_eq!(got[0], 5, "bytes outside the field are intact");
+        assert_eq!(got[20], 5);
+    }
+
+    #[test]
+    fn bitflip_corruption_inverts_range() {
+        let (mut disk, ctl) = setup();
+        ctl.inject(FaultSpec::sticky(
+            FaultKind::Corruption(CorruptionStyle::BitFlip { offset: 0, len: 2 }),
+            FaultTarget::Addr(BlockAddr(1)),
+        ));
+        let got = disk.read(BlockAddr(1)).unwrap();
+        assert_eq!(got[0], !2u8);
+        assert_eq!(got[1], !2u8);
+        assert_eq!(got[2], 2);
+    }
+
+    #[test]
+    fn misdirected_corruption_returns_other_block() {
+        let (mut disk, ctl) = setup();
+        ctl.inject(FaultSpec::sticky(
+            FaultKind::Corruption(CorruptionStyle::MisdirectedFrom(BlockAddr(20))),
+            FaultTarget::Addr(BlockAddr(10)),
+        ));
+        assert_eq!(disk.read(BlockAddr(10)).unwrap(), Block::filled(21));
+    }
+
+    #[test]
+    fn type_aware_fault_hits_only_tagged_io() {
+        let (mut disk, ctl) = setup();
+        ctl.inject(FaultSpec::sticky(
+            FaultKind::ReadError,
+            FaultTarget::Tag(BlockTag("super")),
+        ));
+        assert!(disk.read_tagged(BlockAddr(0), BlockTag("data")).is_ok());
+        assert!(disk.read_tagged(BlockAddr(0), BlockTag("super")).is_err());
+    }
+
+    #[test]
+    fn whole_disk_failure_fails_everything() {
+        let (mut disk, ctl) = setup();
+        ctl.inject(FaultSpec {
+            kind: FaultKind::WholeDisk,
+            transience: Transience::Sticky,
+            target: FaultTarget::Addr(BlockAddr(0)),
+            locality: iron_core::model::Locality::Single,
+        });
+        assert_eq!(disk.read(BlockAddr(0)), Err(DiskError::DeviceFailed));
+        assert_eq!(
+            disk.write(BlockAddr(30), &Block::zeroed()),
+            Err(DiskError::DeviceFailed)
+        );
+    }
+
+    #[test]
+    fn trace_records_errors() {
+        let (mut disk, ctl) = setup();
+        ctl.inject(FaultSpec::sticky(
+            FaultKind::ReadError,
+            FaultTarget::Addr(BlockAddr(7)),
+        ));
+        let _ = disk.read(BlockAddr(6));
+        let _ = disk.read(BlockAddr(7));
+        let _ = disk.read(BlockAddr(7)); // a "retry"
+        let trace = disk.trace();
+        assert_eq!(trace.count_requests(BlockAddr(7), IoKind::Read), 2);
+        let events = trace.events();
+        assert_eq!(events[0].outcome, IoOutcome::Ok);
+        assert_eq!(events[1].outcome, IoOutcome::Error);
+        assert_eq!(events[2].outcome, IoOutcome::Error);
+    }
+}

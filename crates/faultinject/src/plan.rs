@@ -1,0 +1,365 @@
+//! Fault plans: what to fail, when, and how.
+
+use std::sync::Arc;
+
+use iron_core::{BlockAddr, BlockTag, FaultKind, IoKind, Transience};
+use iron_core::model::Locality;
+use parking_lot::Mutex;
+
+/// What a fault is aimed at.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultTarget {
+    /// A specific block address.
+    Addr(BlockAddr),
+    /// Any block carrying this type tag — this is *type-aware* injection.
+    /// The first matching access anchors the fault's locality.
+    Tag(BlockTag),
+    /// The `nth` (0-based) access carrying this tag. Lets a campaign fail,
+    /// say, the third journal-data write of a transaction.
+    TagNth {
+        /// The targeted type tag.
+        tag: BlockTag,
+        /// Which matching access (0-based) arms the fault.
+        nth: u32,
+    },
+}
+
+/// A complete fault specification.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSpec {
+    /// How the fault manifests.
+    pub kind: FaultKind,
+    /// Sticky or transient.
+    pub transience: Transience,
+    /// What it targets.
+    pub target: FaultTarget,
+    /// Spatial extent (anchored at the target / first matching access).
+    pub locality: Locality,
+}
+
+impl FaultSpec {
+    /// A sticky, single-block fault of `kind` targeting `target` — the
+    /// common case in fingerprinting campaigns.
+    pub fn sticky(kind: FaultKind, target: FaultTarget) -> Self {
+        FaultSpec {
+            kind,
+            transience: Transience::Sticky,
+            target,
+            locality: Locality::Single,
+        }
+    }
+
+    /// A transient fault that fires `n` times and then clears.
+    pub fn transient(kind: FaultKind, target: FaultTarget, n: u32) -> Self {
+        FaultSpec {
+            kind,
+            transience: Transience::Transient(n),
+            target,
+            locality: Locality::Single,
+        }
+    }
+}
+
+/// Handle naming an injected fault.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FaultId(pub usize);
+
+#[derive(Debug)]
+struct FaultEntry {
+    spec: FaultSpec,
+    armed: bool,
+    /// Times the fault has fired.
+    fired: u32,
+    /// Tag-matching accesses seen so far (for `TagNth`).
+    tag_seen: u32,
+    /// Address of the first access this fault fired on (locality anchor for
+    /// tag targets, and useful to the campaign for reporting).
+    anchor: Option<BlockAddr>,
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    faults: Vec<FaultEntry>,
+    whole_disk_failed: bool,
+}
+
+/// The shared fault plan consulted by [`crate::FaultyDisk`] on every request.
+///
+/// Cloning shares state: the test harness keeps one handle (via
+/// [`FaultController`]) while the device under the file system keeps another.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    state: Arc<Mutex<PlanState>>,
+}
+
+impl FaultPlan {
+    /// A new, empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A controller handle for this plan.
+    pub fn controller(&self) -> FaultController {
+        FaultController { plan: self.clone() }
+    }
+
+    /// Decide whether a request should be failed/corrupted.
+    ///
+    /// Returns the kind of the *first* matching armed fault, after updating
+    /// per-fault counters. `None` means the request passes through.
+    pub(crate) fn check(&self, io: IoKind, addr: BlockAddr, tag: BlockTag) -> Option<FaultKind> {
+        let mut st = self.state.lock();
+        if st.whole_disk_failed {
+            return Some(FaultKind::WholeDisk);
+        }
+        let mut set_whole_disk = false;
+        let mut result = None;
+        for entry in &mut st.faults {
+            if !entry.armed || !entry.spec.kind.applies_to(io) {
+                // Even for disarmed/mismatched-direction faults we must keep
+                // TagNth counting consistent? No: the paper's campaigns count
+                // *matching accesses in the faulted direction*. Counting here
+                // applies only to armed faults below.
+                continue;
+            }
+            let matched = match entry.spec.target {
+                FaultTarget::Addr(a) => entry.spec.locality.covers(a, addr),
+                FaultTarget::Tag(t) => {
+                    t == tag
+                        || entry
+                            .anchor
+                            .is_some_and(|anch| entry.spec.locality.covers(anch, addr))
+                }
+                FaultTarget::TagNth { tag: t, nth } => {
+                    if t == tag {
+                        let idx = entry.tag_seen;
+                        entry.tag_seen += 1;
+                        idx == nth
+                            || entry
+                                .anchor
+                                .is_some_and(|anch| entry.spec.locality.covers(anch, addr))
+                    } else {
+                        entry
+                            .anchor
+                            .is_some_and(|anch| entry.spec.locality.covers(anch, addr))
+                    }
+                }
+            };
+            if !matched {
+                continue;
+            }
+            if !entry.spec.transience.fires(entry.fired) {
+                continue;
+            }
+            entry.fired += 1;
+            if entry.anchor.is_none() {
+                entry.anchor = Some(addr);
+            }
+            if entry.spec.kind == FaultKind::WholeDisk {
+                set_whole_disk = true;
+            }
+            result = Some(entry.spec.kind);
+            break;
+        }
+        if set_whole_disk {
+            st.whole_disk_failed = true;
+        }
+        result
+    }
+}
+
+/// The harness-side handle for injecting and inspecting faults.
+#[derive(Clone, Debug)]
+pub struct FaultController {
+    plan: FaultPlan,
+}
+
+impl FaultController {
+    /// Inject a fault; it is armed immediately.
+    pub fn inject(&self, spec: FaultSpec) -> FaultId {
+        let mut st = self.plan.state.lock();
+        st.faults.push(FaultEntry {
+            spec,
+            armed: true,
+            fired: 0,
+            tag_seen: 0,
+            anchor: None,
+        });
+        FaultId(st.faults.len() - 1)
+    }
+
+    /// Disarm a fault (it stays in the plan for inspection).
+    pub fn disarm(&self, id: FaultId) {
+        if let Some(e) = self.plan.state.lock().faults.get_mut(id.0) {
+            e.armed = false;
+        }
+    }
+
+    /// Remove every fault and clear whole-disk failure.
+    pub fn clear(&self) {
+        let mut st = self.plan.state.lock();
+        st.faults.clear();
+        st.whole_disk_failed = false;
+    }
+
+    /// How many times the fault has fired.
+    pub fn fire_count(&self, id: FaultId) -> u32 {
+        self.plan
+            .state
+            .lock()
+            .faults
+            .get(id.0)
+            .map_or(0, |e| e.fired)
+    }
+
+    /// True if the fault fired at least once.
+    pub fn fired(&self, id: FaultId) -> bool {
+        self.fire_count(id) > 0
+    }
+
+    /// The address the fault first fired on, if it has fired.
+    pub fn anchor(&self, id: FaultId) -> Option<BlockAddr> {
+        self.plan.state.lock().faults.get(id.0).and_then(|e| e.anchor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_fault_fires_only_on_target() {
+        let plan = FaultPlan::new();
+        let ctl = plan.controller();
+        let id = ctl.inject(FaultSpec::sticky(
+            FaultKind::ReadError,
+            FaultTarget::Addr(BlockAddr(5)),
+        ));
+        assert_eq!(
+            plan.check(IoKind::Read, BlockAddr(4), BlockTag::UNTYPED),
+            None
+        );
+        assert_eq!(
+            plan.check(IoKind::Read, BlockAddr(5), BlockTag::UNTYPED),
+            Some(FaultKind::ReadError)
+        );
+        assert_eq!(
+            plan.check(IoKind::Write, BlockAddr(5), BlockTag::UNTYPED),
+            None,
+            "read fault must not fire on writes"
+        );
+        assert_eq!(ctl.fire_count(id), 1);
+        assert_eq!(ctl.anchor(id), Some(BlockAddr(5)));
+    }
+
+    #[test]
+    fn tag_fault_is_type_aware() {
+        let plan = FaultPlan::new();
+        let ctl = plan.controller();
+        let id = ctl.inject(FaultSpec::sticky(
+            FaultKind::WriteError,
+            FaultTarget::Tag(BlockTag("inode")),
+        ));
+        assert_eq!(
+            plan.check(IoKind::Write, BlockAddr(1), BlockTag("data")),
+            None
+        );
+        assert_eq!(
+            plan.check(IoKind::Write, BlockAddr(2), BlockTag("inode")),
+            Some(FaultKind::WriteError)
+        );
+        assert!(ctl.fired(id));
+    }
+
+    #[test]
+    fn transient_fault_clears_after_n() {
+        let plan = FaultPlan::new();
+        let ctl = plan.controller();
+        ctl.inject(FaultSpec::transient(
+            FaultKind::ReadError,
+            FaultTarget::Addr(BlockAddr(3)),
+            2,
+        ));
+        assert!(plan.check(IoKind::Read, BlockAddr(3), BlockTag::UNTYPED).is_some());
+        assert!(plan.check(IoKind::Read, BlockAddr(3), BlockTag::UNTYPED).is_some());
+        assert!(
+            plan.check(IoKind::Read, BlockAddr(3), BlockTag::UNTYPED).is_none(),
+            "transient×2 must clear after two fires"
+        );
+    }
+
+    #[test]
+    fn tag_nth_targets_a_specific_access() {
+        let plan = FaultPlan::new();
+        plan.controller().inject(FaultSpec::sticky(
+            FaultKind::WriteError,
+            FaultTarget::TagNth {
+                tag: BlockTag("j-data"),
+                nth: 1,
+            },
+        ));
+        assert!(
+            plan.check(IoKind::Write, BlockAddr(10), BlockTag("j-data")).is_none(),
+            "0th access passes"
+        );
+        assert!(
+            plan.check(IoKind::Write, BlockAddr(11), BlockTag("j-data")).is_some(),
+            "1st access fails"
+        );
+        // Sticky + anchored: the same address keeps failing afterwards.
+        assert!(plan.check(IoKind::Write, BlockAddr(11), BlockTag("j-data")).is_some());
+        // But other j-data blocks pass.
+        assert!(plan.check(IoKind::Write, BlockAddr(12), BlockTag("j-data")).is_none());
+    }
+
+    #[test]
+    fn contiguous_locality_covers_scratch() {
+        let plan = FaultPlan::new();
+        plan.controller().inject(FaultSpec {
+            kind: FaultKind::ReadError,
+            transience: Transience::Sticky,
+            target: FaultTarget::Addr(BlockAddr(100)),
+            locality: Locality::Contiguous { len: 3 },
+        });
+        for a in 100..103 {
+            assert!(
+                plan.check(IoKind::Read, BlockAddr(a), BlockTag::UNTYPED).is_some(),
+                "block {a} inside scratch"
+            );
+        }
+        assert!(plan.check(IoKind::Read, BlockAddr(103), BlockTag::UNTYPED).is_none());
+        assert!(plan.check(IoKind::Read, BlockAddr(99), BlockTag::UNTYPED).is_none());
+    }
+
+    #[test]
+    fn whole_disk_failure_is_absorbing() {
+        let plan = FaultPlan::new();
+        plan.controller().inject(FaultSpec::sticky(
+            FaultKind::WholeDisk,
+            FaultTarget::Addr(BlockAddr(0)),
+        ));
+        assert_eq!(
+            plan.check(IoKind::Read, BlockAddr(0), BlockTag::UNTYPED),
+            Some(FaultKind::WholeDisk)
+        );
+        // Every subsequent request anywhere fails.
+        assert_eq!(
+            plan.check(IoKind::Write, BlockAddr(99), BlockTag::UNTYPED),
+            Some(FaultKind::WholeDisk)
+        );
+    }
+
+    #[test]
+    fn disarm_and_clear() {
+        let plan = FaultPlan::new();
+        let ctl = plan.controller();
+        let id = ctl.inject(FaultSpec::sticky(
+            FaultKind::ReadError,
+            FaultTarget::Addr(BlockAddr(1)),
+        ));
+        ctl.disarm(id);
+        assert!(plan.check(IoKind::Read, BlockAddr(1), BlockTag::UNTYPED).is_none());
+        ctl.clear();
+        assert_eq!(ctl.fire_count(id), 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! The fault-injection campaign: drive every (workload × block type ×
+//! fault mode) cell and build the policy matrix.
+//!
+//! §4.4: "Our workload suite contains roughly 30 programs, each file
+//! system has on the order of 10 to 20 different block types, and each
+//! block can be failed on a read or a write or have its data corrupted.
+//! For each file system, this amounts to roughly 400 relevant tests."
+//! The campaign runs the full cross product; cells whose fault never
+//! fires are the gray "not applicable" cells of Figure 2.
+
+use std::collections::HashMap;
+
+use iron_core::model::CorruptionStyle;
+use iron_core::policy::PolicyCell;
+use iron_core::{BlockTag, FaultKind};
+use iron_blockdev::MemDisk;
+use iron_faultinject::{FaultPlan, FaultSpec, FaultTarget, FaultyDisk};
+use iron_vfs::{FsEnv, Vfs, VfsError};
+
+use crate::adapters::FsUnderTest;
+use crate::observe::{infer, Observation};
+use crate::workloads::{run, Workload, WorkloadOutput};
+
+/// The three fault modes of §4.2: block failure on read, block failure on
+/// write, and block corruption (on read).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultMode {
+    /// Latent sector error on read.
+    ReadError,
+    /// Failed write.
+    WriteError,
+    /// Silent corruption (random noise), returned on read.
+    Corruption,
+    /// Transient read error (clears after one failure) — supplementary
+    /// mode, not a Figure 2 panel; used by the §6.2 scenario sweep.
+    TransientRead,
+    /// Silent corruption manifesting as a zeroed block (lost write) —
+    /// supplementary mode for the §6.2 scenario sweep.
+    ZeroCorruption,
+}
+
+impl FaultMode {
+    /// All modes, in Figure 2's panel order.
+    pub const ALL: [FaultMode; 3] = [
+        FaultMode::ReadError,
+        FaultMode::WriteError,
+        FaultMode::Corruption,
+    ];
+
+    /// The fault kind to inject.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            FaultMode::ReadError | FaultMode::TransientRead => FaultKind::ReadError,
+            FaultMode::WriteError => FaultKind::WriteError,
+            FaultMode::Corruption => FaultKind::Corruption(CorruptionStyle::RandomNoise),
+            FaultMode::ZeroCorruption => FaultKind::Corruption(CorruptionStyle::Zeroed),
+        }
+    }
+
+    /// The full fault specification aimed at `tag`: sticky and anchored on
+    /// the first matching access (fail *a* block of the type, not all of
+    /// them), except the transient mode which clears after one failure.
+    pub fn spec(&self, tag: BlockTag) -> FaultSpec {
+        let target = FaultTarget::TagNth { tag, nth: 0 };
+        match self {
+            FaultMode::TransientRead => FaultSpec::transient(self.kind(), target, 1),
+            _ => FaultSpec::sticky(self.kind(), target),
+        }
+    }
+
+    /// Panel title, as in Figure 2.
+    pub fn title(&self) -> &'static str {
+        match self {
+            FaultMode::ReadError => "Read Failure",
+            FaultMode::WriteError => "Write Failure",
+            FaultMode::Corruption => "Corruption",
+            FaultMode::TransientRead => "Transient Read Failure",
+            FaultMode::ZeroCorruption => "Corruption (zeroed)",
+        }
+    }
+}
+
+/// Options restricting a campaign (tests use subsets; the figure binaries
+/// run everything).
+#[derive(Clone, Debug)]
+pub struct CampaignOptions {
+    /// Fault modes to run.
+    pub modes: Vec<FaultMode>,
+    /// Workload columns to run.
+    pub workloads: Vec<Workload>,
+    /// Row filter: only these tags (empty = all rows).
+    pub rows: Vec<BlockTag>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            modes: FaultMode::ALL.to_vec(),
+            workloads: Workload::COLUMNS.to_vec(),
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// A Figure 2/3-style policy matrix for one file system.
+pub struct PolicyMatrix {
+    /// File-system name.
+    pub fs_name: &'static str,
+    /// Row tags (block types).
+    pub rows: Vec<BlockTag>,
+    /// Column workloads.
+    pub cols: Vec<Workload>,
+    /// Fault modes (panels).
+    pub modes: Vec<FaultMode>,
+    /// `cells[(mode, row, col)]`: `None` = fault never fired (gray).
+    pub cells: HashMap<(usize, usize, usize), Option<PolicyCell>>,
+    /// Total cells where the fault fired (the "relevant tests" count).
+    pub relevant: usize,
+}
+
+impl PolicyMatrix {
+    /// The cell for (mode index, row index, col index).
+    pub fn cell(&self, mode: usize, row: usize, col: usize) -> Option<PolicyCell> {
+        self.cells.get(&(mode, row, col)).copied().flatten()
+    }
+}
+
+/// One cell's faulty-run artifacts.
+struct CellRun {
+    output: WorkloadOutput,
+    mount_error: Option<VfsError>,
+    env: FsEnv,
+    obs_fired: bool,
+    anchor: Option<iron_core::BlockAddr>,
+    klog: Vec<iron_core::klog::LogEntry>,
+    trace: Vec<iron_blockdev::IoEvent>,
+}
+
+fn run_one(
+    adapter: &dyn FsUnderTest,
+    golden: &MemDisk,
+    w: Workload,
+    fault: Option<(FaultMode, BlockTag)>,
+) -> CellRun {
+    let plan = FaultPlan::new();
+    let ctl = plan.controller();
+    let fault_id = fault.map(|(mode, tag)| ctl.inject(mode.spec(tag)));
+    // Special workloads need the fault live during mount; plain workloads
+    // arm it afterwards so mount-time accesses (superblock, journal
+    // superblock, checksum table) don't eat the fault meant for the
+    // workload. We achieve that by disarming now and re-arming post-mount.
+    let special = w.is_special();
+    if let Some(id) = fault_id {
+        if !special {
+            ctl.disarm(id);
+        }
+    }
+
+    let faulty = FaultyDisk::with_plan(golden.snapshot(), plan);
+    let trace = faulty.trace();
+    let env = FsEnv::new();
+    let mut cell = CellRun {
+        output: WorkloadOutput::default(),
+        mount_error: None,
+        env: env.clone(),
+        obs_fired: false,
+        anchor: None,
+        klog: Vec::new(),
+        trace: Vec::new(),
+    };
+
+    match adapter.mount(faulty, env) {
+        Ok(fs) => {
+            let mut v = Vfs::new(fs);
+            cell.output.steps.push("mount:ok".into());
+            if let Some(id) = fault_id {
+                if !special {
+                    // Re-arm for the workload proper (a fresh fault spec —
+                    // disarm/arm toggling keeps the same counters).
+                    let (mode, tag) = fault.expect("fault present");
+                    ctl.clear();
+                    let _ = ctl.inject(mode.spec(tag));
+                    let _ = id;
+                }
+            }
+            let out = run(w, &mut v, Some(&trace));
+            cell.output.steps.extend(out.steps);
+            cell.output.step_trace_marks = out.step_trace_marks;
+        }
+        Err(e) => {
+            cell.output.steps.push(match &e {
+                VfsError::Errno(errno) => format!("mount:err:{errno:?}"),
+                VfsError::KernelPanic(_) => "mount:PANIC".into(),
+            });
+            cell.mount_error = Some(e);
+        }
+    }
+
+    // Collect artifacts. Note: after ctl.clear()+inject the live fault is
+    // id 0 in the (new) plan.
+    let live_id = iron_faultinject::FaultId(0);
+    if fault.is_some() {
+        cell.obs_fired = ctl.fired(live_id);
+        cell.anchor = ctl.anchor(live_id);
+    }
+    cell.klog = cell.env.klog.entries();
+    cell.trace = trace.events();
+    cell
+}
+
+/// Fingerprint one file system: run the campaign and build its matrix.
+pub fn fingerprint_fs(adapter: &dyn FsUnderTest, opts: &CampaignOptions) -> PolicyMatrix {
+    let all_rows = adapter.rows();
+    let rows: Vec<BlockTag> = if opts.rows.is_empty() {
+        all_rows
+    } else {
+        all_rows
+            .into_iter()
+            .filter(|t| opts.rows.contains(t))
+            .collect()
+    };
+    let cols = opts.workloads.clone();
+    let modes = opts.modes.clone();
+
+    // Golden images: one clean, one with a dirty journal.
+    let golden_clean = adapter.golden(false);
+    let golden_dirty = adapter.golden(true);
+
+    // Reference runs (fault-free), one per workload.
+    let mut references: HashMap<Workload, WorkloadOutput> = HashMap::new();
+    for &w in &cols {
+        let golden = if w == Workload::Recovery {
+            &golden_dirty
+        } else {
+            &golden_clean
+        };
+        let r = run_one(adapter, golden, w, None);
+        references.insert(w, r.output);
+    }
+
+    let mut matrix = PolicyMatrix {
+        fs_name: adapter.name(),
+        rows: rows.clone(),
+        cols: cols.clone(),
+        modes: modes.clone(),
+        cells: HashMap::new(),
+        relevant: 0,
+    };
+
+    for (mi, &mode) in modes.iter().enumerate() {
+        for (ri, &tag) in rows.iter().enumerate() {
+            for (ci, &w) in cols.iter().enumerate() {
+                let golden = if w == Workload::Recovery {
+                    &golden_dirty
+                } else {
+                    &golden_clean
+                };
+                let r = run_one(adapter, golden, w, Some((mode, tag)));
+                let obs = Observation {
+                    mode,
+                    fired: r.obs_fired,
+                    anchor: r.anchor,
+                    reference: references[&w].clone(),
+                    faulty: r.output,
+                    mount_error: r.mount_error,
+                    final_state: r.env.state(),
+                    klog: r.klog,
+                    trace: r.trace,
+                };
+                let cell = infer(&obs);
+                if cell.is_some() {
+                    matrix.relevant += 1;
+                }
+                matrix.cells.insert((mi, ri, ci), cell);
+            }
+        }
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::Ext3Adapter;
+    use iron_core::{DetectionLevel, RecoveryLevel};
+
+    /// A focused mini-campaign: ext3, inode+data rows, a few columns.
+    #[test]
+    fn mini_campaign_reproduces_known_ext3_cells() {
+        let opts = CampaignOptions {
+            modes: vec![FaultMode::ReadError, FaultMode::WriteError],
+            workloads: vec![Workload::Read, Workload::Write, Workload::AccessFamily],
+            rows: vec![BlockTag("inode"), BlockTag("data")],
+        };
+        let m = fingerprint_fs(&Ext3Adapter::stock(), &opts);
+        assert_eq!(m.rows.len(), 2);
+
+        // data × read × ReadError: DErrorCode, RPropagate + RRetry.
+        let data_row = m.rows.iter().position(|t| t.0 == "data").unwrap();
+        let read_col = m.cols.iter().position(|w| *w == Workload::Read).unwrap();
+        let cell = m.cell(0, data_row, read_col).expect("fault fires");
+        assert!(cell.detection.contains(DetectionLevel::DErrorCode));
+        assert!(cell.recovery.contains(RecoveryLevel::RPropagate));
+        assert!(cell.recovery.contains(RecoveryLevel::RRetry));
+
+        // inode × read-workload × ReadError: DErrorCode, RPropagate+RStop.
+        let inode_row = m.rows.iter().position(|t| t.0 == "inode").unwrap();
+        let cell = m.cell(0, inode_row, read_col).expect("fault fires");
+        assert!(cell.detection.contains(DetectionLevel::DErrorCode));
+        assert!(cell.recovery.contains(RecoveryLevel::RStop));
+
+        // data × write-workload × WriteError: the paper's headline ext3
+        // bug — DZero/RZero.
+        let write_col = m.cols.iter().position(|w| *w == Workload::Write).unwrap();
+        let cell = m.cell(1, data_row, write_col).expect("fault fires");
+        assert!(cell.detection.contains(DetectionLevel::DZero));
+        assert!(cell.recovery.contains(RecoveryLevel::RZero));
+    }
+
+    #[test]
+    fn gray_cells_for_inapplicable_combinations() {
+        // A journal-commit write fault cannot fire during a pure read
+        // workload (nothing commits).
+        let opts = CampaignOptions {
+            modes: vec![FaultMode::WriteError],
+            workloads: vec![Workload::Read],
+            rows: vec![BlockTag("j-commit")],
+        };
+        let m = fingerprint_fs(&Ext3Adapter::stock(), &opts);
+        assert_eq!(m.cell(0, 0, 0), None, "cell must be gray");
+        assert_eq!(m.relevant, 0);
+    }
+
+    #[test]
+    fn log_writes_column_reaches_journal_types() {
+        let opts = CampaignOptions {
+            modes: vec![FaultMode::WriteError],
+            workloads: vec![Workload::LogWrites],
+            rows: vec![
+                BlockTag("j-desc"),
+                BlockTag("j-commit"),
+                BlockTag("j-data"),
+            ],
+        };
+        let m = fingerprint_fs(&Ext3Adapter::stock(), &opts);
+        for ri in 0..3 {
+            let cell = m.cell(0, ri, 0);
+            assert!(cell.is_some(), "row {} should fire", m.rows[ri]);
+            // Stock ext3 ignores journal write errors (logged but
+            // committed anyway) — detection happens (a warning is logged)
+            // but no stop occurs.
+            let cell = cell.unwrap();
+            assert!(
+                !cell.recovery.contains(RecoveryLevel::RStop),
+                "stock ext3 must not stop on journal write failure (PAPER-BUG)"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_column_exercises_journal_reads() {
+        let opts = CampaignOptions {
+            modes: vec![FaultMode::ReadError],
+            workloads: vec![Workload::Recovery],
+            rows: vec![BlockTag("j-data")],
+        };
+        let m = fingerprint_fs(&Ext3Adapter::stock(), &opts);
+        let cell = m.cell(0, 0, 0).expect("replay reads journal data");
+        assert!(cell.detection.contains(DetectionLevel::DErrorCode));
+        assert!(cell.recovery.contains(RecoveryLevel::RStop));
+    }
+}

@@ -1,0 +1,236 @@
+//! JFS's record-level journal.
+//!
+//! "Unlike ext3 and ReiserFS, JFS uses record-level journaling to reduce
+//! journal traffic" (§5.3): instead of whole-block copies, the log holds
+//! byte-range *records* `(home block, offset, bytes)`, many per journal
+//! block. Replay reads each home block, applies the record's bytes, and
+//! writes it back.
+
+use iron_core::{Block, BLOCK_SIZE};
+
+/// Journal superblock magic.
+pub const JLOG_MAGIC: u32 = 0x4C4F_4731; // "LOG1"
+
+/// The journal superblock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalSuper {
+    /// Next transaction sequence.
+    pub sequence: u64,
+    /// Log may need replay.
+    pub dirty: bool,
+}
+
+impl JournalSuper {
+    /// Serialize.
+    pub fn encode(&self) -> Block {
+        let mut b = Block::zeroed();
+        b.put_u32(0, JLOG_MAGIC);
+        b.put_u64(8, self.sequence);
+        b.put_u32(16, u32::from(self.dirty));
+        b
+    }
+
+    /// Decode with the magic check.
+    pub fn decode(b: &Block) -> Option<JournalSuper> {
+        if b.get_u32(0) != JLOG_MAGIC {
+            return None;
+        }
+        Some(JournalSuper {
+            sequence: b.get_u64(8),
+            dirty: b.get_u32(16) != 0,
+        })
+    }
+}
+
+/// One journal record: a byte-range update to a home block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogRecord {
+    /// Home block address.
+    pub addr: u64,
+    /// Byte offset within the home block.
+    pub offset: u16,
+    /// The new bytes.
+    pub data: Vec<u8>,
+}
+
+impl LogRecord {
+    /// Serialized size.
+    pub fn on_disk_size(&self) -> usize {
+        12 + self.data.len()
+    }
+}
+
+/// Record-block header magic.
+const RECORD_MAGIC: u32 = 0x4C52_4543; // "CREL"
+
+/// A journal log block: a sequence of records plus a commit flag set on
+/// the final block of a transaction.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RecordBlock {
+    /// Transaction sequence.
+    pub sequence: u64,
+    /// Records in this block.
+    pub records: Vec<LogRecord>,
+    /// True on the last block of a committed transaction.
+    pub commit: bool,
+}
+
+/// Usable payload bytes per record block.
+pub const RECORD_BLOCK_CAPACITY: usize = BLOCK_SIZE - 24;
+
+impl RecordBlock {
+    /// Serialize.
+    ///
+    /// # Panics
+    /// Panics if the records exceed the block capacity.
+    pub fn encode(&self) -> Block {
+        let used: usize = self.records.iter().map(LogRecord::on_disk_size).sum();
+        assert!(used <= RECORD_BLOCK_CAPACITY, "record block overflow");
+        let mut b = Block::zeroed();
+        b.put_u32(0, RECORD_MAGIC);
+        b.put_u64(4, self.sequence);
+        b.put_u32(12, self.records.len() as u32);
+        b.put_u32(16, u32::from(self.commit));
+        let mut off = 24;
+        for r in &self.records {
+            b.put_u64(off, r.addr);
+            b.put_u16(off + 8, r.offset);
+            b.put_u16(off + 10, r.data.len() as u16);
+            b.put_bytes(off + 12, &r.data);
+            off += r.on_disk_size();
+        }
+        b
+    }
+
+    /// Decode with magic/bounds checks (JFS *does* sanity-check its log
+    /// during replay; a failed check aborts the replay — §5.3).
+    pub fn decode(b: &Block) -> Option<RecordBlock> {
+        if b.get_u32(0) != RECORD_MAGIC {
+            return None;
+        }
+        let count = b.get_u32(12) as usize;
+        if count > RECORD_BLOCK_CAPACITY / 12 {
+            return None;
+        }
+        let mut records = Vec::with_capacity(count);
+        let mut off = 24;
+        for _ in 0..count {
+            if off + 12 > BLOCK_SIZE {
+                return None;
+            }
+            let addr = b.get_u64(off);
+            let offset = b.get_u16(off + 8);
+            let len = b.get_u16(off + 10) as usize;
+            if off + 12 + len > BLOCK_SIZE || offset as usize + len > BLOCK_SIZE {
+                return None;
+            }
+            records.push(LogRecord {
+                addr,
+                offset,
+                data: b.get_bytes(off + 12, len).to_vec(),
+            });
+            off += 12 + len;
+        }
+        Some(RecordBlock {
+            sequence: b.get_u64(4),
+            records,
+            commit: b.get_u32(16) != 0,
+        })
+    }
+}
+
+/// Pack a transaction's records into log blocks, marking the final one as
+/// the commit.
+pub fn pack_records(sequence: u64, records: &[LogRecord]) -> Vec<RecordBlock> {
+    let mut blocks: Vec<RecordBlock> = Vec::new();
+    let mut current = RecordBlock {
+        sequence,
+        ..Default::default()
+    };
+    let mut used = 0usize;
+    for r in records {
+        let sz = r.on_disk_size();
+        if used + sz > RECORD_BLOCK_CAPACITY {
+            blocks.push(std::mem::replace(
+                &mut current,
+                RecordBlock {
+                    sequence,
+                    ..Default::default()
+                },
+            ));
+            used = 0;
+        }
+        used += sz;
+        current.records.push(r.clone());
+    }
+    current.commit = true;
+    blocks.push(current);
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(addr: u64, offset: u16, len: usize) -> LogRecord {
+        LogRecord {
+            addr,
+            offset,
+            data: vec![0x7E; len],
+        }
+    }
+
+    #[test]
+    fn journal_super_round_trip() {
+        let js = JournalSuper {
+            sequence: 3,
+            dirty: true,
+        };
+        assert_eq!(JournalSuper::decode(&js.encode()), Some(js));
+        assert_eq!(JournalSuper::decode(&Block::zeroed()), None);
+    }
+
+    #[test]
+    fn record_block_round_trip() {
+        let rb = RecordBlock {
+            sequence: 7,
+            records: vec![rec(10, 0, 128), rec(11, 256, 8), rec(12, 4000, 96)],
+            commit: true,
+        };
+        assert_eq!(RecordBlock::decode(&rb.encode()), Some(rb));
+    }
+
+    #[test]
+    fn decode_rejects_noise_and_bad_bounds() {
+        assert_eq!(RecordBlock::decode(&Block::filled(0x9A)), None);
+        let rb = RecordBlock {
+            sequence: 1,
+            records: vec![rec(5, 0, 16)],
+            commit: false,
+        };
+        let mut bad = rb.encode();
+        bad.put_u16(24 + 8, 5000); // record offset beyond block
+        assert_eq!(RecordBlock::decode(&bad), None);
+    }
+
+    #[test]
+    fn pack_records_splits_and_marks_commit() {
+        // 60 records × 112 bytes ≈ 6.7 KiB ⇒ two blocks.
+        let records: Vec<LogRecord> = (0..60).map(|i| rec(i, 0, 100)).collect();
+        let blocks = pack_records(5, &records);
+        assert!(blocks.len() >= 2);
+        assert!(blocks[..blocks.len() - 1].iter().all(|b| !b.commit));
+        assert!(blocks.last().unwrap().commit);
+        let total: usize = blocks.iter().map(|b| b.records.len()).sum();
+        assert_eq!(total, 60);
+        assert!(blocks.iter().all(|b| b.sequence == 5));
+    }
+
+    #[test]
+    fn empty_transaction_packs_one_commit_block() {
+        let blocks = pack_records(1, &[]);
+        assert_eq!(blocks.len(), 1);
+        assert!(blocks[0].commit);
+        assert!(blocks[0].records.is_empty());
+    }
+}

@@ -1,0 +1,413 @@
+//! JFS disk layout, block types, and superblock.
+
+use iron_core::{Block, BlockAddr, BlockTag, BLOCK_SIZE};
+
+/// JFS superblock magic ("JFS1", as on real disks).
+pub const JFS_MAGIC: u32 = 0x3153_464A;
+/// Superblock version (checked alongside the magic, per §5.3).
+pub const JFS_VERSION: u32 = 1;
+/// Inode size.
+pub const INODE_SIZE: usize = 128;
+/// Inodes per table block.
+pub const INODES_PER_BLOCK: u64 = (BLOCK_SIZE / INODE_SIZE) as u64;
+/// Root directory inode number.
+pub const ROOT_INO: u64 = 2;
+
+/// JFS block types (Table 4 / Figure 2 rows).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum JfsBlockType {
+    /// Inode table block.
+    Inode,
+    /// Directory block.
+    Dir,
+    /// Block allocation map block.
+    Bmap,
+    /// Inode allocation map block.
+    Imap,
+    /// Internal (extent tree) block.
+    Internal,
+    /// User data block.
+    Data,
+    /// Superblock (primary or alternate).
+    Super,
+    /// Journal superblock.
+    JournalSuper,
+    /// Journal data (records).
+    JournalData,
+    /// Aggregate inode table block.
+    AggrInode,
+    /// Block-map descriptor.
+    BmapDesc,
+    /// Inode-map control block.
+    ImapControl,
+}
+
+impl JfsBlockType {
+    /// Figure 2's JFS row order.
+    pub const FIGURE2_ROWS: [JfsBlockType; 12] = [
+        JfsBlockType::Inode,
+        JfsBlockType::Dir,
+        JfsBlockType::Bmap,
+        JfsBlockType::Imap,
+        JfsBlockType::Internal,
+        JfsBlockType::Data,
+        JfsBlockType::Super,
+        JfsBlockType::JournalSuper,
+        JfsBlockType::JournalData,
+        JfsBlockType::AggrInode,
+        JfsBlockType::BmapDesc,
+        JfsBlockType::ImapControl,
+    ];
+
+    /// The I/O tag (Figure 2 row labels).
+    pub fn tag(self) -> BlockTag {
+        BlockTag(match self {
+            JfsBlockType::Inode => "inode",
+            JfsBlockType::Dir => "dir",
+            JfsBlockType::Bmap => "bmap",
+            JfsBlockType::Imap => "imap",
+            JfsBlockType::Internal => "internal",
+            JfsBlockType::Data => "data",
+            JfsBlockType::Super => "super",
+            JfsBlockType::JournalSuper => "j-super",
+            JfsBlockType::JournalData => "j-data",
+            JfsBlockType::AggrInode => "aggr-inode",
+            JfsBlockType::BmapDesc => "bmap-desc",
+            JfsBlockType::ImapControl => "imap-cntl",
+        })
+    }
+}
+
+/// Formatting parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct JfsParams {
+    /// Total device blocks.
+    pub total_blocks: u64,
+    /// Journal log blocks.
+    pub journal_blocks: u64,
+    /// Inode-table blocks (fixed table in this model; real JFS grows inode
+    /// extents dynamically).
+    pub itable_blocks: u64,
+}
+
+impl JfsParams {
+    /// A small test file system (16 MiB, 1024 inodes).
+    pub fn small() -> Self {
+        JfsParams {
+            total_blocks: 4096,
+            journal_blocks: 256,
+            itable_blocks: 32,
+        }
+    }
+}
+
+/// Computed layout.
+///
+/// ```text
+/// 0              primary superblock
+/// 1              alternate superblock (real, and really used — sometimes)
+/// 2              journal superblock
+/// 3..3+J         journal log (record blocks)
+/// a              aggregate inode table
+/// a+1            secondary aggregate inode table (present, unused on error)
+/// a+2            bmap descriptor
+/// a+3..          bmap blocks
+/// then           imap control, imap blocks
+/// then           inode table
+/// rest           dir/internal/data blocks
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct JfsLayout {
+    /// Parameters.
+    pub params: JfsParams,
+    /// Alternate superblock address.
+    pub alt_super: u64,
+    /// Journal superblock address.
+    pub journal_super: u64,
+    /// First journal log block.
+    pub journal_start: u64,
+    /// Journal log length.
+    pub journal_len: u64,
+    /// Aggregate inode table.
+    pub aggr_inode: u64,
+    /// Secondary aggregate inode table.
+    pub aggr_inode_secondary: u64,
+    /// Bmap descriptor block.
+    pub bmap_desc: u64,
+    /// First bmap block.
+    pub bmap_start: u64,
+    /// Bmap length in blocks.
+    pub bmap_len: u64,
+    /// Imap control block.
+    pub imap_control: u64,
+    /// First imap block.
+    pub imap_start: u64,
+    /// Imap length in blocks.
+    pub imap_len: u64,
+    /// First inode-table block.
+    pub itable_start: u64,
+    /// First allocatable block.
+    pub alloc_start: u64,
+}
+
+impl JfsLayout {
+    /// Compute the layout.
+    pub fn compute(params: JfsParams) -> Self {
+        let alt_super = 1;
+        let journal_super = 2;
+        let journal_start = 3;
+        let journal_len = params.journal_blocks;
+        let aggr_inode = journal_start + journal_len;
+        let aggr_inode_secondary = aggr_inode + 1;
+        let bmap_desc = aggr_inode + 2;
+        let bmap_start = bmap_desc + 1;
+        let bits = BLOCK_SIZE as u64 * 8;
+        let bmap_len = params.total_blocks.div_ceil(bits);
+        let imap_control = bmap_start + bmap_len;
+        let imap_start = imap_control + 1;
+        let total_inodes = params.itable_blocks * INODES_PER_BLOCK;
+        let imap_len = total_inodes.div_ceil(bits).max(1);
+        let itable_start = imap_start + imap_len;
+        let alloc_start = itable_start + params.itable_blocks;
+        JfsLayout {
+            params,
+            alt_super,
+            journal_super,
+            journal_start,
+            journal_len,
+            aggr_inode,
+            aggr_inode_secondary,
+            bmap_desc,
+            bmap_start,
+            bmap_len,
+            imap_control,
+            imap_start,
+            imap_len,
+            itable_start,
+            alloc_start,
+        }
+    }
+
+    /// Total inodes.
+    pub fn total_inodes(&self) -> u64 {
+        self.params.itable_blocks * INODES_PER_BLOCK
+    }
+
+    /// (table block, byte offset) for inode `ino` (1-based).
+    pub fn inode_location(&self, ino: u64) -> (BlockAddr, usize) {
+        let idx = ino - 1;
+        (
+            BlockAddr(self.itable_start + idx / INODES_PER_BLOCK),
+            (idx % INODES_PER_BLOCK) as usize * INODE_SIZE,
+        )
+    }
+
+    /// (bmap block, bit) for device block `b`.
+    pub fn bmap_location(&self, b: u64) -> (BlockAddr, u64) {
+        let bits = BLOCK_SIZE as u64 * 8;
+        (BlockAddr(self.bmap_start + b / bits), b % bits)
+    }
+
+    /// (imap block, bit) for inode `ino` (1-based).
+    pub fn imap_location(&self, ino: u64) -> (BlockAddr, u64) {
+        let bits = BLOCK_SIZE as u64 * 8;
+        let idx = ino - 1;
+        (BlockAddr(self.imap_start + idx / bits), idx % bits)
+    }
+}
+
+/// The JFS superblock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JfsSuper {
+    /// Total device blocks.
+    pub total_blocks: u64,
+    /// Journal log length.
+    pub journal_blocks: u64,
+    /// Inode-table blocks.
+    pub itable_blocks: u64,
+    /// Free blocks.
+    pub free_blocks: u64,
+    /// Free inodes.
+    pub free_inodes: u64,
+    /// Unclean flag.
+    pub dirty: bool,
+}
+
+impl JfsSuper {
+    /// Serialize.
+    pub fn encode(&self) -> Block {
+        let mut b = Block::zeroed();
+        b.put_u32(0, JFS_MAGIC);
+        b.put_u32(4, JFS_VERSION);
+        b.put_u64(8, self.total_blocks);
+        b.put_u64(16, self.journal_blocks);
+        b.put_u64(24, self.itable_blocks);
+        b.put_u64(32, self.free_blocks);
+        b.put_u64(40, self.free_inodes);
+        b.put_u32(48, u32::from(self.dirty));
+        b
+    }
+
+    /// Decode with JFS's magic *and version* checks (§5.3).
+    pub fn decode(b: &Block) -> Option<JfsSuper> {
+        if b.get_u32(0) != JFS_MAGIC || b.get_u32(4) != JFS_VERSION {
+            return None;
+        }
+        Some(JfsSuper {
+            total_blocks: b.get_u64(8),
+            journal_blocks: b.get_u64(16),
+            itable_blocks: b.get_u64(24),
+            free_blocks: b.get_u64(32),
+            free_inodes: b.get_u64(40),
+            dirty: b.get_u32(48) != 0,
+        })
+    }
+}
+
+/// The bmap descriptor: carries the free count twice; JFS's "equality
+/// check on a field" (§5.3) verifies the copies agree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BmapDesc {
+    /// Free blocks (copy 1).
+    pub free_blocks: u64,
+}
+
+impl BmapDesc {
+    /// Serialize (both copies).
+    pub fn encode(&self) -> Block {
+        let mut b = Block::zeroed();
+        b.put_u64(0, self.free_blocks);
+        b.put_u64(8, self.free_blocks);
+        b
+    }
+
+    /// Decode; `None` when the equality check fails.
+    pub fn decode(b: &Block) -> Option<BmapDesc> {
+        let a = b.get_u64(0);
+        if a != b.get_u64(8) {
+            return None;
+        }
+        Some(BmapDesc { free_blocks: a })
+    }
+}
+
+/// The aggregate inode table: special inodes describing the file system
+/// itself (where the maps and the inode table live). Carries a magic so a
+/// *missing* table is detectable — but per the paper, the secondary copy
+/// is not consulted on a read error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AggregateInodes {
+    /// Bmap descriptor location.
+    pub bmap_desc: u64,
+    /// Imap control location.
+    pub imap_control: u64,
+    /// Inode-table start.
+    pub itable_start: u64,
+}
+
+/// Magic for the aggregate inode table.
+pub const AGGR_MAGIC: u32 = 0x4147_4752;
+
+impl AggregateInodes {
+    /// Serialize.
+    pub fn encode(&self) -> Block {
+        let mut b = Block::zeroed();
+        b.put_u32(0, AGGR_MAGIC);
+        b.put_u64(8, self.bmap_desc);
+        b.put_u64(16, self.imap_control);
+        b.put_u64(24, self.itable_start);
+        b
+    }
+
+    /// Decode with the magic check.
+    pub fn decode(b: &Block) -> Option<AggregateInodes> {
+        if b.get_u32(0) != AGGR_MAGIC {
+            return None;
+        }
+        Some(AggregateInodes {
+            bmap_desc: b.get_u64(8),
+            imap_control: b.get_u64(16),
+            itable_start: b.get_u64(24),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_regions_are_disjoint_and_ordered() {
+        let l = JfsLayout::compute(JfsParams::small());
+        let marks = [
+            0,
+            l.alt_super,
+            l.journal_super,
+            l.journal_start,
+            l.aggr_inode,
+            l.aggr_inode_secondary,
+            l.bmap_desc,
+            l.bmap_start,
+            l.imap_control,
+            l.imap_start,
+            l.itable_start,
+            l.alloc_start,
+        ];
+        assert!(marks.windows(2).all(|w| w[0] < w[1]), "{marks:?}");
+        assert!(l.alloc_start < l.params.total_blocks);
+        assert_eq!(l.total_inodes(), 32 * 32);
+    }
+
+    #[test]
+    fn inode_and_map_locations() {
+        let l = JfsLayout::compute(JfsParams::small());
+        let (b1, o1) = l.inode_location(1);
+        assert_eq!(b1.0, l.itable_start);
+        assert_eq!(o1, 0);
+        let (b33, o33) = l.inode_location(33);
+        assert_eq!(b33.0, l.itable_start + 1);
+        assert_eq!(o33, 0);
+        let (bm, bit) = l.bmap_location(100);
+        assert_eq!(bm.0, l.bmap_start);
+        assert_eq!(bit, 100);
+        let (im, ibit) = l.imap_location(5);
+        assert_eq!(im.0, l.imap_start);
+        assert_eq!(ibit, 4);
+    }
+
+    #[test]
+    fn super_round_trip_and_version_check() {
+        let s = JfsSuper {
+            total_blocks: 4096,
+            journal_blocks: 256,
+            itable_blocks: 32,
+            free_blocks: 3000,
+            free_inodes: 1000,
+            dirty: true,
+        };
+        assert_eq!(JfsSuper::decode(&s.encode()), Some(s));
+        let mut bad = s.encode();
+        bad.put_u32(4, 99); // wrong version
+        assert_eq!(JfsSuper::decode(&bad), None);
+    }
+
+    #[test]
+    fn bmap_desc_equality_check() {
+        let d = BmapDesc { free_blocks: 1234 };
+        assert_eq!(BmapDesc::decode(&d.encode()), Some(d));
+        let mut bad = d.encode();
+        bad.put_u64(8, 999); // copies disagree
+        assert_eq!(BmapDesc::decode(&bad), None);
+    }
+
+    #[test]
+    fn aggregate_inode_round_trip() {
+        let a = AggregateInodes {
+            bmap_desc: 10,
+            imap_control: 20,
+            itable_start: 30,
+        };
+        assert_eq!(AggregateInodes::decode(&a.encode()), Some(a));
+        assert_eq!(AggregateInodes::decode(&Block::zeroed()), None);
+    }
+}

@@ -1,0 +1,246 @@
+//! ReiserFS disk layout and block types.
+
+use iron_core::{Block, BlockAddr, BlockTag};
+
+/// ReiserFS v3's real superblock magic string.
+pub const REISER_MAGIC: &[u8; 10] = b"ReIsEr2Fs\0";
+
+/// ReiserFS block types (Table 4 / Figure 2 rows).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReiserBlockType {
+    /// Leaf node read for a stat item.
+    StatItem,
+    /// Leaf node read for a directory item.
+    DirItem,
+    /// Data bitmap block.
+    DataBitmap,
+    /// Leaf node read for an indirect item.
+    Indirect,
+    /// Leaf node read for a direct item (tail).
+    Direct,
+    /// User data block.
+    Data,
+    /// Superblock.
+    Super,
+    /// Journal header.
+    JournalHeader,
+    /// Journal descriptor block.
+    JournalDesc,
+    /// Journal commit block.
+    JournalCommit,
+    /// Journaled copy of a block.
+    JournalData,
+    /// The tree root node.
+    Root,
+    /// An internal (non-root, non-leaf) tree node.
+    Internal,
+    /// A leaf written back (no specific item context).
+    LeafNode,
+}
+
+impl ReiserBlockType {
+    /// Figure 2's row order for ReiserFS.
+    pub const FIGURE2_ROWS: [ReiserBlockType; 13] = [
+        ReiserBlockType::StatItem,
+        ReiserBlockType::DirItem,
+        ReiserBlockType::DataBitmap,
+        ReiserBlockType::Indirect,
+        ReiserBlockType::Data,
+        ReiserBlockType::Super,
+        ReiserBlockType::JournalHeader,
+        ReiserBlockType::JournalDesc,
+        ReiserBlockType::JournalCommit,
+        ReiserBlockType::JournalData,
+        ReiserBlockType::Root,
+        ReiserBlockType::Internal,
+        ReiserBlockType::LeafNode,
+    ];
+
+    /// The I/O tag (Figure 2's row labels).
+    pub fn tag(self) -> BlockTag {
+        BlockTag(match self {
+            ReiserBlockType::StatItem => "stat item",
+            ReiserBlockType::DirItem => "dir item",
+            ReiserBlockType::DataBitmap => "bitmap",
+            ReiserBlockType::Indirect => "indirect",
+            ReiserBlockType::Direct => "direct",
+            ReiserBlockType::Data => "data",
+            ReiserBlockType::Super => "super",
+            ReiserBlockType::JournalHeader => "j-header",
+            ReiserBlockType::JournalDesc => "j-desc",
+            ReiserBlockType::JournalCommit => "j-commit",
+            ReiserBlockType::JournalData => "j-data",
+            ReiserBlockType::Root => "root",
+            ReiserBlockType::Internal => "internal",
+            ReiserBlockType::LeafNode => "leaf",
+        })
+    }
+}
+
+/// Formatting parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ReiserParams {
+    /// Total device blocks.
+    pub total_blocks: u64,
+    /// Journal log-area blocks.
+    pub journal_blocks: u64,
+}
+
+impl ReiserParams {
+    /// A small test file system (16 MiB).
+    pub fn small() -> Self {
+        ReiserParams {
+            total_blocks: 4096,
+            journal_blocks: 256,
+        }
+    }
+}
+
+/// Computed layout.
+///
+/// ```text
+/// 0            superblock
+/// 1            journal header
+/// 2..2+J       journal log area
+/// then         bitmap blocks (1 per 32768 device blocks)
+/// rest         tree nodes + data blocks
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ReiserLayout {
+    /// Formatting parameters.
+    pub params: ReiserParams,
+    /// Journal header block.
+    pub journal_header: u64,
+    /// First journal log block.
+    pub journal_start: u64,
+    /// Journal log length.
+    pub journal_len: u64,
+    /// First bitmap block.
+    pub bitmap_start: u64,
+    /// Number of bitmap blocks.
+    pub bitmap_len: u64,
+    /// First allocatable block.
+    pub alloc_start: u64,
+}
+
+impl ReiserLayout {
+    /// Compute the layout.
+    pub fn compute(params: ReiserParams) -> Self {
+        let journal_header = 1;
+        let journal_start = 2;
+        let journal_len = params.journal_blocks;
+        let bitmap_start = journal_start + journal_len;
+        let bitmap_len = params.total_blocks.div_ceil(iron_core::BLOCK_SIZE as u64 * 8);
+        let alloc_start = bitmap_start + bitmap_len;
+        ReiserLayout {
+            params,
+            journal_header,
+            journal_start,
+            journal_len,
+            bitmap_start,
+            bitmap_len,
+            alloc_start,
+        }
+    }
+
+    /// The bitmap block and bit index covering device block `b`.
+    pub fn bitmap_location(&self, b: u64) -> (BlockAddr, u64) {
+        let bits_per_block = iron_core::BLOCK_SIZE as u64 * 8;
+        (
+            BlockAddr(self.bitmap_start + b / bits_per_block),
+            b % bits_per_block,
+        )
+    }
+}
+
+/// The ReiserFS superblock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReiserSuper {
+    /// Total device blocks.
+    pub total_blocks: u64,
+    /// Free blocks.
+    pub free_blocks: u64,
+    /// Tree root block (0 = empty tree — never in practice).
+    pub root_block: u64,
+    /// Height of the tree (1 = root is a leaf).
+    pub tree_height: u32,
+    /// Journal log length.
+    pub journal_blocks: u64,
+    /// Next object id to hand out.
+    pub next_oid: u64,
+    /// Unclean-shutdown flag.
+    pub dirty: bool,
+}
+
+impl ReiserSuper {
+    /// Serialize.
+    pub fn encode(&self) -> Block {
+        let mut b = Block::zeroed();
+        b.put_bytes(0, REISER_MAGIC);
+        b.put_u64(16, self.total_blocks);
+        b.put_u64(24, self.free_blocks);
+        b.put_u64(32, self.root_block);
+        b.put_u32(40, self.tree_height);
+        b.put_u64(48, self.journal_blocks);
+        b.put_u64(56, self.next_oid);
+        b.put_u32(64, u32::from(self.dirty));
+        b
+    }
+
+    /// Decode with the magic-string sanity check ReiserFS performs.
+    pub fn decode(b: &Block) -> Option<ReiserSuper> {
+        if b.get_bytes(0, 10) != REISER_MAGIC {
+            return None;
+        }
+        Some(ReiserSuper {
+            total_blocks: b.get_u64(16),
+            free_blocks: b.get_u64(24),
+            root_block: b.get_u64(32),
+            tree_height: b.get_u32(40),
+            journal_blocks: b.get_u64(48),
+            next_oid: b.get_u64(56),
+            dirty: b.get_u32(64) != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_regions_ordered() {
+        let l = ReiserLayout::compute(ReiserParams::small());
+        assert_eq!(l.journal_header, 1);
+        assert_eq!(l.journal_start, 2);
+        assert_eq!(l.bitmap_start, 258);
+        assert_eq!(l.bitmap_len, 1); // 4096 blocks fit one bitmap block
+        assert_eq!(l.alloc_start, 259);
+    }
+
+    #[test]
+    fn bitmap_location_maps_bits() {
+        let l = ReiserLayout::compute(ReiserParams::small());
+        let (blk, bit) = l.bitmap_location(0);
+        assert_eq!(blk.0, l.bitmap_start);
+        assert_eq!(bit, 0);
+        let (blk2, bit2) = l.bitmap_location(4095);
+        assert_eq!(blk2.0, l.bitmap_start);
+        assert_eq!(bit2, 4095);
+    }
+
+    #[test]
+    fn super_round_trip_and_magic() {
+        let s = ReiserSuper {
+            total_blocks: 4096,
+            free_blocks: 1000,
+            root_block: 300,
+            tree_height: 2,
+            journal_blocks: 256,
+            next_oid: 42,
+            dirty: true,
+        };
+        assert_eq!(ReiserSuper::decode(&s.encode()), Some(s));
+        assert_eq!(ReiserSuper::decode(&Block::zeroed()), None);
+    }
+}

@@ -1,0 +1,177 @@
+//! The [`SpecificFs`] trait: the interface every specific file system
+//! implements beneath the generic layer.
+
+use crate::env::FsEnv;
+use crate::types::{DirEntry, InodeAttr, Ino, StatFs, VfsResult};
+
+/// Inode-level operations provided by a specific file system (ext3,
+/// ReiserFS, JFS, NTFS, ixt3, or the in-memory reference [`crate::ramfs::RamFs`]).
+///
+/// The generic layer ([`crate::Vfs`]) implements path traversal, file
+/// descriptors, and the syscall surface on top of these. All methods take
+/// `&mut self`: the models are single-threaded, as the paper's analysis is
+/// about failure policy, not concurrency.
+///
+/// Implementations are expected to call [`FsEnv::check_alive`] /
+/// [`FsEnv::check_writable`] so that `RStop` outcomes (crash, read-only
+/// remount) have their documented effect on subsequent operations.
+pub trait SpecificFs {
+    /// The environment this file system was mounted with.
+    fn env(&self) -> &FsEnv;
+
+    /// Inode number of the root directory.
+    fn root_ino(&self) -> Ino;
+
+    /// Look up `name` in directory `dir`.
+    fn lookup(&mut self, dir: Ino, name: &str) -> VfsResult<Ino>;
+
+    /// Attributes of an inode.
+    fn getattr(&mut self, ino: Ino) -> VfsResult<InodeAttr>;
+
+    /// Set permission bits.
+    fn chmod(&mut self, ino: Ino, mode: u32) -> VfsResult<()>;
+
+    /// Set ownership.
+    fn chown(&mut self, ino: Ino, uid: u32, gid: u32) -> VfsResult<()>;
+
+    /// Set modification time.
+    fn utimes(&mut self, ino: Ino, mtime: u64) -> VfsResult<()>;
+
+    /// Create a regular file `name` in `dir`.
+    fn create(&mut self, dir: Ino, name: &str, mode: u32) -> VfsResult<Ino>;
+
+    /// Create a directory `name` in `dir`.
+    fn mkdir(&mut self, dir: Ino, name: &str, mode: u32) -> VfsResult<Ino>;
+
+    /// Remove the file link `name` from `dir`.
+    fn unlink(&mut self, dir: Ino, name: &str) -> VfsResult<()>;
+
+    /// Remove the empty directory `name` from `dir`.
+    fn rmdir(&mut self, dir: Ino, name: &str) -> VfsResult<()>;
+
+    /// Add a hard link to `ino` as `dir/name`.
+    fn link(&mut self, ino: Ino, dir: Ino, name: &str) -> VfsResult<()>;
+
+    /// Create a symlink `dir/name` pointing at `target`.
+    fn symlink(&mut self, dir: Ino, name: &str, target: &str) -> VfsResult<Ino>;
+
+    /// Read the target of a symlink.
+    fn readlink(&mut self, ino: Ino) -> VfsResult<String>;
+
+    /// Rename `src_dir/src_name` to `dst_dir/dst_name` (replacing any
+    /// existing file at the destination).
+    fn rename(&mut self, src_dir: Ino, src_name: &str, dst_dir: Ino, dst_name: &str)
+        -> VfsResult<()>;
+
+    /// Read up to `len` bytes at `off` from a regular file. Short reads at
+    /// end-of-file return fewer bytes; reads past EOF return empty.
+    fn read(&mut self, ino: Ino, off: u64, len: usize) -> VfsResult<Vec<u8>>;
+
+    /// Write `data` at `off`, extending the file as needed. Returns bytes
+    /// written.
+    fn write(&mut self, ino: Ino, off: u64, data: &[u8]) -> VfsResult<usize>;
+
+    /// Truncate (or extend with zeros) to `size`.
+    fn truncate(&mut self, ino: Ino, size: u64) -> VfsResult<()>;
+
+    /// List a directory.
+    fn readdir(&mut self, dir: Ino) -> VfsResult<Vec<DirEntry>>;
+
+    /// Flush one file's data and metadata to stable storage.
+    fn fsync(&mut self, ino: Ino) -> VfsResult<()>;
+
+    /// Flush everything to stable storage.
+    fn sync(&mut self) -> VfsResult<()>;
+
+    /// File-system statistics.
+    fn statfs(&mut self) -> VfsResult<StatFs>;
+
+    /// Cleanly unmount: flush, mark clean, transition to
+    /// [`crate::MountState::Unmounted`].
+    fn unmount(&mut self) -> VfsResult<()>;
+}
+
+macro_rules! forward_specific_fs {
+    ($ty:ty) => {
+        impl SpecificFs for $ty {
+            fn env(&self) -> &FsEnv {
+                (**self).env()
+            }
+            fn root_ino(&self) -> Ino {
+                (**self).root_ino()
+            }
+            fn lookup(&mut self, dir: Ino, name: &str) -> VfsResult<Ino> {
+                (**self).lookup(dir, name)
+            }
+            fn getattr(&mut self, ino: Ino) -> VfsResult<InodeAttr> {
+                (**self).getattr(ino)
+            }
+            fn chmod(&mut self, ino: Ino, mode: u32) -> VfsResult<()> {
+                (**self).chmod(ino, mode)
+            }
+            fn chown(&mut self, ino: Ino, uid: u32, gid: u32) -> VfsResult<()> {
+                (**self).chown(ino, uid, gid)
+            }
+            fn utimes(&mut self, ino: Ino, mtime: u64) -> VfsResult<()> {
+                (**self).utimes(ino, mtime)
+            }
+            fn create(&mut self, dir: Ino, name: &str, mode: u32) -> VfsResult<Ino> {
+                (**self).create(dir, name, mode)
+            }
+            fn mkdir(&mut self, dir: Ino, name: &str, mode: u32) -> VfsResult<Ino> {
+                (**self).mkdir(dir, name, mode)
+            }
+            fn unlink(&mut self, dir: Ino, name: &str) -> VfsResult<()> {
+                (**self).unlink(dir, name)
+            }
+            fn rmdir(&mut self, dir: Ino, name: &str) -> VfsResult<()> {
+                (**self).rmdir(dir, name)
+            }
+            fn link(&mut self, ino: Ino, dir: Ino, name: &str) -> VfsResult<()> {
+                (**self).link(ino, dir, name)
+            }
+            fn symlink(&mut self, dir: Ino, name: &str, target: &str) -> VfsResult<Ino> {
+                (**self).symlink(dir, name, target)
+            }
+            fn readlink(&mut self, ino: Ino) -> VfsResult<String> {
+                (**self).readlink(ino)
+            }
+            fn rename(
+                &mut self,
+                src_dir: Ino,
+                src_name: &str,
+                dst_dir: Ino,
+                dst_name: &str,
+            ) -> VfsResult<()> {
+                (**self).rename(src_dir, src_name, dst_dir, dst_name)
+            }
+            fn read(&mut self, ino: Ino, off: u64, len: usize) -> VfsResult<Vec<u8>> {
+                (**self).read(ino, off, len)
+            }
+            fn write(&mut self, ino: Ino, off: u64, data: &[u8]) -> VfsResult<usize> {
+                (**self).write(ino, off, data)
+            }
+            fn truncate(&mut self, ino: Ino, size: u64) -> VfsResult<()> {
+                (**self).truncate(ino, size)
+            }
+            fn readdir(&mut self, dir: Ino) -> VfsResult<Vec<DirEntry>> {
+                (**self).readdir(dir)
+            }
+            fn fsync(&mut self, ino: Ino) -> VfsResult<()> {
+                (**self).fsync(ino)
+            }
+            fn sync(&mut self) -> VfsResult<()> {
+                (**self).sync()
+            }
+            fn statfs(&mut self) -> VfsResult<StatFs> {
+                (**self).statfs()
+            }
+            fn unmount(&mut self) -> VfsResult<()> {
+                (**self).unmount()
+            }
+        }
+    };
+}
+
+forward_specific_fs!(Box<dyn SpecificFs>);
+forward_specific_fs!(&mut dyn SpecificFs);

@@ -1,0 +1,36 @@
+//! # iron-vfs
+//!
+//! The *generic* half of the file-system split in Figure 1 of the paper:
+//! "This layer is often split into two pieces: a high-level component common
+//! to all file systems, and a specific component that maps generic
+//! operations onto the data structures of the particular file system."
+//!
+//! * [`SpecificFs`] is the interface each specific file system (ext3,
+//!   ReiserFS, JFS, NTFS, ixt3) implements — inode-level operations.
+//! * [`Vfs`] wraps a `SpecificFs` and provides the POSIX-style syscall
+//!   surface the fingerprinting workloads exercise (every singlet in
+//!   Table 3): path traversal, file descriptors, cwd/chroot state.
+//! * [`FsEnv`] is the simulated kernel environment: the kernel log plus the
+//!   mount state machine (read-write → read-only → crashed). ReiserFS's
+//!   `panic()` and ext3's journal abort are transitions of this machine,
+//!   observable by the fingerprinting framework.
+//!
+//! The paper notes that *failure policy diffusion* between generic and
+//! specific code causes illogical inconsistencies (§5.6); keeping the split
+//! explicit lets our models place each behavior where the real system had
+//! it (e.g. JFS's single-retry lives in "generic" helper code in the
+//! `iron-jfs` crate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod fs;
+pub mod ramfs;
+pub mod types;
+pub mod vfs;
+
+pub use env::{FsEnv, MountState};
+pub use fs::SpecificFs;
+pub use types::{DirEntry, Fd, FileType, InodeAttr, OpenFlags, StatFs, VfsError, VfsResult};
+pub use vfs::Vfs;

@@ -1,0 +1,212 @@
+//! Common VFS-level types: errors, attributes, directory entries, flags.
+
+use std::fmt;
+
+use iron_core::Errno;
+
+/// An inode number.
+pub type Ino = u64;
+
+/// Errors surfaced through the syscall API.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VfsError {
+    /// An ordinary errno, as an application would see it.
+    Errno(Errno),
+    /// The simulated kernel panicked (e.g. ReiserFS `panic()` on write
+    /// failure). The "machine" is down; every subsequent call returns this
+    /// too.
+    KernelPanic(String),
+}
+
+impl VfsError {
+    /// The errno, if this is an errno-style error.
+    pub fn errno(&self) -> Option<Errno> {
+        match self {
+            VfsError::Errno(e) => Some(*e),
+            VfsError::KernelPanic(_) => None,
+        }
+    }
+
+    /// True if this is a kernel panic.
+    pub fn is_panic(&self) -> bool {
+        matches!(self, VfsError::KernelPanic(_))
+    }
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::Errno(e) => write!(f, "{e}"),
+            VfsError::KernelPanic(msg) => write!(f, "kernel panic: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+impl From<Errno> for VfsError {
+    fn from(e: Errno) -> Self {
+        VfsError::Errno(e)
+    }
+}
+
+/// Result alias for VFS operations.
+pub type VfsResult<T> = Result<T, VfsError>;
+
+/// The type of a file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+}
+
+/// Inode attributes, as returned by `stat`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InodeAttr {
+    /// Inode number.
+    pub ino: Ino,
+    /// File type.
+    pub ftype: FileType,
+    /// Size in bytes.
+    pub size: u64,
+    /// Hard link count.
+    pub nlink: u32,
+    /// Permission bits.
+    pub mode: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Modification time (simulated seconds).
+    pub mtime: u64,
+}
+
+impl InodeAttr {
+    /// A fresh attribute record for a new file-system object.
+    pub fn new(ino: Ino, ftype: FileType, mode: u32) -> Self {
+        InodeAttr {
+            ino,
+            ftype,
+            size: 0,
+            nlink: if ftype == FileType::Directory { 2 } else { 1 },
+            mode,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+        }
+    }
+}
+
+/// One directory entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DirEntry {
+    /// Entry name (no slashes).
+    pub name: String,
+    /// Inode it refers to.
+    pub ino: Ino,
+    /// Type of the referent.
+    pub ftype: FileType,
+}
+
+/// `statfs` output.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StatFs {
+    /// Block size in bytes.
+    pub block_size: u32,
+    /// Total data blocks.
+    pub blocks: u64,
+    /// Free data blocks.
+    pub blocks_free: u64,
+    /// Total inodes.
+    pub inodes: u64,
+    /// Free inodes.
+    pub inodes_free: u64,
+}
+
+/// A file descriptor handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fd(pub usize);
+
+/// Open flags (a small POSIX subset).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct OpenFlags {
+    /// Open for reading.
+    pub read: bool,
+    /// Open for writing.
+    pub write: bool,
+    /// Create if absent.
+    pub create: bool,
+    /// Truncate to zero length on open.
+    pub truncate: bool,
+    /// All writes append.
+    pub append: bool,
+}
+
+impl OpenFlags {
+    /// `O_RDONLY`.
+    pub fn rdonly() -> Self {
+        OpenFlags {
+            read: true,
+            ..Default::default()
+        }
+    }
+
+    /// `O_WRONLY`.
+    pub fn wronly() -> Self {
+        OpenFlags {
+            write: true,
+            ..Default::default()
+        }
+    }
+
+    /// `O_RDWR`.
+    pub fn rdwr() -> Self {
+        OpenFlags {
+            read: true,
+            write: true,
+            ..Default::default()
+        }
+    }
+
+    /// `O_WRONLY | O_CREAT | O_TRUNC` — what `creat(2)` means.
+    pub fn creat() -> Self {
+        OpenFlags {
+            write: true,
+            create: true,
+            truncate: true,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vfs_error_conversions() {
+        let e: VfsError = Errno::ENOENT.into();
+        assert_eq!(e.errno(), Some(Errno::ENOENT));
+        assert!(!e.is_panic());
+        let p = VfsError::KernelPanic("reiserfs".into());
+        assert!(p.is_panic());
+        assert_eq!(p.errno(), None);
+        assert!(p.to_string().contains("kernel panic"));
+    }
+
+    #[test]
+    fn new_attr_link_counts() {
+        assert_eq!(InodeAttr::new(1, FileType::Directory, 0o755).nlink, 2);
+        assert_eq!(InodeAttr::new(2, FileType::Regular, 0o644).nlink, 1);
+    }
+
+    #[test]
+    fn creat_flags() {
+        let f = OpenFlags::creat();
+        assert!(f.write && f.create && f.truncate && !f.read);
+    }
+}

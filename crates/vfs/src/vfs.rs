@@ -1,0 +1,488 @@
+//! [`Vfs`]: the generic syscall layer over a [`SpecificFs`].
+//!
+//! Provides every singlet workload in Table 3 of the paper: `access`,
+//! `chdir`, `chroot`, `stat`, `statfs`, `lstat`, `open`, `utimes`, `read`,
+//! `readlink`, `getdirentries`, `creat`, `link`, `mkdir`, `rename`, `chown`,
+//! `symlink`, `write`, `truncate`, `rmdir`, `unlink`, `chmod`, `fsync`,
+//! `sync`, `umount` (mount is the construction of the specific file system
+//! itself), plus generic *path traversal*.
+
+use iron_core::Errno;
+
+use crate::fs::SpecificFs;
+use crate::types::{DirEntry, Fd, FileType, InodeAttr, Ino, OpenFlags, StatFs, VfsError, VfsResult};
+
+/// Maximum symlink-follow depth before `ELOOP`.
+const MAX_SYMLINKS: usize = 8;
+/// Maximum length of one path component.
+const MAX_NAME: usize = 255;
+
+#[derive(Clone, Debug)]
+struct OpenFile {
+    ino: Ino,
+    flags: OpenFlags,
+    offset: u64,
+}
+
+/// The generic file-system layer: path traversal, fd table, process state
+/// (cwd/root), over any [`SpecificFs`].
+pub struct Vfs<F: SpecificFs> {
+    fs: F,
+    fds: Vec<Option<OpenFile>>,
+    cwd: Ino,
+    root: Ino,
+}
+
+impl<F: SpecificFs> Vfs<F> {
+    /// Wrap a mounted specific file system.
+    pub fn new(fs: F) -> Self {
+        let root = fs.root_ino();
+        Vfs {
+            fs,
+            fds: Vec::new(),
+            cwd: root,
+            root,
+        }
+    }
+
+    /// Borrow the specific file system.
+    pub fn fs(&self) -> &F {
+        &self.fs
+    }
+
+    /// Mutably borrow the specific file system.
+    pub fn fs_mut(&mut self) -> &mut F {
+        &mut self.fs
+    }
+
+    /// Consume the wrapper, returning the specific file system.
+    pub fn into_fs(self) -> F {
+        self.fs
+    }
+
+    // ------------------------------------------------------------------
+    // Path traversal (the paper's "path traversal" generic workload).
+    // ------------------------------------------------------------------
+
+    fn resolve_from(
+        &mut self,
+        start: Ino,
+        path: &str,
+        follow_last: bool,
+        depth: usize,
+    ) -> VfsResult<Ino> {
+        if depth > MAX_SYMLINKS {
+            return Err(Errno::ELOOP.into());
+        }
+        let mut cur = if path.starts_with('/') { self.root } else { start };
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        let n = comps.len();
+        for (i, comp) in comps.into_iter().enumerate() {
+            if comp.len() > MAX_NAME {
+                return Err(Errno::ENAMETOOLONG.into());
+            }
+            let attr = self.fs.getattr(cur)?;
+            if attr.ftype != FileType::Directory {
+                return Err(Errno::ENOTDIR.into());
+            }
+            let next = self.fs.lookup(cur, comp)?;
+            let nattr = self.fs.getattr(next)?;
+            let last = i == n - 1;
+            if nattr.ftype == FileType::Symlink && (!last || follow_last) {
+                let target = self.fs.readlink(next)?;
+                cur = self.resolve_from(cur, &target, true, depth + 1)?;
+            } else {
+                cur = next;
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Resolve a path to an inode, following symlinks (including a trailing
+    /// one).
+    pub fn resolve(&mut self, path: &str) -> VfsResult<Ino> {
+        self.resolve_from(self.cwd, path, true, 0)
+    }
+
+    /// Resolve a path without following a trailing symlink (`lstat`-style).
+    pub fn resolve_nofollow(&mut self, path: &str) -> VfsResult<Ino> {
+        self.resolve_from(self.cwd, path, false, 0)
+    }
+
+    /// Split a path into (resolved parent directory inode, final name).
+    pub fn resolve_parent(&mut self, path: &str) -> VfsResult<(Ino, String)> {
+        let trimmed = path.trim_end_matches('/');
+        if trimmed.is_empty() {
+            return Err(Errno::EINVAL.into());
+        }
+        let (dir_part, name) = match trimmed.rfind('/') {
+            Some(pos) => (&trimmed[..pos], &trimmed[pos + 1..]),
+            None => ("", trimmed),
+        };
+        if name.is_empty() || name == "." || name == ".." {
+            return Err(Errno::EINVAL.into());
+        }
+        if name.len() > MAX_NAME {
+            return Err(Errno::ENAMETOOLONG.into());
+        }
+        let dir = if dir_part.is_empty() {
+            if trimmed.starts_with('/') {
+                self.root
+            } else {
+                self.cwd
+            }
+        } else {
+            self.resolve_from(self.cwd, dir_part, true, 0)?
+        };
+        let attr = self.fs.getattr(dir)?;
+        if attr.ftype != FileType::Directory {
+            return Err(Errno::ENOTDIR.into());
+        }
+        Ok((dir, name.to_string()))
+    }
+
+    // ------------------------------------------------------------------
+    // Process state.
+    // ------------------------------------------------------------------
+
+    /// `chdir(2)`.
+    pub fn chdir(&mut self, path: &str) -> VfsResult<()> {
+        let ino = self.resolve(path)?;
+        if self.fs.getattr(ino)?.ftype != FileType::Directory {
+            return Err(Errno::ENOTDIR.into());
+        }
+        self.cwd = ino;
+        Ok(())
+    }
+
+    /// `chroot(2)`.
+    pub fn chroot(&mut self, path: &str) -> VfsResult<()> {
+        let ino = self.resolve(path)?;
+        if self.fs.getattr(ino)?.ftype != FileType::Directory {
+            return Err(Errno::ENOTDIR.into());
+        }
+        self.root = ino;
+        self.cwd = ino;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata syscalls.
+    // ------------------------------------------------------------------
+
+    /// `stat(2)` (follows symlinks).
+    pub fn stat(&mut self, path: &str) -> VfsResult<InodeAttr> {
+        let ino = self.resolve(path)?;
+        self.fs.getattr(ino)
+    }
+
+    /// `lstat(2)` (does not follow a trailing symlink).
+    pub fn lstat(&mut self, path: &str) -> VfsResult<InodeAttr> {
+        let ino = self.resolve_nofollow(path)?;
+        self.fs.getattr(ino)
+    }
+
+    /// `access(2)` — existence check in our permission-free model.
+    pub fn access(&mut self, path: &str) -> VfsResult<()> {
+        self.resolve(path).map(|_| ())
+    }
+
+    /// `statfs(2)`.
+    pub fn statfs(&mut self) -> VfsResult<StatFs> {
+        self.fs.statfs()
+    }
+
+    /// `chmod(2)`.
+    pub fn chmod(&mut self, path: &str, mode: u32) -> VfsResult<()> {
+        let ino = self.resolve(path)?;
+        self.fs.chmod(ino, mode)
+    }
+
+    /// `chown(2)`.
+    pub fn chown(&mut self, path: &str, uid: u32, gid: u32) -> VfsResult<()> {
+        let ino = self.resolve(path)?;
+        self.fs.chown(ino, uid, gid)
+    }
+
+    /// `utimes(2)`.
+    pub fn utimes(&mut self, path: &str, mtime: u64) -> VfsResult<()> {
+        let ino = self.resolve(path)?;
+        self.fs.utimes(ino, mtime)
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace syscalls.
+    // ------------------------------------------------------------------
+
+    /// `mkdir(2)`.
+    pub fn mkdir(&mut self, path: &str, mode: u32) -> VfsResult<()> {
+        let (dir, name) = self.resolve_parent(path)?;
+        self.fs.mkdir(dir, &name, mode).map(|_| ())
+    }
+
+    /// `rmdir(2)`.
+    pub fn rmdir(&mut self, path: &str) -> VfsResult<()> {
+        let (dir, name) = self.resolve_parent(path)?;
+        self.fs.rmdir(dir, &name)
+    }
+
+    /// `unlink(2)`.
+    pub fn unlink(&mut self, path: &str) -> VfsResult<()> {
+        let (dir, name) = self.resolve_parent(path)?;
+        self.fs.unlink(dir, &name)
+    }
+
+    /// `link(2)` — hard link `new` to existing `old`.
+    pub fn link(&mut self, old: &str, new: &str) -> VfsResult<()> {
+        let ino = self.resolve(old)?;
+        if self.fs.getattr(ino)?.ftype == FileType::Directory {
+            return Err(Errno::EISDIR.into());
+        }
+        let (dir, name) = self.resolve_parent(new)?;
+        self.fs.link(ino, dir, &name)
+    }
+
+    /// `symlink(2)`.
+    pub fn symlink(&mut self, target: &str, linkpath: &str) -> VfsResult<()> {
+        let (dir, name) = self.resolve_parent(linkpath)?;
+        self.fs.symlink(dir, &name, target).map(|_| ())
+    }
+
+    /// `readlink(2)`.
+    pub fn readlink(&mut self, path: &str) -> VfsResult<String> {
+        let ino = self.resolve_nofollow(path)?;
+        if self.fs.getattr(ino)?.ftype != FileType::Symlink {
+            return Err(Errno::EINVAL.into());
+        }
+        self.fs.readlink(ino)
+    }
+
+    /// `rename(2)`.
+    ///
+    /// The generic layer performs the classic ancestry check: a directory
+    /// cannot be moved into itself or its own subtree (`EINVAL`), which
+    /// would orphan it.
+    pub fn rename(&mut self, from: &str, to: &str) -> VfsResult<()> {
+        let (sdir, sname) = self.resolve_parent(from)?;
+        let (ddir, dname) = self.resolve_parent(to)?;
+        let src = self.fs.lookup(sdir, &sname)?;
+        if self.fs.getattr(src)?.ftype == FileType::Directory {
+            let mut cur = ddir;
+            loop {
+                if cur == src {
+                    return Err(Errno::EINVAL.into());
+                }
+                if cur == self.root || cur == self.fs.root_ino() {
+                    break;
+                }
+                let parent = self.fs.lookup(cur, "..")?;
+                if parent == cur {
+                    break;
+                }
+                cur = parent;
+            }
+        }
+        self.fs.rename(sdir, &sname, ddir, &dname)
+    }
+
+    /// `getdirentries` / `readdir(3)`.
+    pub fn readdir(&mut self, path: &str) -> VfsResult<Vec<DirEntry>> {
+        let ino = self.resolve(path)?;
+        if self.fs.getattr(ino)?.ftype != FileType::Directory {
+            return Err(Errno::ENOTDIR.into());
+        }
+        self.fs.readdir(ino)
+    }
+
+    // ------------------------------------------------------------------
+    // File I/O syscalls.
+    // ------------------------------------------------------------------
+
+    /// `open(2)`.
+    pub fn open(&mut self, path: &str, flags: OpenFlags) -> VfsResult<Fd> {
+        let ino = match self.resolve(path) {
+            Ok(ino) => {
+                let attr = self.fs.getattr(ino)?;
+                if attr.ftype == FileType::Directory && flags.write {
+                    return Err(Errno::EISDIR.into());
+                }
+                if flags.truncate && flags.write {
+                    self.fs.truncate(ino, 0)?;
+                }
+                ino
+            }
+            Err(VfsError::Errno(Errno::ENOENT)) if flags.create => {
+                let (dir, name) = self.resolve_parent(path)?;
+                self.fs.create(dir, &name, 0o644)?
+            }
+            Err(e) => return Err(e),
+        };
+        let file = OpenFile {
+            ino,
+            flags,
+            offset: 0,
+        };
+        let slot = self.fds.iter().position(Option::is_none);
+        let fd = match slot {
+            Some(i) => {
+                self.fds[i] = Some(file);
+                i
+            }
+            None => {
+                self.fds.push(Some(file));
+                self.fds.len() - 1
+            }
+        };
+        Ok(Fd(fd))
+    }
+
+    /// `creat(2)` — `open(path, O_WRONLY|O_CREAT|O_TRUNC)`.
+    pub fn creat(&mut self, path: &str) -> VfsResult<Fd> {
+        self.open(path, OpenFlags::creat())
+    }
+
+    /// `close(2)`.
+    pub fn close(&mut self, fd: Fd) -> VfsResult<()> {
+        let slot = self.fds.get_mut(fd.0).ok_or(Errno::EBADF)?;
+        if slot.take().is_none() {
+            return Err(Errno::EBADF.into());
+        }
+        Ok(())
+    }
+
+    fn file(&self, fd: Fd) -> VfsResult<&OpenFile> {
+        self.fds
+            .get(fd.0)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| Errno::EBADF.into())
+    }
+
+    /// `read(2)` at the fd's current offset.
+    pub fn read(&mut self, fd: Fd, len: usize) -> VfsResult<Vec<u8>> {
+        let (ino, off, can_read) = {
+            let f = self.file(fd)?;
+            (f.ino, f.offset, f.flags.read)
+        };
+        if !can_read {
+            return Err(Errno::EBADF.into());
+        }
+        let data = self.fs.read(ino, off, len)?;
+        if let Some(Some(f)) = self.fds.get_mut(fd.0) {
+            f.offset += data.len() as u64;
+        }
+        Ok(data)
+    }
+
+    /// `pread(2)` — positional read; does not move the offset.
+    pub fn pread(&mut self, fd: Fd, off: u64, len: usize) -> VfsResult<Vec<u8>> {
+        let (ino, can_read) = {
+            let f = self.file(fd)?;
+            (f.ino, f.flags.read)
+        };
+        if !can_read {
+            return Err(Errno::EBADF.into());
+        }
+        self.fs.read(ino, off, len)
+    }
+
+    /// `write(2)` at the fd's current offset (or EOF if `O_APPEND`).
+    pub fn write(&mut self, fd: Fd, data: &[u8]) -> VfsResult<usize> {
+        let (ino, mut off, flags) = {
+            let f = self.file(fd)?;
+            (f.ino, f.offset, f.flags)
+        };
+        if !flags.write {
+            return Err(Errno::EBADF.into());
+        }
+        if flags.append {
+            off = self.fs.getattr(ino)?.size;
+        }
+        let n = self.fs.write(ino, off, data)?;
+        if let Some(Some(f)) = self.fds.get_mut(fd.0) {
+            f.offset = off + n as u64;
+        }
+        Ok(n)
+    }
+
+    /// `pwrite(2)` — positional write; does not move the offset.
+    pub fn pwrite(&mut self, fd: Fd, off: u64, data: &[u8]) -> VfsResult<usize> {
+        let (ino, can_write) = {
+            let f = self.file(fd)?;
+            (f.ino, f.flags.write)
+        };
+        if !can_write {
+            return Err(Errno::EBADF.into());
+        }
+        self.fs.write(ino, off, data)
+    }
+
+    /// `lseek(2)` to an absolute offset.
+    pub fn seek(&mut self, fd: Fd, off: u64) -> VfsResult<()> {
+        let slot = self
+            .fds
+            .get_mut(fd.0)
+            .and_then(Option::as_mut)
+            .ok_or(Errno::EBADF)?;
+        slot.offset = off;
+        Ok(())
+    }
+
+    /// `truncate(2)` by path.
+    pub fn truncate(&mut self, path: &str, size: u64) -> VfsResult<()> {
+        let ino = self.resolve(path)?;
+        if self.fs.getattr(ino)?.ftype == FileType::Directory {
+            return Err(Errno::EISDIR.into());
+        }
+        self.fs.truncate(ino, size)
+    }
+
+    /// `fsync(2)`.
+    pub fn fsync(&mut self, fd: Fd) -> VfsResult<()> {
+        let ino = self.file(fd)?.ino;
+        self.fs.fsync(ino)
+    }
+
+    /// `sync(2)`.
+    pub fn sync(&mut self) -> VfsResult<()> {
+        self.fs.sync()
+    }
+
+    /// `umount(2)` — closes all fds and cleanly unmounts.
+    pub fn umount(&mut self) -> VfsResult<()> {
+        self.fds.clear();
+        self.fs.unmount()
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience helpers used heavily by workloads and tests.
+    // ------------------------------------------------------------------
+
+    /// Create (or truncate) a file at `path` and write `data` to it.
+    pub fn write_file(&mut self, path: &str, data: &[u8]) -> VfsResult<()> {
+        let fd = self.creat(path)?;
+        let mut written = 0;
+        while written < data.len() {
+            written += self.write(fd, &data[written..])?;
+        }
+        self.close(fd)
+    }
+
+    /// Read the entire contents of the file at `path`.
+    pub fn read_file(&mut self, path: &str) -> VfsResult<Vec<u8>> {
+        let fd = self.open(path, OpenFlags::rdonly())?;
+        let size = {
+            let ino = self.file(fd)?.ino;
+            self.fs.getattr(ino)?.size
+        };
+        let mut out = Vec::with_capacity(size as usize);
+        loop {
+            let chunk = self.read(fd, 64 * 1024)?;
+            if chunk.is_empty() {
+                break;
+            }
+            out.extend_from_slice(&chunk);
+        }
+        self.close(fd)?;
+        Ok(out)
+    }
+}

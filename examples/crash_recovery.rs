@@ -1,0 +1,85 @@
+//! Crash recovery and the transactional checksum (§6.1): a crash leaves a
+//! committed-but-unflushed transaction in the journal; we then corrupt one
+//! journal block. Stock ext3 replays the garbage straight over its own
+//! metadata; ixt3's transactional checksum detects the damage and skips
+//! the transaction.
+//!
+//! Run with: `cargo run --example crash_recovery`
+
+use ironfs::blockdev::{MemDisk, RawAccess};
+use ironfs::core::{Block, BlockAddr};
+use ironfs::ext3::{DiskLayout, Ext3Fs, Ext3Options, Ext3Params, IronConfig};
+use ironfs::vfs::{FsEnv, Vfs};
+
+/// Build an image whose journal holds one committed, un-checkpointed
+/// transaction, then corrupt its first journal-data block.
+fn crashed_image(tc: bool) -> MemDisk {
+    let params = Ext3Params::small();
+    let mut dev = MemDisk::for_tests(4096);
+    Ext3Fs::<MemDisk>::mkfs(&mut dev, params).unwrap();
+    let iron = IronConfig {
+        txn_checksum: tc,
+        ..IronConfig::off()
+    };
+    let opts = Ext3Options {
+        iron,
+        crash_mode: true, // commits stop after the commit block
+        ..Default::default()
+    };
+    let fs = Ext3Fs::mount(dev, FsEnv::new(), opts).unwrap();
+    let mut v = Vfs::new(fs);
+    v.mkdir("/important", 0o755).unwrap();
+    v.write_file("/important/ledger", b"the only copy").unwrap();
+    v.sync().unwrap(); // journal durable; checkpoint never happens
+    let mut dev = v.into_fs().into_device(); // CRASH
+
+    // Disk corruption strikes the journal while the machine is down.
+    let layout = DiskLayout::compute(params);
+    for a in layout.journal_start..layout.journal_start + layout.journal_len {
+        let b = dev.peek(BlockAddr(a));
+        if !b.is_zeroed() && ironfs::ext3::journal::classify_log_block(&b).is_none() {
+            // First journal-data block: overwrite with garbage.
+            dev.poke(BlockAddr(a), &Block::filled(0xDB));
+            break;
+        }
+    }
+    dev
+}
+
+fn main() {
+    println!("A crash + journal corruption, replayed two ways:\n");
+
+    // Stock ext3: no journal-data checking — garbage is replayed.
+    {
+        let env = FsEnv::new();
+        let fs = Ext3Fs::mount(crashed_image(false), env.clone(), Ext3Options::default())
+            .expect("mount");
+        let mut v = Vfs::new(fs);
+        println!("ext3 (no Tc):");
+        println!("  stat /important        -> {:?}", v.stat("/important").map(|a| a.ftype));
+        println!("  stat /important/ledger -> {:?}", v.stat("/important/ledger").map(|a| a.size));
+        println!("  (some metadata block now contains 0xDB garbage — corruption was replayed)\n");
+    }
+
+    // ixt3 with Tc: the transaction checksum catches it.
+    {
+        let env = FsEnv::new();
+        let opts = Ext3Options::with_iron(IronConfig {
+            txn_checksum: true,
+            ..IronConfig::off()
+        });
+        let fs = Ext3Fs::mount(crashed_image(true), env.clone(), opts).expect("mount");
+        let mut v = Vfs::new(fs);
+        println!("ixt3 (Tc on):");
+        println!(
+            "  transactional checksum mismatch logged: {}",
+            env.klog.contains("transactional checksum mismatch")
+        );
+        println!(
+            "  stat /important        -> {:?}  (transaction skipped: the dir never existed)",
+            v.stat("/important").map(|a| a.ftype)
+        );
+        println!("  the damaged transaction was rejected; the file system stays consistent");
+        println!("  (and Tc also makes commits ~20% faster on sync-heavy workloads — Table 6)");
+    }
+}

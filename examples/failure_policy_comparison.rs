@@ -1,0 +1,114 @@
+//! The paper's §5 in miniature: hit each commodity file system with the
+//! same fault — a failed metadata write — and watch four different failure
+//! policies unfold:
+//!
+//! * ext3 ignores it entirely (the paper's headline bug),
+//! * ReiserFS panics the machine ("first, do no harm"),
+//! * JFS ignores it too (kitchen-sink policy, wrong drawer),
+//! * NTFS retries, then propagates the error.
+//!
+//! Run with: `cargo run --example failure_policy_comparison`
+
+use ironfs::blockdev::MemDisk;
+use ironfs::core::{BlockTag, FaultKind};
+use ironfs::faultinject::{FaultSpec, FaultTarget, FaultyDisk};
+use ironfs::vfs::{FsEnv, MountState, Vfs};
+
+fn report(name: &str, outcome: &str, env: &FsEnv) {
+    let state = match env.state() {
+        MountState::ReadWrite => "still read-write",
+        MountState::ReadOnly => "remounted read-only",
+        MountState::Crashed => "KERNEL PANIC",
+        MountState::Unmounted => "unmounted",
+    };
+    println!("{name:<10} {outcome:<40} [{state}]");
+    if let Some(e) = env.klog.entries().last() {
+        println!("{:>10} last klog: {e}", "");
+    }
+    println!();
+}
+
+fn main() {
+    println!("One fault, four policies: fail every metadata write\n");
+
+    // ext3: write errors are ignored (PAPER-BUG).
+    {
+        let mut md = MemDisk::for_tests(4096);
+        ironfs::ext3::Ext3Fs::<MemDisk>::mkfs(&mut md, ironfs::ext3::Ext3Params::small()).unwrap();
+        let faulty = FaultyDisk::new(md);
+        faulty.controller().inject(FaultSpec::sticky(
+            FaultKind::WriteError,
+            FaultTarget::Tag(BlockTag("inode")),
+        ));
+        let env = FsEnv::new();
+        let fs =
+            ironfs::ext3::Ext3Fs::mount(faulty, env.clone(), Default::default()).unwrap();
+        let mut v = Vfs::new(fs);
+        v.write_file("/f", b"x").unwrap();
+        let r = v.sync();
+        report(
+            "ext3",
+            &format!("sync() -> {:?}  (error silently ignored!)", r.is_ok()),
+            &env,
+        );
+    }
+
+    // ReiserFS: panic.
+    {
+        let mut md = MemDisk::for_tests(4096);
+        ironfs::reiser::ReiserFs::<MemDisk>::mkfs(&mut md, ironfs::reiser::ReiserParams::small())
+            .unwrap();
+        let faulty = FaultyDisk::new(md);
+        faulty.controller().inject(FaultSpec::sticky(
+            FaultKind::WriteError,
+            FaultTarget::Tag(BlockTag("leaf")),
+        ));
+        let env = FsEnv::new();
+        let fs =
+            ironfs::reiser::ReiserFs::mount(faulty, env.clone(), Default::default()).unwrap();
+        let mut v = Vfs::new(fs);
+        v.write_file("/f", b"x").unwrap();
+        let r = v.sync();
+        report("ReiserFS", &format!("sync() -> {r:?}"), &env);
+    }
+
+    // JFS: ignored (except the journal superblock).
+    {
+        let mut md = MemDisk::for_tests(4096);
+        ironfs::jfs::JfsFs::<MemDisk>::mkfs(&mut md, ironfs::jfs::JfsParams::small()).unwrap();
+        let faulty = FaultyDisk::new(md);
+        faulty.controller().inject(FaultSpec::sticky(
+            FaultKind::WriteError,
+            FaultTarget::Tag(BlockTag("inode")),
+        ));
+        let env = FsEnv::new();
+        let fs = ironfs::jfs::JfsFs::mount(faulty, env.clone(), Default::default()).unwrap();
+        let mut v = Vfs::new(fs);
+        v.write_file("/f", b"x").unwrap();
+        let r = v.sync();
+        report(
+            "JFS",
+            &format!("sync() -> {:?}  (checkpoint error dropped)", r.is_ok()),
+            &env,
+        );
+    }
+
+    // NTFS: retry, retry, then tell the user.
+    {
+        let mut md = MemDisk::for_tests(4096);
+        ironfs::ntfs::NtfsFs::<MemDisk>::mkfs(&mut md, ironfs::ntfs::NtfsParams::small()).unwrap();
+        let faulty = FaultyDisk::new(md);
+        faulty.controller().inject(FaultSpec::sticky(
+            FaultKind::WriteError,
+            FaultTarget::Tag(BlockTag("MFT record")),
+        ));
+        let env = FsEnv::new();
+        let fs = ironfs::ntfs::NtfsFs::mount(faulty, env.clone(), Default::default()).unwrap();
+        let mut v = Vfs::new(fs);
+        let r = v.write_file("/f", b"x");
+        report("NTFS", &format!("write() -> {r:?}"), &env);
+    }
+
+    println!("(the fingerprinting framework does this for ~780 scenarios per file system —");
+    println!(" run `cargo run --release --bin figure2` to regenerate the paper's Figure 2)");
+}

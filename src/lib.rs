@@ -1,0 +1,54 @@
+//! # ironfs — a reproduction of *IRON File Systems* (SOSP 2005)
+//!
+//! > "Commodity file systems trust disks to either work or fail
+//! > completely, yet modern disks exhibit more complex failure modes."
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`core`] — the fail-partial failure model and IRON taxonomy;
+//! * [`blockdev`] — the simulated disk (typed I/O, mechanical timing);
+//! * [`faultinject`] — the type-aware fault-injection pseudo-device;
+//! * [`vfs`] — the generic file-system layer (POSIX surface, mount state);
+//! * [`ext3`], [`reiser`], [`jfs`], [`ntfs`] — behavioral models of the
+//!   four commodity file systems, measured failure policies and bugs
+//!   included;
+//! * [`ixt3`] — the prototype IRON file system (checksums, replication,
+//!   parity, transactional checksums, scrubbing);
+//! * [`fingerprint`] — the failure-policy fingerprinting framework
+//!   (workloads, campaigns, inference, Figure 2/3 rendering);
+//! * [`workloads`] — the Table 6 macro-benchmarks and space-overhead
+//!   analysis.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ironfs::blockdev::MemDisk;
+//! use ironfs::ext3::Ext3Params;
+//! use ironfs::vfs::{FsEnv, SpecificFs, Vfs};
+//!
+//! // Format and mount a full ixt3 (checksums + replication + parity + Tc).
+//! let disk = MemDisk::for_tests(4096);
+//! let fs = ironfs::ixt3::format_and_mount_full(disk, FsEnv::new(), Ext3Params::small())
+//!     .expect("mount");
+//! let mut v = Vfs::new(fs);
+//! v.write_file("/hello.txt", b"don't trust the disk").unwrap();
+//! assert_eq!(v.read_file("/hello.txt").unwrap(), b"don't trust the disk");
+//! ```
+//!
+//! See `examples/` for fault injection, crash recovery, and scrubbing
+//! walk-throughs, and the `iron-bench` crate for the binaries that
+//! regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use iron_blockdev as blockdev;
+pub use iron_core as core;
+pub use iron_ext3 as ext3;
+pub use iron_faultinject as faultinject;
+pub use iron_fingerprint as fingerprint;
+pub use iron_ixt3 as ixt3;
+pub use iron_jfs as jfs;
+pub use iron_ntfs as ntfs;
+pub use iron_reiser as reiser;
+pub use iron_vfs as vfs;
+pub use iron_workloads as workloads;

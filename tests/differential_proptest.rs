@@ -1,0 +1,202 @@
+//! Property-based differential testing of the ReiserFS, JFS, and NTFS
+//! models against the in-memory reference (`RamFs`): arbitrary operation
+//! sequences must produce identical observable results on a healthy disk.
+//! (The ext3/ixt3 engine has its own, deeper differential suite in
+//! `crates/ext3/tests/`.)
+
+use ironfs::blockdev::MemDisk;
+use ironfs::vfs::ramfs::RamFs;
+use ironfs::vfs::{FileType, FsEnv, OpenFlags, SpecificFs, Vfs, VfsError};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Create(u8),
+    Mkdir(u8),
+    Write(u8, u16, Vec<u8>),
+    Truncate(u8, u16),
+    Read(u8),
+    Unlink(u8),
+    Rmdir(u8),
+    Rename(u8, u8),
+    Link(u8, u8),
+    Symlink(u8, u8),
+    Stat(u8),
+    Readdir(u8),
+    Sync,
+}
+
+fn path(n: u8) -> String {
+    match n % 10 {
+        0 => "/a".into(),
+        1 => "/b".into(),
+        2 => "/dir".into(),
+        3 => "/dir/x".into(),
+        4 => "/dir/y".into(),
+        5 => "/dir/sub".into(),
+        6 => "/dir/sub/z".into(),
+        7 => "/f1".into(),
+        8 => "/f2".into(),
+        _ => "/dir/f3".into(),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Create),
+        any::<u8>().prop_map(Op::Mkdir),
+        (any::<u8>(), any::<u16>(), prop::collection::vec(any::<u8>(), 0..1500))
+            .prop_map(|(p, o, d)| Op::Write(p, o % 6000, d)),
+        (any::<u8>(), any::<u16>()).prop_map(|(p, s)| Op::Truncate(p, s % 6000)),
+        any::<u8>().prop_map(Op::Read),
+        any::<u8>().prop_map(Op::Unlink),
+        any::<u8>().prop_map(Op::Rmdir),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Link(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Symlink(a, b)),
+        any::<u8>().prop_map(Op::Stat),
+        any::<u8>().prop_map(Op::Readdir),
+        Just(Op::Sync),
+    ]
+}
+
+fn apply<F: SpecificFs>(v: &mut Vfs<F>, op: &Op) -> Result<Vec<u8>, VfsError> {
+    match op {
+        Op::Create(p) => v.creat(&path(*p)).and_then(|fd| v.close(fd)).map(|_| vec![]),
+        Op::Mkdir(p) => v.mkdir(&path(*p), 0o755).map(|_| vec![]),
+        Op::Write(p, off, data) => {
+            let fd = v.open(&path(*p), OpenFlags::rdwr())?;
+            let r = v.pwrite(fd, *off as u64, data);
+            v.close(fd)?;
+            r.map(|n| n.to_le_bytes().to_vec())
+        }
+        Op::Truncate(p, s) => v.truncate(&path(*p), *s as u64).map(|_| vec![]),
+        Op::Read(p) => v.read_file(&path(*p)),
+        Op::Unlink(p) => v.unlink(&path(*p)).map(|_| vec![]),
+        Op::Rmdir(p) => v.rmdir(&path(*p)).map(|_| vec![]),
+        Op::Rename(a, b) => v.rename(&path(*a), &path(*b)).map(|_| vec![]),
+        Op::Link(a, b) => v.link(&path(*a), &path(*b)).map(|_| vec![]),
+        Op::Symlink(a, b) => v.symlink(&path(*a), &path(*b)).map(|_| vec![]),
+        Op::Stat(p) => v.stat(&path(*p)).map(|a| {
+            let size = if a.ftype == FileType::Directory { 0 } else { a.size };
+            let mut out = size.to_le_bytes().to_vec();
+            out.push(a.nlink as u8);
+            out.push(match a.ftype {
+                FileType::Regular => 0,
+                FileType::Directory => 1,
+                FileType::Symlink => 2,
+            });
+            out
+        }),
+        Op::Readdir(p) => v.readdir(&path(*p)).map(|es| {
+            let mut names: Vec<String> = es.into_iter().map(|e| e.name).collect();
+            names.sort();
+            names.join(",").into_bytes()
+        }),
+        Op::Sync => v.sync().map(|_| vec![]),
+    }
+}
+
+fn run_against_reference<F: SpecificFs>(mut target: Vfs<F>, name: &str, ops: &[Op]) {
+    let mut reference = Vfs::new(RamFs::new());
+    for op in ops {
+        let a = apply(&mut target, op);
+        let b = apply(&mut reference, op);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => assert_eq!(x, y, "{name}: divergent success on {op:?}"),
+            (Err(x), Err(y)) => {
+                // NTFS directories have no nlink bump for children in some
+                // paths; errno equality is the contract here.
+                assert_eq!(
+                    x.errno(),
+                    y.errno(),
+                    "{name}: divergent errno on {op:?}: {x:?} vs {y:?}"
+                );
+            }
+            _ => panic!("{name}: divergence on {op:?}: {a:?} vs {b:?}"),
+        }
+    }
+    // The target must also survive a final sync + unmount.
+    target.sync().unwrap_or_else(|e| panic!("{name}: final sync: {e}"));
+    target.umount().unwrap_or_else(|e| panic!("{name}: umount: {e}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn reiserfs_matches_reference(ops in prop::collection::vec(op_strategy(), 1..50)) {
+        let dev = MemDisk::for_tests(4096);
+        let fs = ironfs::reiser::ReiserFs::format_and_mount(
+            dev,
+            FsEnv::new(),
+            ironfs::reiser::ReiserParams::small(),
+            ironfs::reiser::ReiserOptions::default(),
+        )
+        .unwrap();
+        run_against_reference(Vfs::new(fs), "reiserfs", &ops);
+    }
+
+    #[test]
+    fn jfs_matches_reference(ops in prop::collection::vec(op_strategy(), 1..50)) {
+        let dev = MemDisk::for_tests(4096);
+        let fs = ironfs::jfs::JfsFs::format_and_mount(
+            dev,
+            FsEnv::new(),
+            ironfs::jfs::JfsParams::small(),
+            ironfs::jfs::JfsOptions::default(),
+        )
+        .unwrap();
+        run_against_reference(Vfs::new(fs), "jfs", &ops);
+    }
+
+    #[test]
+    fn ntfs_matches_reference(ops in prop::collection::vec(op_strategy(), 1..50)) {
+        let dev = MemDisk::for_tests(4096);
+        let fs = ironfs::ntfs::NtfsFs::format_and_mount(
+            dev,
+            FsEnv::new(),
+            ironfs::ntfs::NtfsParams::small(),
+        )
+        .unwrap();
+        run_against_reference(Vfs::new(fs), "ntfs", &ops);
+    }
+
+    #[test]
+    fn reiserfs_state_survives_remount(ops in prop::collection::vec(op_strategy(), 1..30)) {
+        let dev = MemDisk::for_tests(4096);
+        let fs = ironfs::reiser::ReiserFs::format_and_mount(
+            dev,
+            FsEnv::new(),
+            ironfs::reiser::ReiserParams::small(),
+            ironfs::reiser::ReiserOptions::default(),
+        )
+        .unwrap();
+        let mut v = Vfs::new(fs);
+        let mut reference = Vfs::new(RamFs::new());
+        for op in &ops {
+            let _ = apply(&mut v, op);
+            let _ = apply(&mut reference, op);
+        }
+        v.umount().unwrap();
+        let dev = v.into_fs().into_device();
+        let fs = ironfs::reiser::ReiserFs::mount(
+            dev,
+            FsEnv::new(),
+            ironfs::reiser::ReiserOptions::default(),
+        )
+        .unwrap();
+        let mut v = Vfs::new(fs);
+        // Every file readable before must read identically after remount.
+        for n in 0..10u8 {
+            let p = path(n);
+            let before = reference.read_file(&p);
+            let after = v.read_file(&p);
+            match (&before, &after) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "remount divergence at {}", p),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "remount divergence at {}: {:?} vs {:?}", p, before, after),
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Integration tests of the fingerprinting framework against the paper's
+//! §5/§6 claims: reduced campaigns per file system, asserting the
+//! *qualitative* findings of Figure 2, Figure 3, and Table 5.
+
+use ironfs::core::{BlockTag, DetectionLevel, RecoveryLevel};
+use ironfs::fingerprint::campaign::{fingerprint_fs, CampaignOptions, FaultMode, PolicyMatrix};
+use ironfs::fingerprint::summary::summarize;
+use ironfs::fingerprint::workloads::Workload;
+use ironfs::fingerprint::{Ext3Adapter, FsUnderTest, JfsAdapter, NtfsAdapter, ReiserAdapter};
+
+/// A reduced-but-representative campaign: all three fault modes, a
+/// metadata row + a data row + journal rows, across seven workloads.
+fn reduced(adapter: &dyn FsUnderTest, rows: &[&'static str]) -> PolicyMatrix {
+    fingerprint_fs(
+        adapter,
+        &CampaignOptions {
+            modes: FaultMode::ALL.to_vec(),
+            workloads: vec![
+                Workload::AccessFamily,
+                Workload::Read,
+                Workload::Write,
+                Workload::Unlink,
+                Workload::Mount,
+                Workload::Recovery,
+                Workload::LogWrites,
+            ],
+            rows: rows.iter().map(|r| BlockTag(r)).collect(),
+        },
+    )
+}
+
+fn count_level_r(m: &PolicyMatrix, level: RecoveryLevel) -> usize {
+    m.cells
+        .values()
+        .flatten()
+        .filter(|c| c.recovery.contains(level))
+        .count()
+}
+
+fn count_level_d(m: &PolicyMatrix, level: DetectionLevel) -> usize {
+    m.cells
+        .values()
+        .flatten()
+        .filter(|c| c.detection.contains(level))
+        .count()
+}
+
+#[test]
+fn ext3_ignores_write_errors_and_stops_on_read_errors() {
+    let m = reduced(&Ext3Adapter::stock(), &["inode", "data", "j-data"]);
+    // Write-failure panel (mode index 1): DZero dominates for ext3.
+    let write_mode = 1;
+    let mut dzero_writes = 0;
+    let mut fired_writes = 0;
+    for ri in 0..m.rows.len() {
+        for ci in 0..m.cols.len() {
+            if let Some(cell) = m.cell(write_mode, ri, ci) {
+                fired_writes += 1;
+                if cell.detection.contains(DetectionLevel::DZero) {
+                    dzero_writes += 1;
+                }
+            }
+        }
+    }
+    assert!(fired_writes > 0);
+    assert!(
+        dzero_writes * 2 >= fired_writes,
+        "most ext3 write failures must be ignored ({dzero_writes}/{fired_writes})"
+    );
+    // Read failures: RStop appears (journal aborts).
+    assert!(count_level_r(&m, RecoveryLevel::RStop) > 0);
+    // And no redundancy anywhere — the paper's headline for Table 5.
+    assert_eq!(count_level_r(&m, RecoveryLevel::RRedundancy), 0);
+}
+
+#[test]
+fn reiserfs_panics_on_write_failures() {
+    let m = reduced(&ReiserAdapter, &["stat item", "data", "j-data"]);
+    let write_mode = 1;
+    let mut stops = 0;
+    let mut fired = 0;
+    for ri in 0..m.rows.len() {
+        for ci in 0..m.cols.len() {
+            if let Some(cell) = m.cell(write_mode, ri, ci) {
+                fired += 1;
+                if cell.recovery.contains(RecoveryLevel::RStop) {
+                    stops += 1;
+                }
+            }
+        }
+    }
+    assert!(fired > 0);
+    // "First, do no harm": metadata/journal write failures panic. The one
+    // exception is the ordered-data-write bug.
+    assert!(
+        stops + 2 >= fired,
+        "ReiserFS must stop on (almost) any write failure: {stops}/{fired}"
+    );
+    // Sanity checking is heavy (corruption detected on tree items).
+    assert!(count_level_d(&m, DetectionLevel::DSanity) > 0);
+}
+
+#[test]
+fn jfs_retries_reads_and_ntfs_retries_hardest() {
+    let jfs = reduced(&JfsAdapter, &["inode", "data"]);
+    let ntfs = reduced(&NtfsAdapter, &["MFT record", "data"]);
+    let jfs_retries = count_level_r(&jfs, RecoveryLevel::RRetry);
+    let ntfs_retries = count_level_r(&ntfs, RecoveryLevel::RRetry);
+    assert!(jfs_retries > 0, "JFS's generic code retries reads once");
+    assert!(ntfs_retries > 0, "NTFS retries aggressively");
+}
+
+#[test]
+fn commodity_fs_use_no_redundancy_but_ixt3_does() {
+    // Table 5's bottom line: RRedundancy is essentially absent from the
+    // commodity file systems (JFS's alternate superblock aside), while
+    // ixt3 uses it pervasively.
+    let rows = &["inode", "data"];
+    let ext3 = reduced(&Ext3Adapter::stock(), rows);
+    let reiser = reduced(&ReiserAdapter, &["stat item", "data"]);
+    let ixt3 = reduced(&Ext3Adapter::ixt3(), rows);
+
+    assert_eq!(count_level_r(&ext3, RecoveryLevel::RRedundancy), 0);
+    assert_eq!(count_level_r(&reiser, RecoveryLevel::RRedundancy), 0);
+    let ixt3_red = count_level_r(&ixt3, RecoveryLevel::RRedundancy);
+    assert!(
+        ixt3_red >= 10,
+        "ixt3 must recover via redundancy widely (got {ixt3_red})"
+    );
+    // And DRedundancy (checksums) appears only for ixt3.
+    assert_eq!(count_level_d(&ext3, DetectionLevel::DRedundancy), 0);
+    assert!(count_level_d(&ixt3, DetectionLevel::DRedundancy) > 0);
+}
+
+#[test]
+fn ixt3_survives_corruption_that_defeats_ext3() {
+    let rows = &["inode", "dir", "data"];
+    let ext3 = reduced(&Ext3Adapter::stock(), rows);
+    let ixt3 = reduced(&Ext3Adapter::ixt3(), rows);
+    let corrupt_mode = 2;
+
+    let undetected = |m: &PolicyMatrix| {
+        let mut n = 0;
+        for ri in 0..m.rows.len() {
+            for ci in 0..m.cols.len() {
+                if let Some(cell) = m.cell(corrupt_mode, ri, ci) {
+                    if cell.detection.contains(DetectionLevel::DZero) {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    };
+    assert!(
+        undetected(&ext3) > 0,
+        "stock ext3 must silently consume some corruption"
+    );
+    assert_eq!(
+        undetected(&ixt3),
+        0,
+        "full ixt3 must detect every injected corruption"
+    );
+}
+
+#[test]
+fn table5_summary_matches_paper_ordering() {
+    // The paper's Table 5: ReiserFS leads on sanity checking; ext3 and JFS
+    // ignore more write errors (DZero) than ReiserFS does.
+    let ext3 = summarize(&reduced(&Ext3Adapter::stock(), &["inode", "data", "j-data"]));
+    let reiser = summarize(&reduced(&ReiserAdapter, &["stat item", "data", "j-data"]));
+
+    let get_d = |s: &ironfs::fingerprint::summary::TechniqueSummary, l: DetectionLevel| {
+        s.detection_counts
+            .iter()
+            .find(|(x, _)| *x == l)
+            .map(|(_, c)| *c)
+            .unwrap_or(0) as f64
+            / s.relevant.max(1) as f64
+    };
+    assert!(
+        get_d(&ext3, DetectionLevel::DZero) > get_d(&reiser, DetectionLevel::DZero),
+        "ext3 must ignore relatively more faults than ReiserFS"
+    );
+}
+
+#[test]
+fn gray_cells_match_inapplicability() {
+    // Journal rows can only fire during log writes / sync / recovery; a
+    // read-only workload leaves them gray.
+    let m = fingerprint_fs(
+        &Ext3Adapter::stock(),
+        &CampaignOptions {
+            modes: vec![FaultMode::ReadError],
+            workloads: vec![Workload::Read, Workload::Getdirentries],
+            rows: vec![BlockTag("j-desc"), BlockTag("j-commit")],
+        },
+    );
+    assert_eq!(m.relevant, 0, "journal rows are gray under read workloads");
+}
