@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+# The workspace is hermetic (no registry dependencies); everything runs
+# --offline, and a build that tries to reach a registry is a failure.
+set -eu
+
+echo '== build (release, offline) =='
+cargo build --workspace --release --offline
+
+echo '== test (offline) =='
+cargo test --workspace -q --offline
+
+echo '== fmt =='
+cargo fmt --all --check
+
+echo '== clippy =='
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo '== bench smoke =='
+# Absolute path: cargo runs bench binaries with the package dir as cwd.
+BENCH_DIR="${IRON_BENCH_DIR:-$(pwd)/target/bench-smoke}"
+mkdir -p "$BENCH_DIR"
+for b in checksums device_model journal_commit fs_ops table6_kernels; do
+    IRON_BENCH_DIR="$BENCH_DIR" cargo bench -q --offline -p iron-bench --bench "$b" -- --smoke
+done
+for f in "$BENCH_DIR"/BENCH_*.json; do
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f"
+done
+
+echo 'CI OK'

@@ -1,22 +1,18 @@
 //! Checksum throughput: SHA-1 (the ixt3 block checksum) and CRC-32 (the
 //! journal self-check), per 4 KiB block.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
+use iron_testkit::{black_box, BenchGroup};
 
 use iron_core::checksum::{crc32, sha1};
 use iron_core::BLOCK_SIZE;
 
-fn bench_checksums(c: &mut Criterion) {
+fn main() {
     let block = vec![0xA5u8; BLOCK_SIZE];
-    let mut g = c.benchmark_group("checksums");
-    g.throughput(Throughput::Bytes(BLOCK_SIZE as u64));
+    let mut g = BenchGroup::from_env("checksums");
+    g.throughput_bytes(Some(BLOCK_SIZE as u64));
 
-    g.bench_function("sha1_4k_block", |b| b.iter(|| black_box(sha1(&block))));
-    g.bench_function("crc32_4k_block", |b| b.iter(|| black_box(crc32(&block))));
+    g.bench("sha1_4k_block", || black_box(sha1(&block)));
+    g.bench("crc32_4k_block", || black_box(crc32(&block)));
 
     g.finish();
 }
-
-criterion_group!(benches, bench_checksums);
-criterion_main!(benches);

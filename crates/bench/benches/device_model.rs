@@ -1,50 +1,43 @@
 //! Micro-benchmarks of the simulated block device: raw throughput of the
 //! model itself (host-side cost, not simulated time).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use iron_testkit::{black_box, BenchGroup};
 
 use iron_blockdev::{BlockDevice, MemDisk};
 use iron_core::{Block, BlockAddr};
 
-fn bench_device(c: &mut Criterion) {
-    let mut g = c.benchmark_group("device_model");
-    g.sample_size(20);
+fn main() {
+    let mut g = BenchGroup::from_env("device_model");
 
-    g.bench_function("sequential_write_1k_blocks", |b| {
-        b.iter(|| {
-            let mut d = MemDisk::for_tests(2048);
-            let block = Block::filled(0xAA);
-            for i in 0..1024u64 {
-                d.write(BlockAddr(i), &block).unwrap();
-            }
-            black_box(d.stats())
-        })
+    g.bench("sequential_write_1k_blocks", || {
+        let mut d = MemDisk::for_tests(2048);
+        let block = Block::filled(0xAA);
+        for i in 0..1024u64 {
+            d.write(BlockAddr(i), &block).unwrap();
+        }
+        black_box(d.stats())
     });
 
-    g.bench_function("random_read_1k_blocks", |b| {
+    {
         let mut d = MemDisk::for_tests(4096);
         let block = Block::filled(0x55);
         for i in 0..4096u64 {
             d.write(BlockAddr(i), &block).unwrap();
         }
-        b.iter(|| {
+        g.bench("random_read_1k_blocks", || {
             let mut acc = 0u64;
             for i in 0..1024u64 {
                 let addr = (i * 2654435761) % 4096;
                 acc ^= d.read(BlockAddr(addr)).unwrap()[0] as u64;
             }
             black_box(acc)
-        })
-    });
+        });
+    }
 
-    g.bench_function("snapshot_16mb_image", |b| {
+    {
         let d = MemDisk::for_tests(4096);
-        b.iter(|| black_box(d.snapshot().stats()))
-    });
+        g.bench("snapshot_16mb_image", || black_box(d.snapshot().stats()));
+    }
 
     g.finish();
 }
-
-criterion_group!(benches, bench_device);
-criterion_main!(benches);

@@ -2,8 +2,7 @@
 //! delete kernel on each of the four models (host-side cost of the models
 //! themselves).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use iron_testkit::{black_box, BenchGroup};
 
 use iron_blockdev::MemDisk;
 use iron_vfs::{FsEnv, SpecificFs, Vfs};
@@ -11,7 +10,8 @@ use iron_vfs::{FsEnv, SpecificFs, Vfs};
 fn kernel<F: SpecificFs>(mut v: Vfs<F>) -> u64 {
     v.mkdir("/d", 0o755).unwrap();
     for i in 0..40 {
-        v.write_file(&format!("/d/f{i}"), &vec![i as u8; 12_000]).unwrap();
+        v.write_file(&format!("/d/f{i}"), &vec![i as u8; 12_000])
+            .unwrap();
     }
     for i in 0..40 {
         let _ = v.read_file(&format!("/d/f{i}")).unwrap();
@@ -23,67 +23,52 @@ fn kernel<F: SpecificFs>(mut v: Vfs<F>) -> u64 {
     v.statfs().unwrap().blocks_free
 }
 
-fn bench_fs_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fs_ops_kernel");
-    g.sample_size(10);
+fn main() {
+    let mut g = BenchGroup::from_env("fs_ops_kernel");
 
-    g.bench_function("ext3", |b| {
-        b.iter(|| {
-            let dev = MemDisk::for_tests(4096);
-            let fs = iron_ext3::Ext3Fs::format_and_mount(
-                dev,
-                FsEnv::new(),
-                iron_ext3::Ext3Params::small(),
-                iron_ext3::Ext3Options::default(),
-            )
-            .unwrap();
-            black_box(kernel(Vfs::new(fs)))
-        })
+    g.bench("ext3", || {
+        let dev = MemDisk::for_tests(4096);
+        let fs = iron_ext3::Ext3Fs::format_and_mount(
+            dev,
+            FsEnv::new(),
+            iron_ext3::Ext3Params::small(),
+            iron_ext3::Ext3Options::default(),
+        )
+        .unwrap();
+        black_box(kernel(Vfs::new(fs)))
     });
 
-    g.bench_function("reiserfs", |b| {
-        b.iter(|| {
-            let dev = MemDisk::for_tests(4096);
-            let fs = iron_reiser::ReiserFs::format_and_mount(
-                dev,
-                FsEnv::new(),
-                iron_reiser::ReiserParams::small(),
-                iron_reiser::ReiserOptions::default(),
-            )
-            .unwrap();
-            black_box(kernel(Vfs::new(fs)))
-        })
+    g.bench("reiserfs", || {
+        let dev = MemDisk::for_tests(4096);
+        let fs = iron_reiser::ReiserFs::format_and_mount(
+            dev,
+            FsEnv::new(),
+            iron_reiser::ReiserParams::small(),
+            iron_reiser::ReiserOptions::default(),
+        )
+        .unwrap();
+        black_box(kernel(Vfs::new(fs)))
     });
 
-    g.bench_function("jfs", |b| {
-        b.iter(|| {
-            let dev = MemDisk::for_tests(4096);
-            let fs = iron_jfs::JfsFs::format_and_mount(
-                dev,
-                FsEnv::new(),
-                iron_jfs::JfsParams::small(),
-                iron_jfs::JfsOptions::default(),
-            )
-            .unwrap();
-            black_box(kernel(Vfs::new(fs)))
-        })
+    g.bench("jfs", || {
+        let dev = MemDisk::for_tests(4096);
+        let fs = iron_jfs::JfsFs::format_and_mount(
+            dev,
+            FsEnv::new(),
+            iron_jfs::JfsParams::small(),
+            iron_jfs::JfsOptions::default(),
+        )
+        .unwrap();
+        black_box(kernel(Vfs::new(fs)))
     });
 
-    g.bench_function("ntfs", |b| {
-        b.iter(|| {
-            let dev = MemDisk::for_tests(4096);
-            let fs = iron_ntfs::NtfsFs::format_and_mount(
-                dev,
-                FsEnv::new(),
-                iron_ntfs::NtfsParams::small(),
-            )
-            .unwrap();
-            black_box(kernel(Vfs::new(fs)))
-        })
+    g.bench("ntfs", || {
+        let dev = MemDisk::for_tests(4096);
+        let fs =
+            iron_ntfs::NtfsFs::format_and_mount(dev, FsEnv::new(), iron_ntfs::NtfsParams::small())
+                .unwrap();
+        black_box(kernel(Vfs::new(fs)))
     });
 
     g.finish();
 }
-
-criterion_group!(benches, bench_fs_ops);
-criterion_main!(benches);

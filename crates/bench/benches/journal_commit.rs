@@ -1,15 +1,16 @@
 //! Journal commit cost, with and without transactional checksums — the
-//! code path behind Table 6's `Tc` column.
+//! code path behind Table 6's `Tc` column. Each bench also reports the
+//! simulated disk time of one cycle (deterministic), alongside host time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use iron_testkit::BenchGroup;
 
 use iron_blockdev::MemDisk;
 use iron_ext3::{Ext3Fs, Ext3Options, Ext3Params, IronConfig};
 use iron_vfs::{FsEnv, Vfs};
 
-fn commit_cycle(iron: IronConfig) -> u64 {
+fn commit_cycle(iron: IronConfig) -> (u64, u64) {
     let dev = MemDisk::for_tests(4096);
+    let clock = dev.clock();
     let fs = Ext3Fs::format_and_mount(
         dev,
         FsEnv::new(),
@@ -19,35 +20,28 @@ fn commit_cycle(iron: IronConfig) -> u64 {
     .unwrap();
     let mut v = Vfs::new(fs);
     for i in 0..20 {
-        v.write_file(&format!("/f{i}"), &vec![i as u8; 8192]).unwrap();
+        v.write_file(&format!("/f{i}"), &vec![i as u8; 8192])
+            .unwrap();
         v.sync().unwrap();
     }
-    v.statfs().unwrap().blocks_free
+    (v.statfs().unwrap().blocks_free, clock.now_ns())
 }
 
-fn bench_commit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("journal_commit");
-    g.sample_size(10);
+fn main() {
+    let mut g = BenchGroup::from_env("journal_commit");
     let base = IronConfig {
         fix_bugs: true,
         ..IronConfig::off()
     };
-    g.bench_function("20_synced_creates_no_tc", |b| {
-        b.iter(|| black_box(commit_cycle(base)))
-    });
-    g.bench_function("20_synced_creates_with_tc", |b| {
-        b.iter(|| {
-            black_box(commit_cycle(IronConfig {
-                txn_checksum: true,
-                ..base
-            }))
+    g.bench_with_sim("20_synced_creates_no_tc", || commit_cycle(base));
+    g.bench_with_sim("20_synced_creates_with_tc", || {
+        commit_cycle(IronConfig {
+            txn_checksum: true,
+            ..base
         })
     });
-    g.bench_function("20_synced_creates_full_ixt3", |b| {
-        b.iter(|| black_box(commit_cycle(IronConfig::full())))
+    g.bench_with_sim("20_synced_creates_full_ixt3", || {
+        commit_cycle(IronConfig::full())
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_commit);
-criterion_main!(benches);

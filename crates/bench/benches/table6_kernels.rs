@@ -1,30 +1,28 @@
-//! Criterion wrappers around the Table 6 macro-benchmarks for the headline
+//! Bench wrappers around the Table 6 macro-benchmarks for the headline
 //! configurations (full sweeps live in the `table6` binary; these track
-//! host-side regressions of the kernels themselves).
+//! host-side regressions of the kernels themselves). `run_benchmark`
+//! returns simulated ns, which each bench records alongside host time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use iron_testkit::BenchGroup;
 
 use iron_ext3::IronConfig;
 use iron_workloads::bench::{run_benchmark, Benchmark};
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table6_kernels");
-    g.sample_size(10);
+fn main() {
+    let mut g = BenchGroup::from_env("table6_kernels");
     let base = IronConfig {
         fix_bugs: true,
         ..IronConfig::off()
     };
     for (name, cfg) in [("ext3", base), ("ixt3_full", IronConfig::full())] {
-        g.bench_function(format!("postmark_{name}"), |b| {
-            b.iter(|| black_box(run_benchmark(Benchmark::PostMark, cfg)))
+        g.bench_with_sim(&format!("postmark_{name}"), || {
+            let sim = run_benchmark(Benchmark::PostMark, cfg);
+            ((), sim)
         });
-        g.bench_function(format!("tpcb_{name}"), |b| {
-            b.iter(|| black_box(run_benchmark(Benchmark::TpcB, cfg)))
+        g.bench_with_sim(&format!("tpcb_{name}"), || {
+            let sim = run_benchmark(Benchmark::TpcB, cfg);
+            ((), sim)
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

@@ -8,10 +8,12 @@ fn main() {
     for t in iron_ext3::BlockType::FIGURE2_ROWS {
         println!("  {}", t.tag());
     }
-    println!("  (ixt3 additions) {}, {}, {}",
+    println!(
+        "  (ixt3 additions) {}, {}, {}",
         iron_ext3::BlockType::CksumTable.tag(),
         iron_ext3::BlockType::Replica.tag(),
-        iron_ext3::BlockType::Parity.tag());
+        iron_ext3::BlockType::Parity.tag()
+    );
     println!("\n== ReiserFS ==");
     for t in iron_reiser::ReiserBlockType::FIGURE2_ROWS {
         println!("  {}", t.tag());

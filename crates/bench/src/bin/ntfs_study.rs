@@ -27,7 +27,16 @@ fn main() {
         .filter(|c| c.detection.contains(DetectionLevel::DSanity))
         .count();
     println!("\n§5.4 checks:");
-    println!("  RRetry cells:     {retry:>3} / {} (\"persistence is a virtue\")", cells.len());
-    println!("  RPropagate cells: {propagate:>3} / {} (errors reach the user reliably)", cells.len());
-    println!("  DSanity cells:    {sanity:>3} / {} (strong metadata sanity checking)", cells.len());
+    println!(
+        "  RRetry cells:     {retry:>3} / {} (\"persistence is a virtue\")",
+        cells.len()
+    );
+    println!(
+        "  RPropagate cells: {propagate:>3} / {} (errors reach the user reliably)",
+        cells.len()
+    );
+    println!(
+        "  DSanity cells:    {sanity:>3} / {} (strong metadata sanity checking)",
+        cells.len()
+    );
 }

@@ -28,7 +28,10 @@ fn main() {
     let lazy = simulate(&base);
     println!(
         "{:<18} {:>10} {:>12.1} {:>14}",
-        "lazy (on access)", lazy.errors_arrived, lazy.mean_detection_latency_hours, lazy.double_faults
+        "lazy (on access)",
+        lazy.errors_arrived,
+        lazy.mean_detection_latency_hours,
+        lazy.double_faults
     );
     for period in [168.0, 72.0, 24.0, 6.0] {
         let r = simulate(&ReliabilityParams {
@@ -57,7 +60,11 @@ fn main() {
         v.sync().expect("sync");
     }
     // Silently corrupt three blocks on the medium.
-    let victims = [fs.layout().inode_table(0), fs.layout().data_start(0) + 7, fs.layout().data_start(0) + 19];
+    let victims = [
+        fs.layout().inode_table(0),
+        fs.layout().data_start(0) + 7,
+        fs.layout().data_start(0) + 19,
+    ];
     for v in victims {
         fs.device_mut().poke(BlockAddr(v), &Block::filled(0xE5));
     }

@@ -16,11 +16,26 @@ fn main() {
         };
         vec![
             base,
-            IronConfig { meta_checksum: true, ..base },
-            IronConfig { meta_replication: true, ..base },
-            IronConfig { data_checksum: true, ..base },
-            IronConfig { data_parity: true, ..base },
-            IronConfig { txn_checksum: true, ..base },
+            IronConfig {
+                meta_checksum: true,
+                ..base
+            },
+            IronConfig {
+                meta_replication: true,
+                ..base
+            },
+            IronConfig {
+                data_checksum: true,
+                ..base
+            },
+            IronConfig {
+                data_parity: true,
+                ..base
+            },
+            IronConfig {
+                txn_checksum: true,
+                ..base
+            },
             IronConfig::full(),
         ]
     } else {

@@ -5,7 +5,7 @@ use iron_fingerprint::Workload;
 
 fn main() {
     println!("Table 3: Workloads applied to the file systems under test\n");
-    println!("{:<4} {:<16} {}", "col", "kind", "workload");
+    println!("{:<4} {:<16} workload", "col", "kind");
     for w in Workload::COLUMNS {
         let kind = match w {
             Workload::PathTraversal | Workload::Recovery | Workload::LogWrites => "generic",

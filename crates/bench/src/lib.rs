@@ -1,7 +1,7 @@
 //! # iron-bench
 //!
 //! The benchmark harness: one binary per table/figure of the paper (see
-//! DESIGN.md's experiment index) and Criterion micro-benchmarks for the
+//! DESIGN.md's experiment index) and `iron-testkit` micro-benchmarks for the
 //! performance-sensitive code paths.
 //!
 //! | binary | regenerates |

@@ -104,7 +104,10 @@ mod tests {
     #[test]
     fn transfer_time_divides_revolution() {
         let g = DiskGeometry::ata_7200rpm();
-        assert_eq!(g.transfer_ns() * g.blocks_per_track, g.rev_ns - g.rev_ns % g.blocks_per_track);
+        assert_eq!(
+            g.transfer_ns() * g.blocks_per_track,
+            g.rev_ns - g.rev_ns % g.blocks_per_track
+        );
         assert!(g.transfer_ns() > 0);
     }
 

@@ -7,10 +7,9 @@
 //! failure), and remapping (a write redirected elsewhere).
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use iron_core::{BlockAddr, BlockTag, IoKind};
-use parking_lot::Mutex;
 
 /// How a traced request completed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -46,7 +45,12 @@ impl fmt::Display for IoEvent {
         write!(
             f,
             "{:>6} {:>5} {:<10} {:<12} {:?} @{}ns",
-            self.seq, self.kind, self.addr.to_string(), self.tag, self.outcome, self.at_ns
+            self.seq,
+            self.kind,
+            self.addr.to_string(),
+            self.tag,
+            self.outcome,
+            self.at_ns
         )
     }
 }
@@ -64,8 +68,15 @@ impl IoTrace {
     }
 
     /// Record an event, assigning it the next sequence number.
-    pub fn record(&self, kind: IoKind, addr: BlockAddr, tag: BlockTag, outcome: IoOutcome, at_ns: u64) {
-        let mut events = self.events.lock();
+    pub fn record(
+        &self,
+        kind: IoKind,
+        addr: BlockAddr,
+        tag: BlockTag,
+        outcome: IoOutcome,
+        at_ns: u64,
+    ) {
+        let mut events = self.events.lock().unwrap();
         let seq = events.len() as u64;
         events.push(IoEvent {
             seq,
@@ -79,7 +90,7 @@ impl IoTrace {
 
     /// Number of events so far (usable as a mark for [`Self::since`]).
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.events.lock().unwrap().len()
     }
 
     /// True if nothing was traced.
@@ -89,24 +100,28 @@ impl IoTrace {
 
     /// Snapshot of all events.
     pub fn events(&self) -> Vec<IoEvent> {
-        self.events.lock().clone()
+        self.events.lock().unwrap().clone()
     }
 
     /// Snapshot of events appended after `mark` (a previous `len()`).
     pub fn since(&self, mark: usize) -> Vec<IoEvent> {
-        let guard = self.events.lock();
-        guard.get(mark..).map(<[IoEvent]>::to_vec).unwrap_or_default()
+        let guard = self.events.lock().unwrap();
+        guard
+            .get(mark..)
+            .map(<[IoEvent]>::to_vec)
+            .unwrap_or_default()
     }
 
     /// Discard everything.
     pub fn clear(&self) {
-        self.events.lock().clear();
+        self.events.lock().unwrap().clear();
     }
 
     /// Count of requests to `addr` with the given kind.
     pub fn count_requests(&self, addr: BlockAddr, kind: IoKind) -> usize {
         self.events
             .lock()
+            .unwrap()
             .iter()
             .filter(|e| e.addr == addr && e.kind == kind)
             .count()
@@ -115,7 +130,7 @@ impl IoTrace {
     /// Addresses read after the first failed request, in order — the raw
     /// material for detecting `RRetry`/`RRedundancy` in inference.
     pub fn reads_after_first_error(&self) -> Vec<BlockAddr> {
-        let guard = self.events.lock();
+        let guard = self.events.lock().unwrap();
         let Some(fail_pos) = guard.iter().position(|e| e.outcome == IoOutcome::Error) else {
             return Vec::new();
         };

@@ -104,7 +104,10 @@ mod tests {
     // FIPS 180-1 / RFC 3174 test vectors.
     #[test]
     fn sha1_empty() {
-        assert_eq!(sha1(b"").to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            sha1(b"").to_hex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]

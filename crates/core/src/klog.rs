@@ -7,9 +7,7 @@
 //! framework reads them back.
 
 use std::fmt;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Severity of a log line.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -68,7 +66,7 @@ impl KernelLog {
 
     /// Append a line.
     pub fn log(&self, level: LogLevel, subsystem: &'static str, message: impl Into<String>) {
-        self.entries.lock().push(LogEntry {
+        self.entries.lock().unwrap().push(LogEntry {
             level,
             subsystem,
             message: message.into(),
@@ -97,7 +95,7 @@ impl KernelLog {
 
     /// Number of lines logged so far. Use as a mark for [`Self::since`].
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.lock().unwrap().len()
     }
 
     /// True if nothing has been logged.
@@ -107,28 +105,35 @@ impl KernelLog {
 
     /// Snapshot of every line.
     pub fn entries(&self) -> Vec<LogEntry> {
-        self.entries.lock().clone()
+        self.entries.lock().unwrap().clone()
     }
 
     /// Snapshot of lines appended after the given mark (a previous `len()`).
     pub fn since(&self, mark: usize) -> Vec<LogEntry> {
-        let guard = self.entries.lock();
-        guard.get(mark..).map(<[LogEntry]>::to_vec).unwrap_or_default()
+        let guard = self.entries.lock().unwrap();
+        guard
+            .get(mark..)
+            .map(<[LogEntry]>::to_vec)
+            .unwrap_or_default()
     }
 
     /// True if any line's message contains `needle`.
     pub fn contains(&self, needle: &str) -> bool {
-        self.entries.lock().iter().any(|e| e.message.contains(needle))
+        self.entries
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|e| e.message.contains(needle))
     }
 
     /// Highest severity logged so far, if any.
     pub fn max_level(&self) -> Option<LogLevel> {
-        self.entries.lock().iter().map(|e| e.level).max()
+        self.entries.lock().unwrap().iter().map(|e| e.level).max()
     }
 
     /// Discard all lines.
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        self.entries.lock().unwrap().clear();
     }
 }
 

@@ -48,7 +48,9 @@ impl DetectionSet {
 
     /// Iterate members in taxonomy order.
     pub fn iter(&self) -> impl Iterator<Item = DetectionLevel> + '_ {
-        DetectionLevel::ALL.into_iter().filter(|l| self.contains(*l))
+        DetectionLevel::ALL
+            .into_iter()
+            .filter(|l| self.contains(*l))
     }
 
     /// Number of members.
@@ -211,7 +213,10 @@ mod tests {
         let b = RecoverySet::just(RecoveryLevel::RPropagate);
         let u = a.union(b);
         let levels: Vec<_> = u.iter().collect();
-        assert_eq!(levels, vec![RecoveryLevel::RPropagate, RecoveryLevel::RStop]);
+        assert_eq!(
+            levels,
+            vec![RecoveryLevel::RPropagate, RecoveryLevel::RStop]
+        );
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub fn parse_block(b: &Block) -> Vec<RawDirEntry> {
         let rec_len = b.get_u16(off + 4) as usize;
         let name_len = b[off + 6] as usize;
         let ftype = b[off + 7];
-        if rec_len < 8 || rec_len % 4 != 0 || off + rec_len > BLOCK_SIZE {
+        if rec_len < 8 || !rec_len.is_multiple_of(4) || off + rec_len > BLOCK_SIZE {
             break; // malformed chain: silently truncate (lenient)
         }
         if ino != 0 {
@@ -111,7 +111,11 @@ pub fn pack_block(entries: &[RawDirEntry]) -> Option<Block> {
     let mut off = 0usize;
     for (i, e) in entries.iter().enumerate() {
         let last = i == entries.len() - 1;
-        let size = if last { BLOCK_SIZE - off } else { e.on_disk_size() };
+        let size = if last {
+            BLOCK_SIZE - off
+        } else {
+            e.on_disk_size()
+        };
         b.put_u32(off, e.ino);
         b.put_u16(off + 4, size as u16);
         b[off + 6] = e.name.len() as u8;

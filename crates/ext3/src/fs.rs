@@ -6,11 +6,11 @@
 //! §5.6); every `PAPER-BUG` marker reproduces a specific behavior §5.1
 //! reports for stock ext3, and `IronConfig::fix_bugs` disables it.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use iron_blockdev::{BlockDevice, RawAccess};
 use iron_core::checksum::sha1;
 use iron_core::{Block, BlockAddr, Errno, SimClock, BLOCK_SIZE};
-use iron_blockdev::{BlockDevice, RawAccess};
 use iron_vfs::{FsEnv, VfsError, VfsResult};
 
 use crate::alloc;
@@ -133,7 +133,10 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             RawDirEntry::new(ROOT_INO as u32, iron_vfs::FileType::Directory, "."),
             RawDirEntry::new(ROOT_INO as u32, iron_vfs::FileType::Directory, ".."),
         ];
-        push(root_dir_block, dir::pack_block(&root_entries).expect("fits"));
+        push(
+            root_dir_block,
+            dir::pack_block(&root_entries).expect("fits"),
+        );
 
         let mut root_inode = DiskInode::new(iron_vfs::FileType::Directory, 0o755);
         root_inode.size = BLOCK_SIZE as u64;
@@ -257,8 +260,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                     let mirror = BlockAddr(dev.num_blocks() / 2);
                     match dev.read_tagged(mirror, BlockType::Replica.tag()) {
                         Ok(b) => {
-                            env.klog
-                                .info("ixt3", "superblock recovered from replica");
+                            env.klog.info("ixt3", "superblock recovered from replica");
                             b
                         }
                         Err(_) => return Err(Errno::EIO.into()),
@@ -286,8 +288,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                         .and_then(Superblock::decode)
                     {
                         Some(sb) => {
-                            env.klog
-                                .info("ixt3", "superblock recovered from replica");
+                            env.klog.info("ixt3", "superblock recovered from replica");
                             sb
                         }
                         None => return Err(Errno::EUCLEAN.into()),
@@ -330,11 +331,10 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         // Stock ext3 uses them blindly (no sanity checking); ixt3 verifies
         // the block against the checksum table and falls back to the
         // replica.
-        let gdt_block = fs.read_meta(1, BlockType::GroupDesc).map_err(|e| {
+        let gdt_block = fs.read_meta(1, BlockType::GroupDesc).inspect_err(|_e| {
             fs.env
                 .klog
                 .error("ext3", "unable to read group descriptors; mount failed");
-            e
         })?;
         fs.gdt = (0..fs.layout.num_groups as usize)
             .map(|g| (gdt_block.get_u32(g * 8), gdt_block.get_u32(g * 8 + 4)))
@@ -374,7 +374,9 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         let enc = fs.sb.encode();
         // PAPER-BUG: the mount-time superblock update's write error is
         // ignored by stock ext3 (write errors generally are).
-        let r = fs.dev.write_tagged(BlockAddr(0), &enc, BlockType::Super.tag());
+        let r = fs
+            .dev
+            .write_tagged(BlockAddr(0), &enc, BlockType::Super.tag());
         if r.is_err() && fs.opts.iron.fix_bugs {
             fs.env
                 .klog
@@ -390,7 +392,12 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
     }
 
     /// Convenience: mkfs + mount in one step over a fresh device.
-    pub fn format_and_mount(mut dev: D, env: FsEnv, params: Ext3Params, opts: Ext3Options) -> VfsResult<Self> {
+    pub fn format_and_mount(
+        mut dev: D,
+        env: FsEnv,
+        params: Ext3Params,
+        opts: Ext3Options,
+    ) -> VfsResult<Self> {
         Self::mkfs(&mut dev, params)?;
         Self::mount(dev, env, opts)
     }
@@ -532,7 +539,9 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             return;
         }
         let entries_per_block = BLOCK_SIZE as u64 / 8;
-        let dirty: Vec<u64> = std::mem::take(&mut self.dirty_cksum_blocks).into_iter().collect();
+        let dirty: Vec<u64> = std::mem::take(&mut self.dirty_cksum_blocks)
+            .into_iter()
+            .collect();
         for i in dirty {
             if i >= self.layout.cksum_len {
                 continue;
@@ -555,7 +564,9 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             return;
         }
         let entries_per_block = BLOCK_SIZE as u64 / 8;
-        let dirty: Vec<u64> = std::mem::take(&mut self.dirty_cksum_blocks).into_iter().collect();
+        let dirty: Vec<u64> = std::mem::take(&mut self.dirty_cksum_blocks)
+            .into_iter()
+            .collect();
         for i in dirty {
             if i >= self.layout.cksum_len {
                 continue;
@@ -852,9 +863,10 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             }
             // PAPER-BUG: commit-block write error ignored; stock ext3
             // proceeds to checkpoint as if the transaction committed.
-            self.env
-                .klog
-                .warn("ext3", "commit block write error ignored (stock ext3 behavior)");
+            self.env.klog.warn(
+                "ext3",
+                "commit block write error ignored (stock ext3 behavior)",
+            );
         }
         let _ = self.dev.barrier(); // commit durable before checkpoint
 
@@ -879,10 +891,9 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             if r.is_err() {
                 checkpoint_failed = true;
                 if self.opts.iron.fix_bugs {
-                    self.env.klog.error(
-                        "ext3",
-                        format!("checkpoint write of block {addr} failed"),
-                    );
+                    self.env
+                        .klog
+                        .error("ext3", format!("checkpoint write of block {addr} failed"));
                 } else {
                     // PAPER-BUG: stock ext3 ignores checkpoint write errors
                     // ("when checkpointing a transaction to its final
@@ -1010,13 +1021,18 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         // revokes and the set of committed transactions.
         #[derive(Debug)]
         struct PendingTxn {
+            sequence: u64,
             entries: Vec<(u64, BlockType)>,
             data: Vec<Block>,
             images: Vec<Block>,
             checksum: Option<u64>,
         }
         let mut committed: Vec<PendingTxn> = Vec::new();
-        let mut revoked: BTreeSet<u64> = BTreeSet::new();
+        // Revokes are sequence-scoped, as in JBD: a revoke recorded at
+        // sequence S suppresses copies of the block logged at sequence <= S
+        // only. A later transaction that re-logs the block (after reuse)
+        // must still be replayed.
+        let mut revoked: BTreeMap<u64, u64> = BTreeMap::new();
         let mut pos = start;
         'scan: while pos < end {
             let block = match self
@@ -1031,8 +1047,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                         "ext3",
                         format!("journal block {pos} unreadable; aborting recovery"),
                     );
-                    self.env
-                        .remount_readonly("ext3", "journal recovery failed");
+                    self.env.remount_readonly("ext3", "journal recovery failed");
                     return Ok(());
                 }
             };
@@ -1041,7 +1056,10 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                     if r.sequence < self.jseq {
                         break 'scan;
                     }
-                    revoked.extend(r.addrs);
+                    for a in r.addrs {
+                        let e = revoked.entry(a).or_insert(r.sequence);
+                        *e = (*e).max(r.sequence);
+                    }
                     pos += 1;
                 }
                 Some(JournalRecord::Descriptor(desc)) => {
@@ -1073,8 +1091,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                                         "journal data block {daddr} unreadable; aborting recovery"
                                     ),
                                 );
-                                self.env
-                                    .remount_readonly("ext3", "journal recovery failed");
+                                self.env.remount_readonly("ext3", "journal recovery failed");
                                 return Ok(());
                             }
                         }
@@ -1093,14 +1110,14 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                                 "ext3",
                                 format!("commit block {cpos} unreadable; aborting recovery"),
                             );
-                            self.env
-                                .remount_readonly("ext3", "journal recovery failed");
+                            self.env.remount_readonly("ext3", "journal recovery failed");
                             return Ok(());
                         }
                     };
                     match CommitBlock::decode(&cblock) {
                         Some(c) => {
                             committed.push(PendingTxn {
+                                sequence: desc.sequence,
                                 entries: desc.entries,
                                 data,
                                 images,
@@ -1161,7 +1178,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                 }
             }
             for ((addr, ty), data) in txn.entries.iter().zip(&txn.data) {
-                if revoked.contains(addr) {
+                if revoked.get(addr).is_some_and(|&rs| rs >= txn.sequence) {
                     continue;
                 }
                 // PAPER-NOTE: stock ext3 replays journal data with no
@@ -1169,12 +1186,10 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                 // location. (Detected only under Tc, above.)
                 let r = self.dev.write_tagged(BlockAddr(*addr), data, ty.tag());
                 if r.is_err() && self.opts.iron.fix_bugs {
-                    self.env.klog.error(
-                        "ext3",
-                        format!("replay write of block {addr} failed"),
-                    );
                     self.env
-                        .remount_readonly("ext3", "journal recovery failed");
+                        .klog
+                        .error("ext3", format!("replay write of block {addr} failed"));
+                    self.env.remount_readonly("ext3", "journal recovery failed");
                     return Ok(());
                 }
                 self.note_cksum(*addr, data, ty.is_metadata());
@@ -1204,11 +1219,15 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             self.env
                 .klog
                 .error("ext3", "journal superblock write failed after recovery");
-            self.env.remount_readonly("ext3", "journal superblock write failure");
+            self.env
+                .remount_readonly("ext3", "journal superblock write failure");
         }
         self.env.klog.info(
             "ext3",
-            format!("recovery complete; {} transaction(s) replayed", committed.len()),
+            format!(
+                "recovery complete; {} transaction(s) replayed",
+                committed.len()
+            ),
         );
         Ok(())
     }

@@ -259,7 +259,7 @@ pub fn check<D: RawAccess>(dev: &D, layout: &DiskLayout) -> FsckReport {
             }
             let marked = alloc::bit_test(&ibm, bit);
             let di = inode_at(dev, layout, ino);
-            if marked != !di.is_free() {
+            if marked == di.is_free() {
                 report.issues.push(FsckIssue::InodeBitmapMismatch { ino });
             }
             if !di.is_free() && !reachable.contains(&ino) {

@@ -219,10 +219,7 @@ mod tests {
     #[test]
     fn max_file_size_covers_double_indirect() {
         // 12 direct + 1024 single + 1024² double, in 4 KiB blocks.
-        assert_eq!(
-            DiskInode::max_file_size(),
-            (12 + 1024 + 1024 * 1024) * 4096
-        );
+        assert_eq!(DiskInode::max_file_size(), (12 + 1024 + 1024 * 1024) * 4096);
     }
 
     #[test]

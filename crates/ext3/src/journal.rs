@@ -450,8 +450,9 @@ mod tests {
 
     #[test]
     fn desc_capacity_fits_in_block() {
-        let entries: Vec<(u64, BlockType)> =
-            (0..DESC_CAPACITY as u64).map(|i| (i, BlockType::Data)).collect();
+        let entries: Vec<(u64, BlockType)> = (0..DESC_CAPACITY as u64)
+            .map(|i| (i, BlockType::Data))
+            .collect();
         let d = DescriptorBlock {
             sequence: 1,
             entries,

@@ -360,7 +360,9 @@ impl DiskLayout {
 
     /// The group that owns data block `b`, if any.
     pub fn group_of_block(&self, b: u64) -> Option<u64> {
-        if b < self.groups_start || b >= self.groups_start + self.num_groups * self.params.blocks_per_group {
+        if b < self.groups_start
+            || b >= self.groups_start + self.num_groups * self.params.blocks_per_group
+        {
             return None;
         }
         Some((b - self.groups_start) / self.params.blocks_per_group)
@@ -468,10 +470,7 @@ mod tests {
         assert_eq!(l.classify_static(g0 + 1), BlockType::InodeBitmap);
         assert_eq!(l.classify_static(g0 + 2), BlockType::Inode);
         assert_eq!(l.classify_static(l.data_start(0)), BlockType::Data);
-        assert_eq!(
-            l.classify_static(l.super_replica(0).0),
-            BlockType::Super
-        );
+        assert_eq!(l.classify_static(l.super_replica(0).0), BlockType::Super);
     }
 
     #[test]

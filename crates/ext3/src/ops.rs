@@ -2,8 +2,8 @@
 //! supporting machinery (inode I/O, allocation, block maps, directories),
 //! with ext3's per-operation failure policy — bugs included.
 
-use iron_core::{Block, BlockAddr, Errno, BLOCK_SIZE};
 use iron_blockdev::{BlockDevice, RawAccess};
+use iron_core::{Block, BlockAddr, Errno, BLOCK_SIZE};
 use iron_vfs::{DirEntry, FileType, FsEnv, InodeAttr, MountState, SpecificFs, StatFs, VfsResult};
 
 use crate::alloc;
@@ -82,10 +82,9 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                     self.cache.insert(BlockAddr(addr), b.clone());
                     return Ok(b);
                 }
-                self.env.klog.error(
-                    "ixt3",
-                    format!("replica of metadata block {addr} also bad"),
-                );
+                self.env
+                    .klog
+                    .error("ixt3", format!("replica of metadata block {addr} also bad"));
             } else {
                 self.env.klog.error(
                     "ixt3",
@@ -131,10 +130,9 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         match outcome {
             Ok(b) => {
                 if self.opts.iron.data_checksum && !self.verify_cksum(addr, &b) {
-                    self.env.klog.error(
-                        "ixt3",
-                        format!("checksum mismatch on data block {addr}"),
-                    );
+                    self.env
+                        .klog
+                        .error("ixt3", format!("checksum mismatch on data block {addr}"));
                     return self.data_recover(file, addr);
                 }
                 self.cache.insert(BlockAddr(addr), b.clone());
@@ -213,7 +211,9 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
     /// the error aborts the journal and propagates.
     pub(crate) fn write_data_block(&mut self, addr: u64, block: &Block) -> VfsResult<()> {
         self.note_cksum(addr, block, false);
-        let r = self.dev.write_tagged(BlockAddr(addr), block, BlockType::Data.tag());
+        let r = self
+            .dev
+            .write_tagged(BlockAddr(addr), block, BlockType::Data.tag());
         self.cache.insert(BlockAddr(addr), block.clone());
         match r {
             Ok(()) => Ok(()),
@@ -318,7 +318,11 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             gd.0 += 1;
         }
         self.write_counters();
-        self.cache.invalidate(BlockAddr(addr));
+        // Forget (JBD `journal_forget`): drop any copy of this block staged
+        // in the running transaction and revoke it, so neither checkpoint
+        // nor replay can write a stale image over the block once it is
+        // reused — e.g. a freed directory block reallocated as file data.
+        self.revoke_meta(addr);
         Ok(())
     }
 
@@ -520,7 +524,6 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             let addr = self.get_file_block(di, idx)?;
             if addr != 0 {
                 self.free_block(addr)?;
-                self.revoke_meta(addr);
                 di.blocks_count = di.blocks_count.saturating_sub(1);
                 self.set_file_block(di, idx, 0, hint)?;
             }
@@ -530,7 +533,11 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
     }
 
     /// Find `name` in a directory.
-    pub(crate) fn dir_find(&mut self, di: &DiskInode, name: &str) -> VfsResult<Option<RawDirEntry>> {
+    pub(crate) fn dir_find(
+        &mut self,
+        di: &DiskInode,
+        name: &str,
+    ) -> VfsResult<Option<RawDirEntry>> {
         Ok(self
             .dir_entries_all(di)?
             .into_iter()
@@ -597,9 +604,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             }
         }
         if di.indirect != 0 {
-            let a = di.indirect as u64;
-            self.free_block(a)?;
-            self.revoke_meta(a);
+            self.free_block(di.indirect as u64)?;
             di.indirect = 0;
         }
         if di.double_indirect != 0 {
@@ -609,11 +614,9 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                 let p = l1.get_u32(i * 4) as u64;
                 if p != 0 {
                     self.free_block(p)?;
-                    self.revoke_meta(p);
                 }
             }
             self.free_block(l1_addr)?;
-            self.revoke_meta(l1_addr);
             di.double_indirect = 0;
         }
         di.direct = [0; NDIRECT];
@@ -638,7 +641,9 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                 .dev
                 .write_tagged(BlockAddr(p), &Block::zeroed(), BlockType::Parity.tag());
             if r.is_err() && self.opts.iron.fix_bugs {
-                self.env.klog.error("ixt3", "parity preallocation write failed");
+                self.env
+                    .klog
+                    .error("ixt3", "parity preallocation write failed");
                 self.abort_journal("parity write failure");
                 return Err(Errno::EIO.into());
             }
@@ -799,7 +804,10 @@ impl<D: BlockDevice + RawAccess> SpecificFs for Ext3Fs<D> {
                 return Err(Errno::ENOTDIR.into());
             }
             let child_entries = self.dir_entries_all(&di)?;
-            if child_entries.iter().any(|e| e.name != "." && e.name != "..") {
+            if child_entries
+                .iter()
+                .any(|e| e.name != "." && e.name != "..")
+            {
                 return Err(Errno::ENOTEMPTY.into());
             }
             let mut entries = self.dir_entries_all(&dd)?;
@@ -960,7 +968,7 @@ impl<D: BlockDevice + RawAccess> SpecificFs for Ext3Fs<D> {
             let take = ((end - pos) as usize).min(BLOCK_SIZE - within);
             let addr = self.get_file_block(&di, idx)?;
             if addr == 0 {
-                out.extend(std::iter::repeat(0u8).take(take));
+                out.extend(std::iter::repeat_n(0u8, take));
             } else {
                 let b = self.read_data_block(Some((ino, di)), addr)?;
                 out.extend_from_slice(b.get_bytes(within, take));
@@ -1073,7 +1081,7 @@ impl<D: BlockDevice + RawAccess> SpecificFs for Ext3Fs<D> {
                 }
             }
             // Zero the tail of a partial final block.
-            if size % bs != 0 {
+            if !size.is_multiple_of(bs) {
                 let idx = size / bs;
                 let addr = self.get_file_block(&di, idx)?;
                 if addr != 0 {
@@ -1153,7 +1161,9 @@ impl<D: BlockDevice + RawAccess> SpecificFs for Ext3Fs<D> {
             .dev
             .write_tagged(BlockAddr(0), &enc, BlockType::Super.tag());
         if r.is_err() && self.opts.iron.fix_bugs {
-            self.env.klog.error("ext3", "superblock write failed at unmount");
+            self.env
+                .klog
+                .error("ext3", "superblock write failed at unmount");
             return Err(Errno::EIO.into());
         }
         self.note_cksum(0, &enc, true);

@@ -3,13 +3,18 @@
 //! (or refuse cleanly), and the recovered image must pass fsck. With
 //! transactional checksums, a corrupted committed transaction must never
 //! be replayed.
+//!
+//! Runs on the in-tree `iron-testkit` harness: a failure prints its case
+//! seed and reruns deterministically with
+//! `IRON_TESTKIT_SEED=<seed> cargo test -q <test_name>`.
 
 use iron_blockdev::{MemDisk, RawAccess};
 use iron_core::{Block, BlockAddr};
 use iron_ext3::journal::classify_log_block;
 use iron_ext3::{fsck, Ext3Fs, Ext3Options, Ext3Params, IronConfig};
+use iron_testkit::gen;
+use iron_testkit::prop::{check, Config};
 use iron_vfs::{FsEnv, Vfs};
-use proptest::prelude::*;
 
 /// Build a crashed image: `n_txns` committed-but-unflushed transactions.
 fn crashed_image(n_txns: usize, tc: bool) -> (MemDisk, iron_ext3::DiskLayout) {
@@ -30,84 +35,115 @@ fn crashed_image(n_txns: usize, tc: bool) -> (MemDisk, iron_ext3::DiskLayout) {
     let mut v = Vfs::new(fs);
     for i in 0..n_txns {
         v.mkdir(&format!("/t{i}"), 0o755).unwrap();
-        v.write_file(&format!("/t{i}/f"), &vec![i as u8; 2000]).unwrap();
+        v.write_file(&format!("/t{i}/f"), &vec![i as u8; 2000])
+            .unwrap();
         v.sync().unwrap();
     }
     (v.into_fs().into_device(), layout)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    /// Corrupt an arbitrary byte of an arbitrary journal block, then
-    /// recover. The mount may succeed or refuse — but it must never leave
-    /// a structurally inconsistent image behind, and with `Tc`, never
-    /// replay a damaged transaction.
-    #[test]
-    fn recovery_with_corrupted_journal_is_safe(
-        txns in 1usize..4,
-        tc in any::<bool>(),
-        victim_off in 0usize..4096,
-        bits in 1u8..255,
-    ) {
-        let (mut dev, layout) = crashed_image(txns, tc);
-        // Pick the first non-empty journal block to corrupt.
-        let mut target = None;
-        for a in layout.journal_start..layout.journal_start + layout.journal_len {
-            if !dev.peek(BlockAddr(a)).is_zeroed() {
-                target = Some(a);
-                break;
-            }
-        }
-        let target = target.expect("journal has content");
-        let mut b = dev.peek(BlockAddr(target));
-        b[victim_off] ^= bits;
-        dev.poke(BlockAddr(target), &b);
-
-        let iron = IronConfig { txn_checksum: tc, ..IronConfig::off() };
-        let env = FsEnv::new();
-        match Ext3Fs::mount(dev, env.clone(), Ext3Options::with_iron(iron)) {
-            Ok(fs) => {
-                let l = *fs.layout();
-                let dev = fs.into_device();
-                if tc {
-                    // With Tc the replayed subset must be fully consistent.
-                    let report = fsck::check(&dev, &l);
-                    prop_assert!(
-                        report.is_clean(),
-                        "tc image must be consistent: {:?}",
-                        report.issues
-                    );
-                }
-                // Without Tc the paper's point is precisely that replaying
-                // garbage *can* corrupt the image — no cleanliness claim.
-            }
-            Err(_) => {
-                // A refused mount is a legitimate (safe) outcome.
-            }
+/// Corrupt an arbitrary byte of an arbitrary journal block, then recover.
+/// The mount may succeed or refuse — but it must never leave a
+/// structurally inconsistent image behind, and with `Tc`, never replay a
+/// damaged transaction.
+fn corrupted_journal_case(txns: usize, tc: bool, victim_off: usize, bits: u8) {
+    let (mut dev, layout) = crashed_image(txns, tc);
+    // Pick the first non-empty journal block to corrupt.
+    let mut target = None;
+    for a in layout.journal_start..layout.journal_start + layout.journal_len {
+        if !dev.peek(BlockAddr(a)).is_zeroed() {
+            target = Some(a);
+            break;
         }
     }
+    let target = target.expect("journal has content");
+    let mut b = dev.peek(BlockAddr(target));
+    b[victim_off] ^= bits;
+    dev.poke(BlockAddr(target), &b);
 
-    /// An uncorrupted crash must always recover to a clean image where
-    /// every committed transaction is visible — with or without Tc.
-    #[test]
-    fn recovery_without_corruption_restores_everything(txns in 1usize..4, tc in any::<bool>()) {
-        let (dev, layout) = crashed_image(txns, tc);
-        let iron = IronConfig { txn_checksum: tc, ..IronConfig::off() };
-        let fs = Ext3Fs::mount(dev, FsEnv::new(), Ext3Options::with_iron(iron)).unwrap();
-        let mut v = Vfs::new(fs);
-        for i in 0..txns {
-            prop_assert_eq!(
-                v.read_file(&format!("/t{i}/f")).unwrap(),
-                vec![i as u8; 2000],
-                "transaction {} must be recovered", i
-            );
+    let iron = IronConfig {
+        txn_checksum: tc,
+        ..IronConfig::off()
+    };
+    let env = FsEnv::new();
+    match Ext3Fs::mount(dev, env.clone(), Ext3Options::with_iron(iron)) {
+        Ok(fs) => {
+            let l = *fs.layout();
+            let dev = fs.into_device();
+            if tc {
+                // With Tc the replayed subset must be fully consistent.
+                let report = fsck::check(&dev, &l);
+                assert!(
+                    report.is_clean(),
+                    "tc image must be consistent: {:?}",
+                    report.issues
+                );
+            }
+            // Without Tc the paper's point is precisely that replaying
+            // garbage *can* corrupt the image — no cleanliness claim.
         }
-        let fs = v.into_fs();
-        let dev = fs.into_device();
-        let report = fsck::check(&dev, &layout);
-        prop_assert!(report.is_clean(), "{:?}", report.issues);
+        Err(_) => {
+            // A refused mount is a legitimate (safe) outcome.
+        }
     }
+}
+
+#[test]
+fn recovery_with_corrupted_journal_is_safe() {
+    let inputs = (
+        gen::usize_in(1..4),
+        gen::bool_any(),
+        gen::usize_in(0..4096),
+        gen::u8_in(1..255),
+    );
+    check(
+        "recovery_with_corrupted_journal_is_safe",
+        Config::cases(32),
+        &inputs,
+        |&(txns, tc, victim_off, bits)| corrupted_journal_case(txns, tc, victim_off, bits),
+    );
+}
+
+/// Regression re-encoded from the retired
+/// `crash_consistency.proptest-regressions` file (proptest shrank it to
+/// `txns = 2, tc = true, victim_off = 8, bits = 2`): a two-bit flip early
+/// in the first journal block, with transactional checksums on, must
+/// still recover to a structurally consistent image.
+#[test]
+fn regression_corrupted_journal_txns2_tc_off8_bits2() {
+    corrupted_journal_case(2, true, 8, 2);
+}
+
+/// An uncorrupted crash must always recover to a clean image where every
+/// committed transaction is visible — with or without Tc.
+#[test]
+fn recovery_without_corruption_restores_everything() {
+    let inputs = (gen::usize_in(1..4), gen::bool_any());
+    check(
+        "recovery_without_corruption_restores_everything",
+        Config::cases(32),
+        &inputs,
+        |&(txns, tc)| {
+            let (dev, layout) = crashed_image(txns, tc);
+            let iron = IronConfig {
+                txn_checksum: tc,
+                ..IronConfig::off()
+            };
+            let fs = Ext3Fs::mount(dev, FsEnv::new(), Ext3Options::with_iron(iron)).unwrap();
+            let mut v = Vfs::new(fs);
+            for i in 0..txns {
+                assert_eq!(
+                    v.read_file(&format!("/t{i}/f")).unwrap(),
+                    vec![i as u8; 2000],
+                    "transaction {i} must be recovered"
+                );
+            }
+            let fs = v.into_fs();
+            let dev = fs.into_device();
+            let report = fsck::check(&dev, &layout);
+            assert!(report.is_clean(), "{:?}", report.issues);
+        },
+    );
 }
 
 /// Deterministic companion: corrupting a *journal-data* block (never the
@@ -150,9 +186,10 @@ fn tc_rejects_exactly_the_damaged_transaction() {
             // Stock ext3 replayed garbage: the 0xAD block landed somewhere.
             let l = *fs.layout();
             let dev = fs.into_device();
-            let poisoned = (0..l.fs_blocks)
-                .any(|a| dev.peek(BlockAddr(a)) == Block::filled(0xAD) && a < l.journal_start
-                    || dev.peek(BlockAddr(a)) == Block::filled(0xAD) && a >= l.groups_start);
+            let poisoned = (0..l.fs_blocks).any(|a| {
+                dev.peek(BlockAddr(a)) == Block::filled(0xAD) && a < l.journal_start
+                    || dev.peek(BlockAddr(a)) == Block::filled(0xAD) && a >= l.groups_start
+            });
             assert!(poisoned, "stock replay must have written the garbage home");
         }
     }

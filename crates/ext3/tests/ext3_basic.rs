@@ -3,14 +3,19 @@
 
 use iron_blockdev::MemDisk;
 use iron_core::Errno;
-use iron_ext3::{Ext3Fs, Ext3Options, Ext3Params};
 use iron_ext3::fsck;
+use iron_ext3::{Ext3Fs, Ext3Options, Ext3Params};
 use iron_vfs::{FsEnv, OpenFlags, SpecificFs, Vfs};
 
 fn fresh() -> Vfs<Ext3Fs<MemDisk>> {
     let dev = MemDisk::for_tests(4096);
-    let fs = Ext3Fs::format_and_mount(dev, FsEnv::new(), Ext3Params::small(), Ext3Options::default())
-        .expect("mount");
+    let fs = Ext3Fs::format_and_mount(
+        dev,
+        FsEnv::new(),
+        Ext3Params::small(),
+        Ext3Options::default(),
+    )
+    .expect("mount");
     Vfs::new(fs)
 }
 
@@ -62,8 +67,7 @@ fn very_large_file_exercises_double_indirect() {
         total_blocks: 8192,
         ..Ext3Params::small()
     };
-    let fs =
-        Ext3Fs::format_and_mount(dev, FsEnv::new(), params, Ext3Options::default()).unwrap();
+    let fs = Ext3Fs::format_and_mount(dev, FsEnv::new(), params, Ext3Options::default()).unwrap();
     let mut v = Vfs::new(fs);
     let chunk = vec![0xA7u8; 1 << 20];
     let fd = v.creat("/huge").unwrap();
@@ -119,7 +123,8 @@ fn many_files_in_one_directory_span_blocks() {
     assert!(v.stat("/dir/file-with-a-long-name-0299").is_ok());
     // Delete them all; directory shrinks back.
     for i in 0..300 {
-        v.unlink(&format!("/dir/file-with-a-long-name-{i:04}")).unwrap();
+        v.unlink(&format!("/dir/file-with-a-long-name-{i:04}"))
+            .unwrap();
     }
     assert_eq!(v.readdir("/dir").unwrap().len(), 2);
     v.rmdir("/dir").unwrap();
@@ -179,7 +184,10 @@ fn truncate_shrink_extend() {
     v.truncate("/t", 8_000).unwrap();
     let data = v.read_file("/t").unwrap();
     assert_eq!(&data[..5_000], &vec![7u8; 5_000][..]);
-    assert!(data[5_000..].iter().all(|&b| b == 0), "extension reads zeros");
+    assert!(
+        data[5_000..].iter().all(|&b| b == 0),
+        "extension reads zeros"
+    );
 }
 
 #[test]
@@ -200,7 +208,8 @@ fn fsck_clean_after_workload() {
     let mut v = fresh();
     v.mkdir("/d", 0o755).unwrap();
     for i in 0..40 {
-        v.write_file(&format!("/d/f{i}"), &vec![i as u8; 5000]).unwrap();
+        v.write_file(&format!("/d/f{i}"), &vec![i as u8; 5000])
+            .unwrap();
     }
     for i in (0..40).step_by(2) {
         v.unlink(&format!("/d/f{i}")).unwrap();

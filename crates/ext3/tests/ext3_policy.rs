@@ -42,7 +42,11 @@ fn metadata_read_failure_propagates_and_stops() {
     let mut v = Vfs::new(fs);
     let err = v.stat("/f").unwrap_err();
     assert_eq!(err.errno(), Some(Errno::EIO), "RPropagate");
-    assert_eq!(env2.state(), MountState::ReadOnly, "RStop: read-only remount");
+    assert_eq!(
+        env2.state(),
+        MountState::ReadOnly,
+        "RStop: read-only remount"
+    );
     assert!(env2.klog.contains("ext3_abort"));
     drop(env);
 }
@@ -69,7 +73,11 @@ fn data_read_failure_propagates_without_stop_and_retries_once() {
     let mark = trace.len();
     let err = v.read_file("/f").unwrap_err();
     assert_eq!(err.errno(), Some(Errno::EIO), "RPropagate");
-    assert_eq!(env.state(), MountState::ReadWrite, "no RStop for data reads");
+    assert_eq!(
+        env.state(),
+        MountState::ReadWrite,
+        "no RStop for data reads"
+    );
     // RRetry: the originally requested block was read exactly twice.
     let attempts = trace
         .since(mark)
@@ -129,7 +137,11 @@ fn fixed_engine_detects_data_write_failure() {
     ));
     let err = v.write_file("/f", b"checked").unwrap_err();
     assert_eq!(err.errno(), Some(Errno::EIO));
-    assert_eq!(env.state(), MountState::ReadOnly, "RStop after write failure");
+    assert_eq!(
+        env.state(),
+        MountState::ReadOnly,
+        "RStop after write failure"
+    );
 }
 
 #[test]

@@ -3,12 +3,16 @@
 //! (`RamFs`); every observable result must agree, and the ext3 image must
 //! pass `fsck` afterwards — on a healthy disk *and* across a
 //! crash-and-recover cycle.
+//!
+//! Runs on the in-tree `iron-testkit` harness: a failure prints its case
+//! seed and reruns deterministically with
+//! `IRON_TESTKIT_SEED=<seed> cargo test -q <test_name>`.
 
 use iron_blockdev::MemDisk;
-use iron_core::Errno;
 use iron_ext3::{fsck, Ext3Fs, Ext3Options, Ext3Params, IronConfig};
+use iron_testkit::gen::{self, Gen};
+use iron_testkit::prop::{check, Config};
 use iron_vfs::{ramfs::RamFs, FsEnv, SpecificFs, Vfs, VfsError};
-use proptest::prelude::*;
 
 /// A file-system operation over a small namespace.
 #[derive(Clone, Debug)]
@@ -46,34 +50,44 @@ fn path(n: u8) -> String {
     }
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<u8>().prop_map(Op::Create),
-        any::<u8>().prop_map(Op::Mkdir),
-        (any::<u8>(), any::<u16>(), prop::collection::vec(any::<u8>(), 0..2048))
-            .prop_map(|(p, o, d)| Op::Write(p, o % 8192, d)),
-        (any::<u8>(), any::<u16>()).prop_map(|(p, s)| Op::Truncate(p, s % 8192)),
-        any::<u8>().prop_map(Op::Read),
-        any::<u8>().prop_map(Op::Unlink),
-        any::<u8>().prop_map(Op::Rmdir),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Link(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Symlink(a, b)),
-        any::<u8>().prop_map(Op::Stat),
-        any::<u8>().prop_map(Op::Readdir),
-        Just(Op::Sync),
-    ]
+fn op_gen() -> impl Gen<Value = Op> {
+    gen::one_of(vec![
+        gen::u8_any().map(Op::Create).boxed(),
+        gen::u8_any().map(Op::Mkdir).boxed(),
+        (gen::u8_any(), gen::u16_any(), gen::bytes(0..2048))
+            .map(|(p, o, d)| Op::Write(p, o % 8192, d))
+            .boxed(),
+        (gen::u8_any(), gen::u16_any())
+            .map(|(p, s)| Op::Truncate(p, s % 8192))
+            .boxed(),
+        gen::u8_any().map(Op::Read).boxed(),
+        gen::u8_any().map(Op::Unlink).boxed(),
+        gen::u8_any().map(Op::Rmdir).boxed(),
+        (gen::u8_any(), gen::u8_any())
+            .map(|(a, b)| Op::Rename(a, b))
+            .boxed(),
+        (gen::u8_any(), gen::u8_any())
+            .map(|(a, b)| Op::Link(a, b))
+            .boxed(),
+        (gen::u8_any(), gen::u8_any())
+            .map(|(a, b)| Op::Symlink(a, b))
+            .boxed(),
+        gen::u8_any().map(Op::Stat).boxed(),
+        gen::u8_any().map(Op::Readdir).boxed(),
+        gen::just(Op::Sync).boxed(),
+    ])
 }
 
-/// Normalize errors for comparison: both sides must agree on success, and
-/// on the errno when both fail.
-fn norm(r: Result<(), VfsError>) -> Result<(), Option<Errno>> {
-    r.map_err(|e| e.errno())
+fn ops_gen(max_len: usize) -> impl Gen<Value = Vec<Op>> {
+    gen::vec_of(op_gen(), 1..max_len)
 }
 
 fn apply<F: SpecificFs>(v: &mut Vfs<F>, op: &Op) -> Result<Vec<u8>, VfsError> {
     match op {
-        Op::Create(p) => v.creat(&path(*p)).and_then(|fd| v.close(fd)).map(|_| vec![]),
+        Op::Create(p) => v
+            .creat(&path(*p))
+            .and_then(|fd| v.close(fd))
+            .map(|_| vec![]),
         Op::Mkdir(p) => v.mkdir(&path(*p), 0o755).map(|_| vec![]),
         Op::Write(p, off, data) => {
             let fd = v.open(&path(*p), iron_vfs::OpenFlags::rdwr())?;
@@ -137,7 +151,6 @@ fn run_differential(ops: &[Op], iron: IronConfig, crash_and_recover: bool) {
             ),
             _ => panic!("divergence on {op:?}: ext3={a:?} ram={b:?}"),
         }
-        let _ = norm(Ok(()));
     }
 
     ext3.sync().unwrap();
@@ -167,23 +180,56 @@ fn run_differential(ops: &[Op], iron: IronConfig, crash_and_recover: bool) {
     assert!(report.is_clean(), "fsck issues: {:?}", report.issues);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, ..ProptestConfig::default()
-    })]
+#[test]
+fn ext3_matches_reference() {
+    check(
+        "ext3_matches_reference",
+        Config::cases(24),
+        &ops_gen(60),
+        |ops| run_differential(ops, IronConfig::off(), false),
+    );
+}
 
-    #[test]
-    fn ext3_matches_reference(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        run_differential(&ops, IronConfig::off(), false);
-    }
+#[test]
+fn full_ixt3_matches_reference() {
+    check(
+        "full_ixt3_matches_reference",
+        Config::cases(24),
+        &ops_gen(40),
+        |ops| run_differential(ops, IronConfig::full(), false),
+    );
+}
 
-    #[test]
-    fn full_ixt3_matches_reference(ops in prop::collection::vec(op_strategy(), 1..40)) {
-        run_differential(&ops, IronConfig::full(), false);
-    }
+#[test]
+fn ext3_consistent_after_crash_recovery() {
+    check(
+        "ext3_consistent_after_crash_recovery",
+        Config::cases(24),
+        &ops_gen(40),
+        |ops| run_differential(ops, IronConfig::off(), true),
+    );
+}
 
-    #[test]
-    fn ext3_consistent_after_crash_recovery(ops in prop::collection::vec(op_strategy(), 1..40)) {
-        run_differential(&ops, IronConfig::off(), true);
-    }
+/// Regression re-encoded from the retired
+/// `ext3_proptest.proptest-regressions` file (proptest shrank it to
+/// `ops = [Mkdir(60), Rename(132, 1), Stat(121)]`): renaming a directory
+/// over a path and stat'ing the result must agree with the reference.
+#[test]
+fn regression_mkdir_rename_stat() {
+    let ops = [Op::Mkdir(60), Op::Rename(132, 1), Op::Stat(121)];
+    run_differential(&ops, IronConfig::off(), false);
+    run_differential(&ops, IronConfig::full(), false);
+    run_differential(&ops, IronConfig::off(), true);
+}
+
+/// Regression re-encoded from the retired
+/// `ext3_proptest.proptest-regressions` file (proptest shrank it to
+/// `ops = [Mkdir(255), Rename(183, 64)]`): renaming a fresh directory
+/// into a nested path must agree with the reference.
+#[test]
+fn regression_mkdir_rename_nested() {
+    let ops = [Op::Mkdir(255), Op::Rename(183, 64)];
+    run_differential(&ops, IronConfig::off(), false);
+    run_differential(&ops, IronConfig::full(), false);
+    run_differential(&ops, IronConfig::off(), true);
 }

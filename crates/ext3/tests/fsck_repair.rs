@@ -6,18 +6,24 @@
 use iron_blockdev::{MemDisk, RawAccess};
 use iron_core::BlockAddr;
 use iron_ext3::fsck::{check, repair, FsckIssue};
-use iron_ext3::{alloc, Ext3Fs, Ext3Options, Ext3Params};
 use iron_ext3::inode::DiskInode;
+use iron_ext3::{alloc, Ext3Fs, Ext3Options, Ext3Params};
 use iron_vfs::{FsEnv, Vfs};
 
 fn image() -> (MemDisk, iron_ext3::DiskLayout) {
     let dev = MemDisk::for_tests(4096);
-    let fs = Ext3Fs::format_and_mount(dev, FsEnv::new(), Ext3Params::small(), Ext3Options::default())
-        .unwrap();
+    let fs = Ext3Fs::format_and_mount(
+        dev,
+        FsEnv::new(),
+        Ext3Params::small(),
+        Ext3Options::default(),
+    )
+    .unwrap();
     let mut v = Vfs::new(fs);
     v.mkdir("/d", 0o755).unwrap();
     for i in 0..8 {
-        v.write_file(&format!("/d/f{i}"), &vec![i as u8; 9_000]).unwrap();
+        v.write_file(&format!("/d/f{i}"), &vec![i as u8; 9_000])
+            .unwrap();
     }
     v.link("/d/f0", "/hard").unwrap();
     v.umount().unwrap();
@@ -80,10 +86,14 @@ fn repair_fixes_wrong_link_counts() {
     dev.poke(blk, &b);
 
     let before = check(&dev, &layout);
-    assert!(before
-        .issues
-        .iter()
-        .any(|i| matches!(i, FsckIssue::WrongLinkCount { stored: 9, actual: 2, .. })));
+    assert!(before.issues.iter().any(|i| matches!(
+        i,
+        FsckIssue::WrongLinkCount {
+            stored: 9,
+            actual: 2,
+            ..
+        }
+    )));
     let fixes = repair(&mut dev, &layout);
     assert!(fixes >= 1);
     assert!(check(&dev, &layout).is_clean());

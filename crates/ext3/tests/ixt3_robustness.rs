@@ -54,7 +54,11 @@ fn meta_checksum_detects_silent_corruption() {
         FaultTarget::Tag(BlockTag("inode")),
     ));
     let err = v.stat("/f").unwrap_err();
-    assert_eq!(err.errno(), Some(Errno::EIO), "DRedundancy detected, no replica");
+    assert_eq!(
+        err.errno(),
+        Some(Errno::EIO),
+        "DRedundancy detected, no replica"
+    );
     assert!(env.klog.contains("checksum mismatch"));
 }
 
@@ -253,9 +257,10 @@ fn transactional_checksum_rejects_corrupt_journal_replay() {
         let applied_garbage = {
             // Did any home block end up as 0xEE garbage?
             let dev = fs.into_device();
-            (0..4096u64).any(|a| dev.peek(BlockAddr(a)) == Block::filled(0xEE)
-                && a < layout.journal_start || dev.peek(BlockAddr(a)) == Block::filled(0xEE)
-                && a >= layout.groups_start)
+            (0..4096u64).any(|a| {
+                dev.peek(BlockAddr(a)) == Block::filled(0xEE) && a < layout.journal_start
+                    || dev.peek(BlockAddr(a)) == Block::filled(0xEE) && a >= layout.groups_start
+            })
         };
         assert_eq!(
             applied_garbage, expect_corrupt_applied,
@@ -324,7 +329,8 @@ fn fsck_clean_with_all_iron_features() {
     let (mut v, _ctl, _env) = mount_iron(iron);
     v.mkdir("/a", 0o755).unwrap();
     for i in 0..20 {
-        v.write_file(&format!("/a/f{i}"), &vec![i as u8; 9_000]).unwrap();
+        v.write_file(&format!("/a/f{i}"), &vec![i as u8; 9_000])
+            .unwrap();
     }
     for i in (0..20).step_by(3) {
         v.unlink(&format!("/a/f{i}")).unwrap();

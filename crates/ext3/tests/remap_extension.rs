@@ -70,7 +70,8 @@ fn remapped_image_stays_consistent() {
         },
     ));
     for i in 0..6 {
-        v.write_file(&format!("/f{i}"), &vec![i as u8; 12_000]).unwrap();
+        v.write_file(&format!("/f{i}"), &vec![i as u8; 12_000])
+            .unwrap();
     }
     v.sync().unwrap();
     v.umount().unwrap();

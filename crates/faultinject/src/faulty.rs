@@ -1,8 +1,8 @@
 //! [`FaultyDisk`]: the pseudo-device driver that enacts a [`FaultPlan`].
 
+use iron_blockdev::{BlockDevice, DiskError, DiskResult, IoOutcome, IoTrace, RawAccess};
 use iron_core::model::CorruptionStyle;
 use iron_core::{Block, BlockAddr, BlockTag, FaultKind, IoKind, BLOCK_SIZE};
-use iron_blockdev::{BlockDevice, DiskError, DiskResult, IoOutcome, IoTrace, RawAccess};
 
 use crate::plan::{FaultController, FaultPlan};
 
@@ -136,8 +136,7 @@ impl<D: BlockDevice + RawAccess> BlockDevice for FaultyDisk<D> {
             }
             Some(FaultKind::WriteError) | None => {
                 let block = self.inner.read_tagged(addr, tag)?;
-                self.trace
-                    .record(IoKind::Read, addr, tag, IoOutcome::Ok, 0);
+                self.trace.record(IoKind::Read, addr, tag, IoOutcome::Ok, 0);
                 Ok(block)
             }
         }
@@ -234,7 +233,11 @@ mod tests {
         ));
         let r = disk.write(BlockAddr(9), &Block::filled(0xEE));
         assert!(r.is_err());
-        assert_eq!(disk.peek(BlockAddr(9)), Block::filled(10), "medium unchanged");
+        assert_eq!(
+            disk.peek(BlockAddr(9)),
+            Block::filled(10),
+            "medium unchanged"
+        );
         // Reads of the same block still succeed.
         assert_eq!(disk.read(BlockAddr(9)).unwrap(), Block::filled(10));
     }

@@ -1,10 +1,9 @@
 //! Fault plans: what to fail, when, and how.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use iron_core::{BlockAddr, BlockTag, FaultKind, IoKind, Transience};
 use iron_core::model::Locality;
-use parking_lot::Mutex;
+use iron_core::{BlockAddr, BlockTag, FaultKind, IoKind, Transience};
 
 /// What a fault is aimed at.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -108,7 +107,7 @@ impl FaultPlan {
     /// Returns the kind of the *first* matching armed fault, after updating
     /// per-fault counters. `None` means the request passes through.
     pub(crate) fn check(&self, io: IoKind, addr: BlockAddr, tag: BlockTag) -> Option<FaultKind> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if st.whole_disk_failed {
             return Some(FaultKind::WholeDisk);
         }
@@ -177,7 +176,7 @@ pub struct FaultController {
 impl FaultController {
     /// Inject a fault; it is armed immediately.
     pub fn inject(&self, spec: FaultSpec) -> FaultId {
-        let mut st = self.plan.state.lock();
+        let mut st = self.plan.state.lock().unwrap();
         st.faults.push(FaultEntry {
             spec,
             armed: true,
@@ -190,14 +189,14 @@ impl FaultController {
 
     /// Disarm a fault (it stays in the plan for inspection).
     pub fn disarm(&self, id: FaultId) {
-        if let Some(e) = self.plan.state.lock().faults.get_mut(id.0) {
+        if let Some(e) = self.plan.state.lock().unwrap().faults.get_mut(id.0) {
             e.armed = false;
         }
     }
 
     /// Remove every fault and clear whole-disk failure.
     pub fn clear(&self) {
-        let mut st = self.plan.state.lock();
+        let mut st = self.plan.state.lock().unwrap();
         st.faults.clear();
         st.whole_disk_failed = false;
     }
@@ -207,6 +206,7 @@ impl FaultController {
         self.plan
             .state
             .lock()
+            .unwrap()
             .faults
             .get(id.0)
             .map_or(0, |e| e.fired)
@@ -219,7 +219,13 @@ impl FaultController {
 
     /// The address the fault first fired on, if it has fired.
     pub fn anchor(&self, id: FaultId) -> Option<BlockAddr> {
-        self.plan.state.lock().faults.get(id.0).and_then(|e| e.anchor)
+        self.plan
+            .state
+            .lock()
+            .unwrap()
+            .faults
+            .get(id.0)
+            .and_then(|e| e.anchor)
     }
 }
 
@@ -280,10 +286,15 @@ mod tests {
             FaultTarget::Addr(BlockAddr(3)),
             2,
         ));
-        assert!(plan.check(IoKind::Read, BlockAddr(3), BlockTag::UNTYPED).is_some());
-        assert!(plan.check(IoKind::Read, BlockAddr(3), BlockTag::UNTYPED).is_some());
+        assert!(plan
+            .check(IoKind::Read, BlockAddr(3), BlockTag::UNTYPED)
+            .is_some());
+        assert!(plan
+            .check(IoKind::Read, BlockAddr(3), BlockTag::UNTYPED)
+            .is_some());
         assert!(
-            plan.check(IoKind::Read, BlockAddr(3), BlockTag::UNTYPED).is_none(),
+            plan.check(IoKind::Read, BlockAddr(3), BlockTag::UNTYPED)
+                .is_none(),
             "transient×2 must clear after two fires"
         );
     }
@@ -299,17 +310,23 @@ mod tests {
             },
         ));
         assert!(
-            plan.check(IoKind::Write, BlockAddr(10), BlockTag("j-data")).is_none(),
+            plan.check(IoKind::Write, BlockAddr(10), BlockTag("j-data"))
+                .is_none(),
             "0th access passes"
         );
         assert!(
-            plan.check(IoKind::Write, BlockAddr(11), BlockTag("j-data")).is_some(),
+            plan.check(IoKind::Write, BlockAddr(11), BlockTag("j-data"))
+                .is_some(),
             "1st access fails"
         );
         // Sticky + anchored: the same address keeps failing afterwards.
-        assert!(plan.check(IoKind::Write, BlockAddr(11), BlockTag("j-data")).is_some());
+        assert!(plan
+            .check(IoKind::Write, BlockAddr(11), BlockTag("j-data"))
+            .is_some());
         // But other j-data blocks pass.
-        assert!(plan.check(IoKind::Write, BlockAddr(12), BlockTag("j-data")).is_none());
+        assert!(plan
+            .check(IoKind::Write, BlockAddr(12), BlockTag("j-data"))
+            .is_none());
     }
 
     #[test]
@@ -323,12 +340,17 @@ mod tests {
         });
         for a in 100..103 {
             assert!(
-                plan.check(IoKind::Read, BlockAddr(a), BlockTag::UNTYPED).is_some(),
+                plan.check(IoKind::Read, BlockAddr(a), BlockTag::UNTYPED)
+                    .is_some(),
                 "block {a} inside scratch"
             );
         }
-        assert!(plan.check(IoKind::Read, BlockAddr(103), BlockTag::UNTYPED).is_none());
-        assert!(plan.check(IoKind::Read, BlockAddr(99), BlockTag::UNTYPED).is_none());
+        assert!(plan
+            .check(IoKind::Read, BlockAddr(103), BlockTag::UNTYPED)
+            .is_none());
+        assert!(plan
+            .check(IoKind::Read, BlockAddr(99), BlockTag::UNTYPED)
+            .is_none());
     }
 
     #[test]
@@ -358,7 +380,9 @@ mod tests {
             FaultTarget::Addr(BlockAddr(1)),
         ));
         ctl.disarm(id);
-        assert!(plan.check(IoKind::Read, BlockAddr(1), BlockTag::UNTYPED).is_none());
+        assert!(plan
+            .check(IoKind::Read, BlockAddr(1), BlockTag::UNTYPED)
+            .is_none());
         ctl.clear();
         assert_eq!(ctl.fire_count(id), 0);
     }

@@ -201,7 +201,10 @@ mod tests {
             scrub_period_hours: Some(12.0),
             ..hot
         });
-        assert!(lazy.double_faults > 0, "test needs double faults to compare");
+        assert!(
+            lazy.double_faults > 0,
+            "test needs double faults to compare"
+        );
         assert!(
             scrubbed.double_faults < lazy.double_faults,
             "scrubbed {} !< lazy {}",

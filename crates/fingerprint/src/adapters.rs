@@ -7,8 +7,8 @@
 //! image, which block-type rows the file system has, and how to mount it
 //! over a fault-armed device.
 
-use iron_core::BlockTag;
 use iron_blockdev::MemDisk;
+use iron_core::BlockTag;
 use iron_faultinject::FaultyDisk;
 use iron_vfs::{FsEnv, SpecificFs, Vfs, VfsError, VfsResult};
 
@@ -34,11 +34,7 @@ pub trait FsUnderTest {
     fn golden(&self, dirty_journal: bool) -> MemDisk;
 
     /// Mount over a (possibly fault-armed) device.
-    fn mount(
-        &self,
-        dev: FaultyDisk<MemDisk>,
-        env: FsEnv,
-    ) -> VfsResult<Box<dyn SpecificFs>>;
+    fn mount(&self, dev: FaultyDisk<MemDisk>, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>>;
 }
 
 /// One mounted-or-failed campaign instance.
@@ -130,11 +126,7 @@ impl FsUnderTest for Ext3Adapter {
         }
     }
 
-    fn mount(
-        &self,
-        dev: FaultyDisk<MemDisk>,
-        env: FsEnv,
-    ) -> VfsResult<Box<dyn SpecificFs>> {
+    fn mount(&self, dev: FaultyDisk<MemDisk>, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
         Ok(Box::new(Ext3Fs::mount(dev, env, self.options())?))
     }
 }
@@ -152,7 +144,10 @@ impl FsUnderTest for ReiserAdapter {
     }
 
     fn rows(&self) -> Vec<BlockTag> {
-        ReiserBlockType::FIGURE2_ROWS.iter().map(|t| t.tag()).collect()
+        ReiserBlockType::FIGURE2_ROWS
+            .iter()
+            .map(|t| t.tag())
+            .collect()
     }
 
     fn golden(&self, dirty_journal: bool) -> MemDisk {
@@ -165,15 +160,18 @@ impl FsUnderTest for ReiserAdapter {
         // Grow the tree past a single leaf so leaf/internal/root rows are
         // distinct targets.
         for i in 0..150 {
-            v.write_file(&format!("/pad/f{i:03}"), &crate::workloads::pattern(200, i as u8))
-                .or_else(|_| -> Result<(), VfsError> {
-                    v.mkdir("/pad", 0o755)?;
-                    v.write_file(
-                        &format!("/pad/f{i:03}"),
-                        &crate::workloads::pattern(200, i as u8),
-                    )
-                })
-                .expect("pad files");
+            v.write_file(
+                &format!("/pad/f{i:03}"),
+                &crate::workloads::pattern(200, i as u8),
+            )
+            .or_else(|_| -> Result<(), VfsError> {
+                v.mkdir("/pad", 0o755)?;
+                v.write_file(
+                    &format!("/pad/f{i:03}"),
+                    &crate::workloads::pattern(200, i as u8),
+                )
+            })
+            .expect("pad files");
         }
         if dirty_journal {
             v.umount().expect("umount");
@@ -193,12 +191,12 @@ impl FsUnderTest for ReiserAdapter {
         }
     }
 
-    fn mount(
-        &self,
-        dev: FaultyDisk<MemDisk>,
-        env: FsEnv,
-    ) -> VfsResult<Box<dyn SpecificFs>> {
-        Ok(Box::new(ReiserFs::mount(dev, env, ReiserOptions::default())?))
+    fn mount(&self, dev: FaultyDisk<MemDisk>, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
+        Ok(Box::new(ReiserFs::mount(
+            dev,
+            env,
+            ReiserOptions::default(),
+        )?))
     }
 }
 
@@ -242,11 +240,7 @@ impl FsUnderTest for JfsAdapter {
         }
     }
 
-    fn mount(
-        &self,
-        dev: FaultyDisk<MemDisk>,
-        env: FsEnv,
-    ) -> VfsResult<Box<dyn SpecificFs>> {
+    fn mount(&self, dev: FaultyDisk<MemDisk>, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
         Ok(Box::new(JfsFs::mount(dev, env, JfsOptions::default())?))
     }
 }
@@ -280,11 +274,7 @@ impl FsUnderTest for NtfsAdapter {
         v.into_fs().into_device()
     }
 
-    fn mount(
-        &self,
-        dev: FaultyDisk<MemDisk>,
-        env: FsEnv,
-    ) -> VfsResult<Box<dyn SpecificFs>> {
+    fn mount(&self, dev: FaultyDisk<MemDisk>, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
         Ok(Box::new(NtfsFs::mount(dev, env, NtfsOptions::default())?))
     }
 }

@@ -10,10 +10,10 @@
 
 use std::collections::HashMap;
 
+use iron_blockdev::MemDisk;
 use iron_core::model::CorruptionStyle;
 use iron_core::policy::PolicyCell;
 use iron_core::{BlockTag, FaultKind};
-use iron_blockdev::MemDisk;
 use iron_faultinject::{FaultPlan, FaultSpec, FaultTarget, FaultyDisk};
 use iron_vfs::{FsEnv, Vfs, VfsError};
 
@@ -336,11 +336,7 @@ mod tests {
         let opts = CampaignOptions {
             modes: vec![FaultMode::WriteError],
             workloads: vec![Workload::LogWrites],
-            rows: vec![
-                BlockTag("j-desc"),
-                BlockTag("j-commit"),
-                BlockTag("j-data"),
-            ],
+            rows: vec![BlockTag("j-desc"), BlockTag("j-commit"), BlockTag("j-data")],
         };
         let m = fingerprint_fs(&Ext3Adapter::stock(), &opts);
         for ri in 0..3 {

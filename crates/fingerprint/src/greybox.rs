@@ -47,7 +47,11 @@ pub fn classify_ext3<D: RawAccess>(dev: &D, layout: &DiskLayout) -> HashMap<u64,
             continue;
         }
         let is_dir = di.file_type() == Some(FileType::Directory);
-        let body_ty = if is_dir { BlockType::Dir } else { BlockType::Data };
+        let body_ty = if is_dir {
+            BlockType::Dir
+        } else {
+            BlockType::Data
+        };
 
         let nblocks = di.size.div_ceil(BLOCK_SIZE as u64);
         let note = |map: &mut HashMap<u64, BlockType>, addr: u64, ty: BlockType| {

@@ -21,10 +21,10 @@
 //! | fabricated (all-zero) data returned without error | `RGuess` |
 //! | fault fired, nothing else observed | `DZero`/`RZero` |
 
+use iron_blockdev::trace::{IoEvent, IoOutcome};
 use iron_core::klog::{LogEntry, LogLevel};
 use iron_core::policy::{DetectionSet, PolicyCell, RecoverySet};
 use iron_core::{BlockAddr, DetectionLevel, Errno, IoKind, RecoveryLevel};
-use iron_blockdev::trace::{IoEvent, IoOutcome};
 use iron_vfs::{MountState, VfsError};
 
 use crate::campaign::FaultMode;
@@ -89,10 +89,7 @@ impl Observation {
 
     fn euclean_appeared(&self) -> bool {
         self.faulty.steps.iter().any(|s| s.contains("EUCLEAN"))
-            || matches!(
-                self.mount_error,
-                Some(VfsError::Errno(Errno::EUCLEAN))
-            )
+            || matches!(self.mount_error, Some(VfsError::Errno(Errno::EUCLEAN)))
     }
 
     fn log_has(&self, markers: &[&str]) -> bool {
@@ -308,7 +305,8 @@ mod tests {
         let mut obs = base_obs(FaultMode::ReadError);
         obs.faulty.steps = vec!["stat:err:EIO".into()];
         obs.final_state = MountState::ReadOnly;
-        obs.klog.push(log("I/O error reading block", LogLevel::Error));
+        obs.klog
+            .push(log("I/O error reading block", LogLevel::Error));
         let cell = infer(&obs).unwrap();
         assert!(cell.detection.contains(DetectionLevel::DErrorCode));
         assert!(cell.recovery.contains(RecoveryLevel::RPropagate));
@@ -330,7 +328,8 @@ mod tests {
     #[test]
     fn replica_read_is_redundancy() {
         let mut obs = base_obs(FaultMode::ReadError);
-        obs.klog.push(log("I/O error reading metadata block", LogLevel::Error));
+        obs.klog
+            .push(log("I/O error reading metadata block", LogLevel::Error));
         obs.trace = vec![
             ev(100, IoKind::Read, "inode", IoOutcome::Error),
             ev(2148, IoKind::Read, "m-replica", IoOutcome::Ok),

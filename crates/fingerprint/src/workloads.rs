@@ -86,8 +86,11 @@ impl Workload {
 
     /// The Figure 2 column letter.
     pub fn letter(&self) -> char {
-        (b'a' + Workload::COLUMNS.iter().position(|w| w == self).expect("in COLUMNS") as u8)
-            as char
+        (b'a'
+            + Workload::COLUMNS
+                .iter()
+                .position(|w| w == self)
+                .expect("in COLUMNS") as u8) as char
     }
 
     /// Human-readable description (the figure caption's naming).
@@ -157,7 +160,9 @@ impl WorkloadOutput {
 
     /// True if any step failed (errno or panic).
     pub fn any_error(&self) -> bool {
-        self.steps.iter().any(|s| s.contains(":err:") || s.contains(":PANIC"))
+        self.steps
+            .iter()
+            .any(|s| s.contains(":err:") || s.contains(":PANIC"))
     }
 
     /// True if any step failed with an errno (panics excluded — a panic is
@@ -191,7 +196,9 @@ pub const BIG_FILE_SIZE: usize = 120 * 1024;
 
 /// Deterministic contents for fixture files.
 pub fn pattern(len: usize, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
 }
 
 /// Populate the standard fixture tree on a freshly formatted file system.
@@ -235,16 +242,21 @@ pub fn run<F: SpecificFs>(
             out.note("walk", v.stat("/dir1/sub/deep").map(|a| a.size.to_string()));
             out.note(
                 "walk-dots",
-                v.stat("/dir1/./sub/../sub/deep").map(|a| a.size.to_string()),
+                v.stat("/dir1/./sub/../sub/deep")
+                    .map(|a| a.size.to_string()),
             );
         }
         Workload::AccessFamily => {
-            out.note("access", v.access("/dir1/file_small").map(|_| String::new()));
+            out.note(
+                "access",
+                v.access("/dir1/file_small").map(|_| String::new()),
+            );
             out.note("chdir", v.chdir("/dir1").map(|_| String::new()));
             out.note("stat", v.stat("file_small").map(|a| a.size.to_string()));
             out.note(
                 "statfs",
-                v.statfs().map(|s| format!("bf={} if={}", s.blocks_free > 0, s.inodes_free > 0)),
+                v.statfs()
+                    .map(|s| format!("bf={} if={}", s.blocks_free > 0, s.inodes_free > 0)),
             );
             out.note("lstat", v.lstat("/sym").map(|a| format!("{:?}", a.ftype)));
             out.note(
@@ -256,9 +268,18 @@ pub fn run<F: SpecificFs>(
             out.note("chroot", v.chroot("/dir1").map(|_| String::new()));
         }
         Workload::AttrFamily => {
-            out.note("chmod", v.chmod("/dir1/file_small", 0o600).map(|_| String::new()));
-            out.note("chown", v.chown("/dir1/file_small", 7, 8).map(|_| String::new()));
-            out.note("utimes", v.utimes("/dir1/file_small", 1234).map(|_| String::new()));
+            out.note(
+                "chmod",
+                v.chmod("/dir1/file_small", 0o600).map(|_| String::new()),
+            );
+            out.note(
+                "chown",
+                v.chown("/dir1/file_small", 7, 8).map(|_| String::new()),
+            );
+            out.note(
+                "utimes",
+                v.utimes("/dir1/file_small", 1234).map(|_| String::new()),
+            );
         }
         Workload::Read => {
             out.note("read-big", v.read_file("/file_big").map(|d| digest(&d)));
@@ -303,25 +324,37 @@ pub fn run<F: SpecificFs>(
             );
         }
         Workload::Link => {
-            out.note("link", v.link("/dir1/file_small", "/newhard").map(|_| String::new()));
+            out.note(
+                "link",
+                v.link("/dir1/file_small", "/newhard")
+                    .map(|_| String::new()),
+            );
         }
         Workload::Mkdir => {
             out.note("mkdir", v.mkdir("/newdir", 0o755).map(|_| String::new()));
         }
         Workload::Rename => {
-            out.note("rename", v.rename("/file_torename", "/renamed").map(|_| String::new()));
+            out.note(
+                "rename",
+                v.rename("/file_torename", "/renamed")
+                    .map(|_| String::new()),
+            );
         }
         Workload::Symlink => {
-            out.note("symlink", v.symlink("/file_big", "/newsym").map(|_| String::new()));
+            out.note(
+                "symlink",
+                v.symlink("/file_big", "/newsym").map(|_| String::new()),
+            );
         }
         Workload::Write => {
             out.note(
                 "write-small",
-                v.open("/dir1/file_small", OpenFlags::rdwr()).and_then(|fd| {
-                    v.pwrite(fd, 100, &pattern(1000, 10))?;
-                    v.close(fd)?;
-                    Ok(String::new())
-                }),
+                v.open("/dir1/file_small", OpenFlags::rdwr())
+                    .and_then(|fd| {
+                        v.pwrite(fd, 100, &pattern(1000, 10))?;
+                        v.close(fd)?;
+                        Ok(String::new())
+                    }),
             );
             if !out.any_panic() {
                 out.note(
@@ -336,9 +369,15 @@ pub fn run<F: SpecificFs>(
             }
         }
         Workload::Truncate => {
-            out.note("trunc-mid", v.truncate("/file_totrunc", 10_000).map(|_| String::new()));
+            out.note(
+                "trunc-mid",
+                v.truncate("/file_totrunc", 10_000).map(|_| String::new()),
+            );
             if !out.any_panic() {
-                out.note("trunc-zero", v.truncate("/file_totrunc", 0).map(|_| String::new()));
+                out.note(
+                    "trunc-zero",
+                    v.truncate("/file_totrunc", 0).map(|_| String::new()),
+                );
             }
         }
         Workload::Rmdir => {
@@ -355,12 +394,13 @@ pub fn run<F: SpecificFs>(
         Workload::SyncFamily => {
             out.note(
                 "dirty+fsync",
-                v.open("/dir1/file_small", OpenFlags::rdwr()).and_then(|fd| {
-                    v.pwrite(fd, 0, b"fsync me")?;
-                    v.fsync(fd)?;
-                    v.close(fd)?;
-                    Ok(String::new())
-                }),
+                v.open("/dir1/file_small", OpenFlags::rdwr())
+                    .and_then(|fd| {
+                        v.pwrite(fd, 0, b"fsync me")?;
+                        v.fsync(fd)?;
+                        v.close(fd)?;
+                        Ok(String::new())
+                    }),
             );
             if !out.any_panic() {
                 out.note("sync", v.sync().map(|_| String::new()));
@@ -374,7 +414,10 @@ pub fn run<F: SpecificFs>(
             // usable.
             out.note("post-recovery-stat", v.stat("/dir1").map(|_| String::new()));
             if !out.any_panic() {
-                out.note("post-recovery-read", v.read_file("/file_tail").map(|d| digest(&d)));
+                out.note(
+                    "post-recovery-read",
+                    v.read_file("/file_tail").map(|d| digest(&d)),
+                );
             }
         }
         Workload::LogWrites => {

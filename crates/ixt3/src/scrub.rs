@@ -70,10 +70,10 @@ pub fn scrub<D: BlockDevice + RawAccess>(fs: &mut Ext3Fs<D>) -> ScrubReport {
             ty,
             BlockType::JournalData | BlockType::JournalSuper | BlockType::CksumTable
         ) && addr != 0
+            && addr >= layout.journal_super
+            && addr < layout.groups_start
         {
-            if addr >= layout.journal_super && addr < layout.groups_start {
-                continue;
-            }
+            continue;
         }
         report.scanned += 1;
 
@@ -105,7 +105,10 @@ pub fn scrub<D: BlockDevice + RawAccess>(fs: &mut Ext3Fs<D>) -> ScrubReport {
         // Attempt repair.
         let repaired = if ty.is_metadata() && iron.meta_replication {
             let replica = layout.replica_of(addr);
-            match fs.device_mut().read_tagged(replica, BlockType::Replica.tag()) {
+            match fs
+                .device_mut()
+                .read_tagged(replica, BlockType::Replica.tag())
+            {
                 Ok(copy) if fs.checksum_entry(addr) == 0 || fs.verify_block(addr, &copy) => fs
                     .device_mut()
                     .write_tagged(BlockAddr(addr), &copy, ty.tag())
@@ -201,7 +204,8 @@ mod tests {
         }
         let victim = fs.blocks_of(3).unwrap()[1];
         let original = fs.device().peek(BlockAddr(victim));
-        fs.device_mut().poke(BlockAddr(victim), &Block::filled(0x66));
+        fs.device_mut()
+            .poke(BlockAddr(victim), &Block::filled(0x66));
         let report = scrub(&mut fs);
         assert!(report.corruptions >= 1);
         assert!(report.repaired >= 1);
@@ -225,7 +229,8 @@ mod tests {
             v.sync().unwrap();
         }
         let victim = fs.blocks_of(3).unwrap()[0];
-        fs.device_mut().poke(BlockAddr(victim), &Block::filled(0x01));
+        fs.device_mut()
+            .poke(BlockAddr(victim), &Block::filled(0x01));
         let report = scrub(&mut fs);
         assert_eq!(report.corruptions, 0, "silent corruption stays silent");
         assert_eq!(report.unrecoverable, 0);

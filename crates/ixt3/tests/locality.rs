@@ -26,8 +26,12 @@ fn mount_full() -> (Vfs<Fs>, iron_faultinject::FaultController, FsEnv) {
     let faulty = FaultyDisk::new(md);
     let ctl = faulty.controller();
     let env = FsEnv::new();
-    let fs = Ext3Fs::mount(faulty, env.clone(), Ext3Options::with_iron(IronConfig::full()))
-        .unwrap();
+    let fs = Ext3Fs::mount(
+        faulty,
+        env.clone(),
+        Ext3Options::with_iron(IronConfig::full()),
+    )
+    .unwrap();
     (Vfs::new(fs), ctl, env)
 }
 
@@ -49,8 +53,12 @@ fn scratch_across_metadata_region_recovered_from_distant_mirror() {
     v.umount().unwrap();
     let dev = v.into_fs().into_device();
     let env2 = FsEnv::new();
-    let fs = Ext3Fs::mount(dev, env2.clone(), Ext3Options::with_iron(IronConfig::full()))
-        .unwrap();
+    let fs = Ext3Fs::mount(
+        dev,
+        env2.clone(),
+        Ext3Options::with_iron(IronConfig::full()),
+    )
+    .unwrap();
     let mut v = Vfs::new(fs);
 
     // A scratch across group 0's entire metadata head — both bitmaps and
@@ -84,8 +92,12 @@ fn scratch_covering_both_copies_defeats_replication() {
     v.umount().unwrap();
     let dev = v.into_fs().into_device();
     let env2 = FsEnv::new();
-    let fs = Ext3Fs::mount(dev, env2.clone(), Ext3Options::with_iron(IronConfig::full()))
-        .unwrap();
+    let fs = Ext3Fs::mount(
+        dev,
+        env2.clone(),
+        Ext3Options::with_iron(IronConfig::full()),
+    )
+    .unwrap();
     let mut v = Vfs::new(fs);
 
     let layout = *v.fs().layout();
@@ -107,8 +119,12 @@ fn transient_scratch_heals_on_retry_everywhere() {
     v.umount().unwrap();
     let dev = v.into_fs().into_device();
     let env2 = FsEnv::new();
-    let fs = Ext3Fs::mount(dev, env2.clone(), Ext3Options::with_iron(IronConfig::full()))
-        .unwrap();
+    let fs = Ext3Fs::mount(
+        dev,
+        env2.clone(),
+        Ext3Options::with_iron(IronConfig::full()),
+    )
+    .unwrap();
     let mut v = Vfs::new(fs);
     let g0 = v.fs().layout().group_base(0);
     ctl.inject(FaultSpec {

@@ -3,8 +3,8 @@
 
 use std::collections::HashMap;
 
-use iron_core::{Block, BlockAddr, Errno, BLOCK_SIZE};
 use iron_blockdev::{BlockDevice, RawAccess};
+use iron_core::{Block, BlockAddr, Errno, BLOCK_SIZE};
 use iron_vfs::{
     DirEntry, FileType, FsEnv, InodeAttr, MountState, SpecificFs, StatFs, VfsError, VfsResult,
 };
@@ -258,8 +258,16 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
         root.encode_into(&mut itable0, off);
 
         let root_entries = vec![
-            (ROOT_INO as u32, ftype_code(FileType::Directory), ".".to_string()),
-            (ROOT_INO as u32, ftype_code(FileType::Directory), "..".to_string()),
+            (
+                ROOT_INO as u32,
+                ftype_code(FileType::Directory),
+                ".".to_string(),
+            ),
+            (
+                ROOT_INO as u32,
+                ftype_code(FileType::Directory),
+                "..".to_string(),
+            ),
         ];
 
         let free_blocks = params.total_blocks - root_dir_block - 1;
@@ -293,7 +301,12 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
             .encode(),
             JfsBlockType::JournalSuper,
         )?;
-        w(dev, layout.aggr_inode, &aggr.encode(), JfsBlockType::AggrInode)?;
+        w(
+            dev,
+            layout.aggr_inode,
+            &aggr.encode(),
+            JfsBlockType::AggrInode,
+        )?;
         w(
             dev,
             layout.aggr_inode_secondary,
@@ -318,7 +331,11 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
             w(dev, layout.imap_start + i as u64, im, JfsBlockType::Imap)?;
         }
         for i in 0..params.itable_blocks {
-            let block = if i == 0 { itable0.clone() } else { Block::zeroed() };
+            let block = if i == 0 {
+                itable0.clone()
+            } else {
+                Block::zeroed()
+            };
             w(dev, layout.itable_start + i, &block, JfsBlockType::Inode)?;
         }
         w(
@@ -386,12 +403,11 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
         // back to the secondary copy.
         let aggr_block = fs
             .generic_read(fs.layout.aggr_inode, JfsBlockType::AggrInode)
-            .map_err(|e| {
+            .inspect_err(|_e| {
                 fs.env.klog.error(
                     "jfs",
                     "aggregate inode table unreadable; secondary copy NOT consulted",
                 );
-                e
             })?;
         if AggregateInodes::decode(&aggr_block).is_none() {
             fs.env
@@ -401,8 +417,7 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
         }
 
         // Journal superblock.
-        let js_block = fs
-            .generic_read(fs.layout.journal_super, JfsBlockType::JournalSuper)?;
+        let js_block = fs.generic_read(fs.layout.journal_super, JfsBlockType::JournalSuper)?;
         let js = match JournalSuper::decode(&js_block) {
             Some(js) => js,
             None => {
@@ -419,7 +434,9 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
         fs.sb.dirty = true;
         let enc = fs.sb.encode();
         // Write errors ignored, per policy (except the journal superblock).
-        let _ = fs.dev.write_tagged(BlockAddr(0), &enc, JfsBlockType::Super.tag());
+        let _ = fs
+            .dev
+            .write_tagged(BlockAddr(0), &enc, JfsBlockType::Super.tag());
         fs.cache.insert(0, enc);
         Ok(fs)
     }
@@ -498,13 +515,7 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
 
     /// Stage a full-block image for checkpoint and append journal records
     /// covering `ranges` of it.
-    fn stage(
-        &mut self,
-        addr: u64,
-        block: Block,
-        ty: JfsBlockType,
-        ranges: &[(usize, usize)],
-    ) {
+    fn stage(&mut self, addr: u64, block: Block, ty: JfsBlockType, ranges: &[(usize, usize)]) {
         for (off, len) in ranges {
             // Split ranges so each record fits a log block.
             let mut o = *off;
@@ -543,8 +554,7 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
         }
         let seq = self.jseq;
         let blocks = pack_records(seq, &self.records);
-        if self.log_head + blocks.len() as u64
-            > self.layout.journal_start + self.layout.journal_len
+        if self.log_head + blocks.len() as u64 > self.layout.journal_start + self.layout.journal_len
         {
             self.log_head = self.layout.journal_start;
         }
@@ -637,9 +647,10 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
             {
                 Ok(b) => b,
                 Err(_) => {
-                    self.env
-                        .klog
-                        .error("jfs", format!("journal block {pos} unreadable; replay aborted"));
+                    self.env.klog.error(
+                        "jfs",
+                        format!("journal block {pos} unreadable; replay aborted"),
+                    );
                     self.env.remount_readonly("jfs", "journal replay aborted");
                     return Ok(());
                 }
@@ -770,7 +781,12 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
             free_blocks: self.sb.free_blocks,
         }
         .encode();
-        self.stage(self.layout.bmap_desc, desc, JfsBlockType::BmapDesc, &[(0, 16)]);
+        self.stage(
+            self.layout.bmap_desc,
+            desc,
+            JfsBlockType::BmapDesc,
+            &[(0, 16)],
+        );
     }
 
     // ==================================================================
@@ -897,10 +913,9 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
             match decode_dir_block(&b) {
                 Some(entries) => out.extend(entries),
                 None => {
-                    self.env.klog.error(
-                        "jfs",
-                        format!("directory block {addr} failed sanity check"),
-                    );
+                    self.env
+                        .klog
+                        .error("jfs", format!("directory block {addr} failed sanity check"));
                     self.env.remount_readonly("jfs", "corrupt directory");
                     return Err(Errno::EUCLEAN.into());
                 }
@@ -909,7 +924,12 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
         Ok(out)
     }
 
-    fn write_dir(&mut self, ino: u64, di: &mut JInode, entries: &[(u32, u8, String)]) -> VfsResult<()> {
+    fn write_dir(
+        &mut self,
+        ino: u64,
+        di: &mut JInode,
+        entries: &[(u32, u8, String)],
+    ) -> VfsResult<()> {
         // Pack into blocks of at most DIR_MAX_ENTRIES and capacity bytes.
         let mut blocks: Vec<Vec<(u32, u8, String)>> = vec![Vec::new()];
         let mut used = 4usize;
@@ -934,7 +954,10 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
                 addr,
                 encode_dir_block(chunk),
                 JfsBlockType::Dir,
-                &[(0, BLOCK_SIZE.min(64 + chunk.iter().map(|e| 6 + e.2.len()).sum::<usize>()))],
+                &[(
+                    0,
+                    BLOCK_SIZE.min(64 + chunk.iter().map(|e| 6 + e.2.len()).sum::<usize>()),
+                )],
             );
         }
         for idx in blocks.len() as u64..old_nblocks {
@@ -1063,7 +1086,11 @@ impl<D: BlockDevice + RawAccess> SpecificFs for JfsFs<D> {
         let mut child = JInode::new(FileType::Directory, mode);
         let child_entries = vec![
             (ino as u32, ftype_code(FileType::Directory), ".".to_string()),
-            (dir as u32, ftype_code(FileType::Directory), "..".to_string()),
+            (
+                dir as u32,
+                ftype_code(FileType::Directory),
+                "..".to_string(),
+            ),
         ];
         self.put_inode(ino, &child)?;
         let mut child = {
@@ -1072,7 +1099,11 @@ impl<D: BlockDevice + RawAccess> SpecificFs for JfsFs<D> {
         };
         let _ = &mut child;
         let mut entries = self.dir_entries(&dd)?;
-        entries.push((ino as u32, ftype_code(FileType::Directory), name.to_string()));
+        entries.push((
+            ino as u32,
+            ftype_code(FileType::Directory),
+            name.to_string(),
+        ));
         dd.nlink += 1;
         self.write_dir(dir, &mut dd, &entries)?;
         self.maybe_commit()?;
@@ -1265,7 +1296,7 @@ impl<D: BlockDevice + RawAccess> SpecificFs for JfsFs<D> {
             let take = ((end - pos) as usize).min(BLOCK_SIZE - within);
             let addr = self.file_block(&di, idx)?;
             if addr == 0 {
-                out.extend(std::iter::repeat(0u8).take(take));
+                out.extend(std::iter::repeat_n(0u8, take));
             } else {
                 let b = self.read_data(addr)?;
                 out.extend_from_slice(b.get_bytes(within, take));
@@ -1333,7 +1364,7 @@ impl<D: BlockDevice + RawAccess> SpecificFs for JfsFs<D> {
                 self.set_file_block(&mut di, idx, 0)?;
             }
         }
-        if size % bs != 0 {
+        if !size.is_multiple_of(bs) {
             let idx = size / bs;
             let addr = self.file_block(&di, idx)?;
             if addr != 0 {
@@ -1394,7 +1425,9 @@ impl<D: BlockDevice + RawAccess> SpecificFs for JfsFs<D> {
         self.commit()?;
         self.sb.dirty = false;
         let enc = self.sb.encode();
-        let _ = self.dev.write_tagged(BlockAddr(0), &enc, JfsBlockType::Super.tag());
+        let _ = self
+            .dev
+            .write_tagged(BlockAddr(0), &enc, JfsBlockType::Super.tag());
         let _ = self.dev.flush();
         self.env.set_state(MountState::Unmounted);
         Ok(())

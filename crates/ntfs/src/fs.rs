@@ -2,8 +2,8 @@
 
 use std::collections::HashMap;
 
-use iron_core::{Block, BlockAddr, BlockTag, Errno, BLOCK_SIZE};
 use iron_blockdev::{BlockDevice, DiskResult, RawAccess};
+use iron_core::{Block, BlockAddr, BlockTag, Errno, BLOCK_SIZE};
 use iron_vfs::{
     DirEntry, FileType, FsEnv, InodeAttr, MountState, SpecificFs, StatFs, VfsError, VfsResult,
 };
@@ -352,8 +352,16 @@ impl<D: BlockDevice + RawAccess> NtfsFs<D> {
         )
         .map_err(eio)?;
         let entries = vec![
-            (ROOT_REC as u32, ft_code(FileType::Directory), ".".to_string()),
-            (ROOT_REC as u32, ft_code(FileType::Directory), "..".to_string()),
+            (
+                ROOT_REC as u32,
+                ft_code(FileType::Directory),
+                ".".to_string(),
+            ),
+            (
+                ROOT_REC as u32,
+                ft_code(FileType::Directory),
+                "..".to_string(),
+            ),
         ];
         dev.write_tagged(
             BlockAddr(root_dir_block),
@@ -373,7 +381,8 @@ impl<D: BlockDevice + RawAccess> NtfsFs<D> {
         let boot = retry_read(&mut dev, 0, NtfsBlockType::BootFile, &env)
             .map_err(|_| VfsError::Errno(Errno::EIO))?;
         if boot.get_u64(0) != BOOT_MAGIC {
-            env.klog.error("ntfs", "boot file invalid; volume unmountable");
+            env.klog
+                .error("ntfs", "boot file invalid; volume unmountable");
             return Err(Errno::EUCLEAN.into());
         }
         let params = NtfsParams {
@@ -523,17 +532,20 @@ impl<D: BlockDevice + RawAccess> NtfsFs<D> {
             Some(r) if r.in_use => Ok(r),
             Some(_) => Err(Errno::ENOENT.into()),
             None => {
-                self.env.klog.error(
-                    "ntfs",
-                    format!("MFT record {rec} corrupt (bad FILE magic)"),
-                );
+                self.env
+                    .klog
+                    .error("ntfs", format!("MFT record {rec} corrupt (bad FILE magic)"));
                 Err(Errno::EUCLEAN.into())
             }
         }
     }
 
     fn put_record(&mut self, rec: u64, r: &MftRecord) -> VfsResult<()> {
-        self.write_block(self.layout.mft_block(rec), &r.encode(), NtfsBlockType::MftRecord)
+        self.write_block(
+            self.layout.mft_block(rec),
+            &r.encode(),
+            NtfsBlockType::MftRecord,
+        )
     }
 
     fn alloc_block(&mut self) -> VfsResult<u64> {
@@ -612,7 +624,11 @@ impl<D: BlockDevice + RawAccess> NtfsFs<D> {
         }
         if r.run_block == 0 {
             r.run_block = self.alloc_block()? as u32;
-            self.write_block(r.run_block as u64, &Block::zeroed(), NtfsBlockType::RunBlock)?;
+            self.write_block(
+                r.run_block as u64,
+                &Block::zeroed(),
+                NtfsBlockType::RunBlock,
+            )?;
         }
         let raddr = r.run_block as u64;
         let mut b = self.read_block(raddr, NtfsBlockType::RunBlock)?;
@@ -632,10 +648,9 @@ impl<D: BlockDevice + RawAccess> NtfsFs<D> {
             match decode_dir(&b) {
                 Some(e) => out.extend(e),
                 None => {
-                    self.env.klog.error(
-                        "ntfs",
-                        format!("directory index block {addr} corrupt"),
-                    );
+                    self.env
+                        .klog
+                        .error("ntfs", format!("directory index block {addr} corrupt"));
                     return Err(Errno::EUCLEAN.into());
                 }
             }
@@ -920,7 +935,11 @@ impl<D: BlockDevice + RawAccess> SpecificFs for NtfsFs<D> {
         let baddr = self.alloc_block()?;
         r.direct[0] = baddr as u32;
         r.size = target.len() as u64;
-        self.write_block(baddr, &Block::from_bytes(target.as_bytes()), NtfsBlockType::Data)?;
+        self.write_block(
+            baddr,
+            &Block::from_bytes(target.as_bytes()),
+            NtfsBlockType::Data,
+        )?;
         self.put_record(rec, &r)?;
         let mut entries = self.dir_entries(&d)?;
         entries.push((rec as u32, ft_code(FileType::Symlink), name.to_string()));
@@ -1011,7 +1030,7 @@ impl<D: BlockDevice + RawAccess> SpecificFs for NtfsFs<D> {
             let take = ((end - pos) as usize).min(BLOCK_SIZE - within);
             let addr = self.file_block(&r, idx)?;
             if addr == 0 {
-                out.extend(std::iter::repeat(0u8).take(take));
+                out.extend(std::iter::repeat_n(0u8, take));
             } else {
                 let b = self.read_block(addr, NtfsBlockType::Data)?;
                 out.extend_from_slice(b.get_bytes(within, take));
@@ -1079,7 +1098,7 @@ impl<D: BlockDevice + RawAccess> SpecificFs for NtfsFs<D> {
                     self.set_file_block(&mut r, idx, 0)?;
                 }
             }
-            if size % bs != 0 {
+            if !size.is_multiple_of(bs) {
                 let idx = size / bs;
                 let addr = self.file_block(&r, idx)?;
                 if addr != 0 {

@@ -141,7 +141,7 @@ fn corrupted_block_pointer_clobbers_system_structures_paper_bug() {
     }
     let rec_addr = rec_addr.expect("victim record");
     let mut rec = dev.peek(BlockAddr(rec_addr));
-    let bitmap_addr = 1 + 64 + 0; // logfile_start(1) + logfile_blocks(64) = volume bitmap
+    let bitmap_addr = 1 + 64; // logfile_start(1) + logfile_blocks(64) = volume bitmap
     let bitmap_before = dev.peek(BlockAddr(bitmap_addr));
     rec.put_u32(48, bitmap_addr as u32); // direct[0] := volume bitmap
     dev.poke(BlockAddr(rec_addr), &rec);

@@ -3,8 +3,8 @@
 
 use std::collections::HashMap;
 
-use iron_core::{Block, BlockAddr, Errno, BLOCK_SIZE};
 use iron_blockdev::{BlockDevice, RawAccess};
+use iron_core::{Block, BlockAddr, Errno, BLOCK_SIZE};
 use iron_vfs::{
     DirEntry, FileType, FsEnv, InodeAttr, MountState, SpecificFs, StatFs, VfsError, VfsResult,
 };
@@ -590,15 +590,18 @@ impl<D: BlockDevice + RawAccess> ReiserFs<D> {
             }
             // PAPER-BUG: journal data applied with no checks whatsoever.
             for (addr, data) in desc.addrs.iter().zip(&datas) {
-                let _ = self
-                    .dev
-                    .write_tagged(BlockAddr(*addr), data, ReiserBlockType::LeafNode.tag());
+                let _ =
+                    self.dev
+                        .write_tagged(BlockAddr(*addr), data, ReiserBlockType::LeafNode.tag());
             }
             replayed += 1;
             pos = cpos + 1;
         }
         // Re-read the superblock: replay may have rewritten it.
-        if let Ok(b) = self.dev.read_tagged(BlockAddr(0), ReiserBlockType::Super.tag()) {
+        if let Ok(b) = self
+            .dev
+            .read_tagged(BlockAddr(0), ReiserBlockType::Super.tag())
+        {
             match ReiserSuper::decode(&b) {
                 Some(sb) => self.sb = sb,
                 None => {
@@ -706,7 +709,10 @@ impl<D: BlockDevice + RawAccess> ReiserFs<D> {
         if let Some(b) = self.cache.get(&addr) {
             return Ok(b.clone());
         }
-        match self.dev.read_tagged(BlockAddr(addr), ReiserBlockType::Data.tag()) {
+        match self
+            .dev
+            .read_tagged(BlockAddr(addr), ReiserBlockType::Data.tag())
+        {
             Ok(b) => {
                 self.cache.insert(addr, b.clone());
                 Ok(b)
@@ -715,7 +721,10 @@ impl<D: BlockDevice + RawAccess> ReiserFs<D> {
                 self.env
                     .klog
                     .error("reiserfs", format!("read of data block {addr} failed"));
-                match self.dev.read_tagged(BlockAddr(addr), ReiserBlockType::Data.tag()) {
+                match self
+                    .dev
+                    .read_tagged(BlockAddr(addr), ReiserBlockType::Data.tag())
+                {
                     Ok(b) => {
                         self.cache.insert(addr, b.clone());
                         Ok(b)
@@ -837,11 +846,7 @@ impl<D: BlockDevice + RawAccess> ReiserFs<D> {
     }
 
     /// Root-to-leaf path for `key`.
-    fn search_path(
-        &mut self,
-        key: Key,
-        purpose: ReiserBlockType,
-    ) -> VfsResult<Vec<(u64, Node)>> {
+    fn search_path(&mut self, key: Key, purpose: ReiserBlockType) -> VfsResult<Vec<(u64, Node)>> {
         let mut addr = self.sb.root_block;
         let mut level = self.sb.tree_height as u16;
         let mut path = Vec::new();
@@ -936,11 +941,14 @@ impl<D: BlockDevice + RawAccess> ReiserFs<D> {
                     self.stage(0, self.sb.encode(), ReiserBlockType::Super);
                     return Ok(());
                 }
-                Some((addr, Node::Internal {
-                    level,
-                    mut keys,
-                    mut children,
-                })) => {
+                Some((
+                    addr,
+                    Node::Internal {
+                        level,
+                        mut keys,
+                        mut children,
+                    },
+                )) => {
                     let idx = children
                         .iter()
                         .position(|c| *c == left_addr)
@@ -1013,12 +1021,7 @@ impl<D: BlockDevice + RawAccess> ReiserFs<D> {
     }
 
     /// All items with keys in `[lo, hi]`, left to right.
-    fn tree_range(
-        &mut self,
-        lo: Key,
-        hi: Key,
-        purpose: ReiserBlockType,
-    ) -> VfsResult<Vec<Item>> {
+    fn tree_range(&mut self, lo: Key, hi: Key, purpose: ReiserBlockType) -> VfsResult<Vec<Item>> {
         let root = self.sb.root_block;
         let height = self.sb.tree_height as u16;
         let mut out = Vec::new();
@@ -1046,8 +1049,8 @@ impl<D: BlockDevice + RawAccess> ReiserFs<D> {
                 for (i, child) in children.iter().enumerate() {
                     let child_lo = if i == 0 { None } else { Some(keys[i - 1]) };
                     let child_hi = keys.get(i);
-                    let skip = child_lo.is_some_and(|l| hi < l)
-                        || child_hi.is_some_and(|h| lo >= *h);
+                    let skip =
+                        child_lo.is_some_and(|l| hi < l) || child_hi.is_some_and(|h| lo >= *h);
                     if !skip {
                         self.range_walk(*child, level - 1, lo, hi, purpose, out)?;
                     }
@@ -1160,7 +1163,9 @@ impl<D: BlockDevice + RawAccess> ReiserFs<D> {
     /// blocks are never freed, leaking space.
     fn free_body(&mut self, oid: u64, size: u64) -> VfsResult<()> {
         let _ = self.tree_delete(Key::new(oid, ItemKind::Direct, 0), ReiserBlockType::Direct)?;
-        let chunks = size.div_ceil(BLOCK_SIZE as u64).div_ceil(PTRS_PER_INDIRECT as u64);
+        let chunks = size
+            .div_ceil(BLOCK_SIZE as u64)
+            .div_ceil(PTRS_PER_INDIRECT as u64);
         for chunk in 0..chunks.max(1) {
             match self.body_ptrs(oid, chunk) {
                 Ok(ptrs) => {
@@ -1296,7 +1301,10 @@ impl<D: BlockDevice + RawAccess> SpecificFs for ReiserFs<D> {
         sd.nlink = sd.nlink.saturating_sub(1);
         if sd.nlink == 0 {
             self.free_body(child, sd.size)?;
-            self.tree_delete(Key::new(child, ItemKind::Stat, 0), ReiserBlockType::StatItem)?;
+            self.tree_delete(
+                Key::new(child, ItemKind::Stat, 0),
+                ReiserBlockType::StatItem,
+            )?;
         } else {
             self.put_stat(child, &sd)?;
         }
@@ -1321,7 +1329,10 @@ impl<D: BlockDevice + RawAccess> SpecificFs for ReiserFs<D> {
             return Err(Errno::ENOTEMPTY.into());
         }
         self.tree_delete(Key::new(dir, ItemKind::Dir, h), ReiserBlockType::DirItem)?;
-        self.tree_delete(Key::new(child, ItemKind::Stat, 0), ReiserBlockType::StatItem)?;
+        self.tree_delete(
+            Key::new(child, ItemKind::Stat, 0),
+            ReiserBlockType::StatItem,
+        )?;
         let mut dsd = self.stat_of(dir)?;
         dsd.nlink = dsd.nlink.saturating_sub(1);
         self.put_stat(dir, &dsd)?;
@@ -1397,7 +1408,10 @@ impl<D: BlockDevice + RawAccess> SpecificFs for ReiserFs<D> {
             }
             self.unlink(dst_dir, dst_name)?;
         }
-        self.tree_delete(Key::new(src_dir, ItemKind::Dir, sh), ReiserBlockType::DirItem)?;
+        self.tree_delete(
+            Key::new(src_dir, ItemKind::Dir, sh),
+            ReiserBlockType::DirItem,
+        )?;
         self.dirent_add(dst_dir, dst_name, child, ftype)?;
         if ftype == FileType::Directory && src_dir != dst_dir {
             let mut sd = self.stat_of(child)?;
@@ -1427,7 +1441,11 @@ impl<D: BlockDevice + RawAccess> SpecificFs for ReiserFs<D> {
         if let Some(tail) = self.tail_of(oid)? {
             let lo = off as usize;
             let hi = (end as usize).min(tail.len());
-            return Ok(if lo < hi { tail[lo..hi].to_vec() } else { Vec::new() });
+            return Ok(if lo < hi {
+                tail[lo..hi].to_vec()
+            } else {
+                Vec::new()
+            });
         }
         let bs = BLOCK_SIZE as u64;
         let mut out = Vec::with_capacity((end - off) as usize);
@@ -1441,7 +1459,7 @@ impl<D: BlockDevice + RawAccess> SpecificFs for ReiserFs<D> {
             let slot = (idx % PTRS_PER_INDIRECT as u64) as usize;
             let ptr = ptrs.get(slot).copied().unwrap_or(0);
             if ptr == 0 {
-                out.extend(std::iter::repeat(0u8).take(take));
+                out.extend(std::iter::repeat_n(0u8, take));
             } else {
                 let b = self.read_data(ptr as u64)?;
                 out.extend_from_slice(b.get_bytes(within, take));
@@ -1501,9 +1519,8 @@ impl<D: BlockDevice + RawAccess> SpecificFs for ReiserFs<D> {
             if ptrs.len() <= slot {
                 ptrs.resize(slot + 1, 0);
             }
-            let mut block = if ptrs[slot] == 0 {
-                Block::zeroed()
-            } else if within == 0 && take == BLOCK_SIZE {
+            let whole = within == 0 && take == BLOCK_SIZE;
+            let mut block = if ptrs[slot] == 0 || whole {
                 Block::zeroed()
             } else {
                 self.read_data(ptrs[slot] as u64)?
@@ -1546,10 +1563,7 @@ impl<D: BlockDevice + RawAccess> SpecificFs for ReiserFs<D> {
                     let baddr = self.alloc_block()?;
                     self.write_data(baddr, &Block::from_bytes(&tail))?;
                     self.put_body_ptrs(oid, 0, &[baddr as u32])?;
-                    self.tree_delete(
-                        Key::new(oid, ItemKind::Direct, 0),
-                        ReiserBlockType::Direct,
-                    )?;
+                    self.tree_delete(Key::new(oid, ItemKind::Direct, 0), ReiserBlockType::Direct)?;
                 }
             }
             sd.size = size;
@@ -1599,7 +1613,7 @@ impl<D: BlockDevice + RawAccess> SpecificFs for ReiserFs<D> {
                 chunk += 1;
             }
             // Zero the tail of a partial final block.
-            if size % bs != 0 {
+            if !size.is_multiple_of(bs) {
                 let idx = size / bs;
                 let ptrs = self.body_ptrs(oid, idx / PTRS_PER_INDIRECT as u64)?;
                 if let Some(&p) = ptrs.get((idx % PTRS_PER_INDIRECT as u64) as usize) {

@@ -130,7 +130,9 @@ impl ReiserLayout {
         let journal_start = 2;
         let journal_len = params.journal_blocks;
         let bitmap_start = journal_start + journal_len;
-        let bitmap_len = params.total_blocks.div_ceil(iron_core::BLOCK_SIZE as u64 * 8);
+        let bitmap_len = params
+            .total_blocks
+            .div_ceil(iron_core::BLOCK_SIZE as u64 * 8);
         let alloc_start = bitmap_start + bitmap_len;
         ReiserLayout {
             params,

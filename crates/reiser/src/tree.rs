@@ -362,10 +362,7 @@ mod tests {
     #[test]
     fn sanity_rejects_unsorted_keys() {
         // Hand-craft a leaf with out-of-order keys.
-        let items = vec![
-            item(5, ItemKind::Stat, 0, 4),
-            item(3, ItemKind::Stat, 0, 4),
-        ];
+        let items = vec![item(5, ItemKind::Stat, 0, 4), item(3, ItemKind::Stat, 0, 4)];
         let mut b = Block::zeroed();
         b.put_u16(0, 1);
         b.put_u16(2, 2);
@@ -395,11 +392,20 @@ mod tests {
 
     #[test]
     fn child_index_picks_subtree() {
-        let keys = vec![Key::new(10, ItemKind::Stat, 0), Key::new(20, ItemKind::Stat, 0)];
+        let keys = vec![
+            Key::new(10, ItemKind::Stat, 0),
+            Key::new(20, ItemKind::Stat, 0),
+        ];
         assert_eq!(Node::child_index(&keys, &Key::new(5, ItemKind::Stat, 0)), 0);
-        assert_eq!(Node::child_index(&keys, &Key::new(10, ItemKind::Stat, 0)), 1);
+        assert_eq!(
+            Node::child_index(&keys, &Key::new(10, ItemKind::Stat, 0)),
+            1
+        );
         assert_eq!(Node::child_index(&keys, &Key::new(15, ItemKind::Dir, 3)), 1);
-        assert_eq!(Node::child_index(&keys, &Key::new(25, ItemKind::Stat, 0)), 2);
+        assert_eq!(
+            Node::child_index(&keys, &Key::new(25, ItemKind::Stat, 0)),
+            2
+        );
     }
 
     #[test]

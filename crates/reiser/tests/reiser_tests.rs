@@ -234,7 +234,8 @@ fn corrupt_internal_node_panics_paper_bug() {
     let (mut v, _ctl, _env) = mount();
     // Grow the tree so internal nodes exist.
     for i in 0..150 {
-        v.write_file(&format!("/file-{i:04}"), &vec![i as u8; 300]).unwrap();
+        v.write_file(&format!("/file-{i:04}"), &vec![i as u8; 300])
+            .unwrap();
     }
     v.sync().unwrap();
     assert!(v.fs().superblock().tree_height >= 2);
@@ -260,7 +261,8 @@ fn corrupt_leaf_propagates_sanity_error() {
     let (mut v, ctl, _env) = mount();
     // Grow the tree so leaves are distinct from the root.
     for i in 0..150 {
-        v.write_file(&format!("/file-{i:04}"), &vec![i as u8; 300]).unwrap();
+        v.write_file(&format!("/file-{i:04}"), &vec![i as u8; 300])
+            .unwrap();
     }
     v.write_file("/f", b"x").unwrap();
     v.sync().unwrap();
@@ -299,7 +301,11 @@ fn corrupt_journal_data_destroys_filesystem_paper_bug() {
     let desc =
         iron_reiser::journal::JournalDesc::decode(&dev.peek(BlockAddr(layout.journal_start)))
             .expect("descriptor present");
-    let super_pos = desc.addrs.iter().position(|a| *a == 0).expect("super journaled");
+    let super_pos = desc
+        .addrs
+        .iter()
+        .position(|a| *a == 0)
+        .expect("super journaled");
     let jdata_addr = layout.journal_start + 1 + super_pos as u64;
     dev.poke(BlockAddr(jdata_addr), &Block::filled(0x5C));
     // Remount: replay blindly writes garbage over the superblock, then the
@@ -319,7 +325,8 @@ fn indirect_read_failure_during_truncate_leaks_space_paper_bug() {
     // Grow the tree, then a multi-chunk file (> 1 MiB ⇒ several indirect
     // items spread over distinct leaves).
     for i in 0..150 {
-        v.write_file(&format!("/file-{i:04}"), &vec![i as u8; 300]).unwrap();
+        v.write_file(&format!("/file-{i:04}"), &vec![i as u8; 300])
+            .unwrap();
     }
     v.write_file("/big", &vec![9u8; 4_000_000]).unwrap();
     v.sync().unwrap();

@@ -1,0 +1,351 @@
+//! The bench harness: warmup + timed iterations, machine-readable output.
+//!
+//! Replaces criterion for the five `crates/bench/benches/*.rs` targets.
+//! Each group writes `BENCH_<group>.json` (to `IRON_BENCH_DIR`, or the
+//! current directory) so the perf trajectory of the repo can be recorded
+//! run over run.
+//!
+//! ## `BENCH_<group>.json` format
+//!
+//! ```json
+//! {
+//!   "group": "checksums",
+//!   "smoke": false,
+//!   "results": [
+//!     {
+//!       "name": "sha1_4k_block",
+//!       "iters_per_sample": 1024,
+//!       "samples": 10,
+//!       "mean_ns": 1234.5,
+//!       "min_ns": 1200.0,
+//!       "max_ns": 1300.1,
+//!       "throughput_mb_per_s": 3164.6,
+//!       "sim_ns": null
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `mean_ns`/`min_ns`/`max_ns` are per-iteration wall-clock figures across
+//! samples; `throughput_mb_per_s` appears when the bench declared a
+//! per-iteration byte count; `sim_ns` is the simulated-disk-clock time of
+//! one iteration for benches registered via [`BenchGroup::bench_with_sim`].
+//!
+//! ## Smoke mode
+//!
+//! `--smoke` (or `IRON_BENCH_SMOKE=1`) runs every bench exactly once with
+//! no warmup — CI uses this to prove the bench binaries work without
+//! paying measurement time.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Target wall-clock time per measurement sample.
+const SAMPLE_TARGET_NS: u64 = 10_000_000; // 10 ms
+/// Measurement samples per bench (non-smoke).
+const SAMPLES: usize = 10;
+/// Cap on iterations per sample, for benches far faster than the target.
+const MAX_ITERS_PER_SAMPLE: u64 = 1 << 20;
+
+/// One bench's measured numbers.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Bench name within the group.
+    pub name: String,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Per-iteration mean wall time of each sample, in nanoseconds.
+    pub sample_means_ns: Vec<f64>,
+    /// Bytes processed per iteration, if declared.
+    pub throughput_bytes: Option<u64>,
+    /// Simulated clock time of one iteration, if the bench reports it.
+    pub sim_ns: Option<u64>,
+}
+
+impl BenchResult {
+    fn mean_ns(&self) -> f64 {
+        self.sample_means_ns.iter().sum::<f64>() / self.sample_means_ns.len() as f64
+    }
+
+    fn min_ns(&self) -> f64 {
+        self.sample_means_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn max_ns(&self) -> f64 {
+        self.sample_means_ns.iter().copied().fold(0.0, f64::max)
+    }
+
+    fn throughput_mb_per_s(&self) -> Option<f64> {
+        self.throughput_bytes
+            .map(|b| b as f64 / self.mean_ns() * 1e9 / (1024.0 * 1024.0))
+    }
+}
+
+/// A named group of benches — the unit that becomes one JSON file.
+pub struct BenchGroup {
+    group: String,
+    smoke: bool,
+    out_dir: PathBuf,
+    throughput_bytes: Option<u64>,
+    results: Vec<BenchResult>,
+}
+
+impl BenchGroup {
+    /// Build a group, reading `--smoke` from the command line (unknown
+    /// flags — e.g. the ones cargo forwards — are ignored) and
+    /// `IRON_BENCH_SMOKE` / `IRON_BENCH_DIR` from the environment.
+    pub fn from_env(group: &str) -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke")
+            || std::env::var("IRON_BENCH_SMOKE").is_ok_and(|v| v == "1");
+        let out_dir = std::env::var_os("IRON_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        BenchGroup {
+            group: group.to_string(),
+            smoke,
+            out_dir,
+            throughput_bytes: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Declare bytes-processed-per-iteration for subsequent benches (so
+    /// results also report MB/s). Call with `None` to stop.
+    pub fn throughput_bytes(&mut self, bytes: Option<u64>) {
+        self.throughput_bytes = bytes;
+    }
+
+    /// Measure `f`: warmup, then [`SAMPLES`] timed samples of adaptively
+    /// many iterations each. In smoke mode, a single iteration.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) {
+        self.run(name, false, &mut || {
+            f();
+            0
+        });
+    }
+
+    /// Like [`Self::bench`], but `f` also returns the simulated-clock
+    /// nanoseconds consumed by one iteration (recorded from the last run;
+    /// simulated time is deterministic, so any run's value is *the*
+    /// value).
+    pub fn bench_with_sim<R, F: FnMut() -> (R, u64)>(&mut self, name: &str, mut f: F) {
+        self.run(name, true, &mut || f().1);
+    }
+
+    fn run(&mut self, name: &str, record_sim: bool, f: &mut dyn FnMut() -> u64) {
+        let iters_per_sample;
+        let samples;
+        let mut last_sim_ns = 0u64;
+        if self.smoke {
+            iters_per_sample = 1;
+            let start = Instant::now();
+            last_sim_ns = f();
+            samples = vec![start.elapsed().as_nanos() as f64];
+        } else {
+            // Warmup doubles as calibration: run until the target sample
+            // time is reached once, counting iterations.
+            let mut warm_iters = 0u64;
+            let warm_start = Instant::now();
+            loop {
+                f();
+                warm_iters += 1;
+                if warm_start.elapsed().as_nanos() as u64 >= SAMPLE_TARGET_NS
+                    || warm_iters >= MAX_ITERS_PER_SAMPLE
+                {
+                    break;
+                }
+            }
+            iters_per_sample = warm_iters;
+            samples = (0..SAMPLES)
+                .map(|_| {
+                    let start = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        last_sim_ns = f();
+                    }
+                    start.elapsed().as_nanos() as f64 / iters_per_sample as f64
+                })
+                .collect();
+        }
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            iters_per_sample,
+            sample_means_ns: samples,
+            throughput_bytes: self.throughput_bytes,
+            sim_ns: record_sim.then_some(last_sim_ns),
+        });
+    }
+
+    /// Render the JSON document for this group.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"group\": {},\n  \"smoke\": {},\n  \"results\": [",
+            json_string(&self.group),
+            self.smoke
+        );
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"iters_per_sample\": {}, \"samples\": {}, \
+                 \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"throughput_mb_per_s\": {}, \"sim_ns\": {}}}",
+                json_string(&r.name),
+                r.iters_per_sample,
+                r.sample_means_ns.len(),
+                json_f64(r.mean_ns()),
+                json_f64(r.min_ns()),
+                json_f64(r.max_ns()),
+                r.throughput_mb_per_s().map_or("null".into(), json_f64),
+                r.sim_ns.map_or("null".into(), |s| s.to_string()),
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Print a human-readable table and write `BENCH_<group>.json`.
+    pub fn finish(self) {
+        println!(
+            "== bench group '{}'{} ==",
+            self.group,
+            if self.smoke { " (smoke)" } else { "" }
+        );
+        for r in &self.results {
+            let mut line = format!(
+                "{:<40} {:>14.1} ns/iter (min {:.1}, max {:.1}, {} iters x {} samples)",
+                r.name,
+                r.mean_ns(),
+                r.min_ns(),
+                r.max_ns(),
+                r.iters_per_sample,
+                r.sample_means_ns.len(),
+            );
+            if let Some(t) = r.throughput_mb_per_s() {
+                let _ = write!(line, "  {t:.1} MiB/s");
+            }
+            if let Some(s) = r.sim_ns {
+                let _ = write!(line, "  sim {s} ns");
+            }
+            println!("{line}");
+        }
+        let _ = std::fs::create_dir_all(&self.out_dir);
+        let path = self.out_dir.join(format!("BENCH_{}.json", self.group));
+        if let Err(e) = std::fs::write(&path, self.to_json()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an `f64` so it is valid JSON (no `NaN`/`inf` tokens).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_group(name: &str) -> BenchGroup {
+        BenchGroup {
+            group: name.to_string(),
+            smoke: true,
+            out_dir: std::env::temp_dir(),
+            throughput_bytes: None,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn smoke_runs_each_bench_once() {
+        let mut g = smoke_group("unit");
+        let mut runs = 0;
+        g.bench("counted", || runs += 1);
+        assert_eq!(runs, 1);
+        assert_eq!(g.results.len(), 1);
+        assert_eq!(g.results[0].iters_per_sample, 1);
+    }
+
+    #[test]
+    fn sim_time_is_recorded() {
+        let mut g = smoke_group("unit");
+        g.bench_with_sim("with_sim", || ((), 12345u64));
+        assert_eq!(g.results[0].sim_ns, Some(12345));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut g = smoke_group("unit");
+        g.throughput_bytes(Some(4096));
+        g.bench("a", || ());
+        g.throughput_bytes(None);
+        g.bench_with_sim("b", || ((), 7u64));
+        let json = g.to_json();
+        assert!(json.contains("\"group\": \"unit\""));
+        assert!(json.contains("\"name\": \"a\""));
+        assert!(json.contains("\"throughput_mb_per_s\": null"), "{json}");
+        assert!(json.contains("\"sim_ns\": 7"));
+        // Minimal structural sanity: balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_f64_rejects_non_finite() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.25), "1.2");
+    }
+
+    #[test]
+    fn finish_writes_the_json_file() {
+        let dir = std::env::temp_dir();
+        let mut g = smoke_group("testkit_selftest");
+        g.out_dir = dir.clone();
+        g.bench("noop", || ());
+        g.finish();
+        let path = dir.join("BENCH_testkit_selftest.json");
+        let contents = std::fs::read_to_string(&path).expect("json written");
+        assert!(contents.contains("\"noop\""));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,273 @@
+//! The property runner: fixed-iteration, seed-reporting, shrinking.
+//!
+//! Each case derives its own seed from a base seed via the SplitMix64
+//! stream, so a failure is reproducible in isolation: set
+//! `IRON_TESTKIT_SEED` to the printed case seed and rerun the one test.
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use crate::gen::Gen;
+use crate::rng::{splitmix64, Rng};
+use crate::shrink::Shrink;
+
+/// Base seed used when neither [`Config::seed`] nor `IRON_TESTKIT_SEED`
+/// is set. Fixed, so CI runs are bit-for-bit reproducible.
+pub const DEFAULT_BASE_SEED: u64 = 0x4952_4F4E_5F46_5321; // "IRON_FS!"
+
+/// Environment variable overriding the case seed (hex, with or without
+/// `0x`, or decimal). When set, every property runs exactly that case.
+pub const SEED_ENV: &str = "IRON_TESTKIT_SEED";
+
+/// Environment variable overriding the number of cases per property.
+pub const CASES_ENV: &str = "IRON_TESTKIT_CASES";
+
+/// How a property is exercised.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Upper bound on accepted shrink steps after a failure.
+    pub max_shrink_steps: u32,
+    /// Base seed; `None` uses [`DEFAULT_BASE_SEED`] (or `IRON_TESTKIT_SEED`).
+    pub seed: Option<u64>,
+}
+
+impl Config {
+    /// A config running `cases` cases with default shrinking.
+    pub fn cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_shrink_steps: 512,
+            seed: None,
+        }
+    }
+}
+
+thread_local! {
+    /// Set while the runner probes a case, so the panic hook stays quiet
+    /// for panics the runner is going to catch and report itself.
+    static PROBING: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !PROBING.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Run `prop` on `value`, catching a panic. Returns the panic message on
+/// failure.
+fn probe<T, P: Fn(&T)>(prop: &P, value: &T) -> Result<(), String> {
+    PROBING.with(|p| p.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    PROBING.with(|p| p.set(false));
+    match outcome {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(payload
+            .downcast_ref::<&str>()
+            .map(ToString::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".into())),
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        // Bare hex is accepted too (seeds are printed as hex).
+        s.parse().ok().or_else(|| u64::from_str_radix(s, 16).ok())
+    }
+}
+
+fn truncated_debug<T: Debug>(value: &T) -> String {
+    const LIMIT: usize = 4096;
+    let mut s = format!("{value:?}");
+    if s.len() > LIMIT {
+        let mut cut = LIMIT;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let total = s.len();
+        s.truncate(cut);
+        s.push_str(&format!("… ({total} bytes of Debug output)"));
+    }
+    s
+}
+
+/// Check a property over `cfg.cases` generated inputs.
+///
+/// `prop` signals failure by panicking (use `assert!`/`assert_eq!` as in
+/// any test). On failure the input is shrunk by [`Shrink`] halving, and
+/// the runner panics with the case seed and a ready-to-paste
+/// reproduction command.
+pub fn check<G, P>(name: &str, cfg: Config, gen: &G, prop: P)
+where
+    G: Gen,
+    G::Value: Clone + Debug + Shrink,
+    P: Fn(&G::Value),
+{
+    install_quiet_hook();
+
+    let env_seed = std::env::var(SEED_ENV).ok().and_then(|s| parse_u64(&s));
+    let cases = match std::env::var(CASES_ENV).ok().and_then(|s| parse_u64(&s)) {
+        _ if env_seed.is_some() => 1,
+        Some(n) => n.clamp(1, u64::from(u32::MAX)) as u32,
+        None => cfg.cases,
+    };
+    let mut seed_stream = cfg.seed.unwrap_or(DEFAULT_BASE_SEED);
+
+    for case in 0..cases {
+        // With an explicit env seed, run exactly that case.
+        let case_seed = env_seed.unwrap_or_else(|| splitmix64(&mut seed_stream));
+        let value = gen.generate(&mut Rng::from_seed(case_seed));
+        let Err(first_message) = probe(&prop, &value) else {
+            continue;
+        };
+
+        // Greedy halving shrink: adopt any candidate that still fails.
+        let mut shrunk = value.clone();
+        let mut message = first_message.clone();
+        let mut steps = 0u32;
+        'shrinking: while steps < cfg.max_shrink_steps {
+            for candidate in shrunk.shrink_candidates() {
+                if let Err(m) = probe(&prop, &candidate) {
+                    shrunk = candidate;
+                    message = m;
+                    steps += 1;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+
+        panic!(
+            "[iron-testkit] property '{name}' failed (case {case_num}/{cases}, seed {case_seed:#018x})\n\
+             | failure: {message}\n\
+             | shrunk input ({steps} steps): {shrunk_dbg}\n\
+             | original input: {orig_dbg}\n\
+             | rerun just this case: {SEED_ENV}={case_seed:#x} cargo test -q {name}",
+            case_num = case + 1,
+            shrunk_dbg = truncated_debug(&shrunk),
+            orig_dbg = truncated_debug(&value),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::RefCell::new(&mut count);
+        check("always_true", Config::cases(17), &gen::u8_any(), |_| {
+            **counter.borrow_mut() += 1;
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let err = panic::catch_unwind(|| {
+            check(
+                "vec_shorter_than_3",
+                Config::cases(64),
+                &gen::vec_of(gen::u8_any(), 0..20),
+                |v| assert!(v.len() < 3, "too long: {}", v.len()),
+            );
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic").clone();
+        assert!(
+            msg.contains("property 'vec_shorter_than_3' failed"),
+            "{msg}"
+        );
+        assert!(msg.contains(SEED_ENV), "{msg}");
+        // The minimal failing input is any 3-element vector; halving from
+        // up-to-19 elements must land exactly there.
+        assert!(
+            msg.contains("too long: 3"),
+            "shrink should reach length 3: {msg}"
+        );
+    }
+
+    #[test]
+    fn failure_is_reproducible_from_reported_seed() {
+        // Extract the seed from a failure report, then regenerate the
+        // exact same input with it.
+        let gen = gen::vec_of(gen::u16_any(), 1..50);
+        let err = panic::catch_unwind(|| {
+            check("sum_is_small", Config::cases(64), &gen, |v| {
+                let sum: u64 = v.iter().map(|&x| u64::from(x)).sum();
+                assert!(sum < 100, "sum {sum}");
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().unwrap().clone();
+        let seed_hex = msg
+            .split("seed ")
+            .nth(1)
+            .and_then(|s| s.split(',').next().unwrap().split(')').next())
+            .expect("seed in message");
+        let seed = parse_u64(seed_hex).expect("parsable seed");
+        let replayed = gen.generate(&mut Rng::from_seed(seed));
+        let replayed_dbg = format!("{replayed:?}");
+        assert!(
+            msg.contains(&replayed_dbg),
+            "replayed input must match the reported original\nseed: {seed_hex}\nreplayed: {replayed_dbg}"
+        );
+    }
+
+    #[test]
+    fn parse_u64_accepts_hex_and_decimal() {
+        assert_eq!(parse_u64("0x10"), Some(16));
+        assert_eq!(parse_u64("0X10"), Some(16));
+        assert_eq!(parse_u64("16"), Some(16));
+        assert_eq!(parse_u64("  0xff "), Some(255));
+        assert_eq!(parse_u64("deadbeef"), Some(0xDEAD_BEEF));
+        assert_eq!(parse_u64("zzz"), None);
+    }
+
+    #[test]
+    fn shrink_respects_step_budget() {
+        let cfg = Config {
+            cases: 4,
+            max_shrink_steps: 0,
+            seed: Some(1),
+        };
+        let err = panic::catch_unwind(|| {
+            check(
+                "never_passes",
+                cfg,
+                &gen::vec_of(gen::u8_any(), 5..10),
+                |_| panic!("always fails"),
+            );
+        })
+        .expect_err("must fail");
+        let msg = err.downcast_ref::<String>().unwrap().clone();
+        assert!(msg.contains("(0 steps)"), "no shrinking allowed: {msg}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Halving shrinkers for failing property inputs.
+
+/// Propose smaller candidates for a failing input.
+///
+/// The property runner keeps a candidate only if it *still fails*, so
+/// shrinkers are free to propose values outside the original generator's
+/// range (e.g. halving below a range's lower bound) — such candidates
+/// simply won't stick if the failure depends on the range.
+pub trait Shrink: Sized {
+    /// Candidate replacements, roughly ordered most-aggressive first.
+    /// An empty vector means the value is fully shrunk.
+    fn shrink_candidates(&self) -> Vec<Self>;
+}
+
+macro_rules! shrink_uint {
+    ($($t:ty),+) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    if *self > 1 {
+                        out.push(*self / 2);
+                        out.push(*self - 1);
+                    }
+                }
+                out
+            }
+        }
+    )+};
+}
+
+shrink_uint!(u8, u16, u32, u64, usize);
+
+impl Shrink for bool {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Sequences shrink by halving: drop the back half, drop the front half,
+/// then peel single elements off either end. Elements themselves are not
+/// shrunk — for op-sequence tests, fewer ops is what makes a
+/// counterexample readable.
+impl<T: Clone> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let n = self.len();
+        let mut out = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n.div_ceil(2)..].to_vec());
+        }
+        out.push(self[..n - 1].to_vec());
+        if n > 1 {
+            out.push(self[1..].to_vec());
+        }
+        out
+    }
+}
+
+macro_rules! shrink_tuple {
+    ($($t:ident : $idx:tt),+) => {
+        impl<$($t: Shrink + Clone),+> Shrink for ($($t,)+) {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink_candidates() {
+                        let mut next = self.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+shrink_tuple!(A: 0, B: 1);
+shrink_tuple!(A: 0, B: 1, C: 2);
+shrink_tuple!(A: 0, B: 1, C: 2, D: 3);
+shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_shrinks_toward_zero() {
+        assert_eq!(0u32.shrink_candidates(), Vec::<u32>::new());
+        assert_eq!(1u32.shrink_candidates(), vec![0]);
+        assert_eq!(10u32.shrink_candidates(), vec![0, 5, 9]);
+    }
+
+    #[test]
+    fn bool_shrinks_to_false() {
+        assert_eq!(true.shrink_candidates(), vec![false]);
+        assert!(false.shrink_candidates().is_empty());
+    }
+
+    #[test]
+    fn vec_halves_and_peels() {
+        let v = vec![1, 2, 3, 4];
+        let c = v.shrink_candidates();
+        assert!(c.contains(&vec![1, 2]));
+        assert!(c.contains(&vec![3, 4]));
+        assert!(c.contains(&vec![1, 2, 3]));
+        assert!(c.contains(&vec![2, 3, 4]));
+        assert!(Vec::<u8>::new().shrink_candidates().is_empty());
+    }
+
+    #[test]
+    fn singleton_vec_shrinks_to_empty() {
+        assert_eq!(vec![9u8].shrink_candidates(), vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let c = (4u8, true).shrink_candidates();
+        assert!(c.contains(&(0, true)));
+        assert!(c.contains(&(2, true)));
+        assert!(c.contains(&(4, false)));
+    }
+}

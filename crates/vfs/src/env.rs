@@ -6,10 +6,9 @@
 //! [`FsEnv`] bundles it with the kernel log the fingerprinting framework
 //! inspects.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use iron_core::{Errno, KernelLog};
-use parking_lot::Mutex;
 
 use crate::types::{VfsError, VfsResult};
 
@@ -50,12 +49,12 @@ impl FsEnv {
 
     /// Current mount state.
     pub fn state(&self) -> MountState {
-        *self.state.lock()
+        *self.state.lock().unwrap()
     }
 
     /// Force a specific state (used by mount/unmount paths and tests).
     pub fn set_state(&self, s: MountState) {
-        *self.state.lock() = s;
+        *self.state.lock().unwrap() = s;
     }
 
     /// Simulate a kernel panic: log it, mark the machine crashed, and return
@@ -65,14 +64,14 @@ impl FsEnv {
     pub fn panic(&self, subsystem: &'static str, msg: impl Into<String>) -> VfsError {
         let msg = msg.into();
         self.klog.panic(subsystem, msg.clone());
-        *self.state.lock() = MountState::Crashed;
+        *self.state.lock().unwrap() = MountState::Crashed;
         VfsError::KernelPanic(msg)
     }
 
     /// Remount read-only (e.g. after ext3 aborts its journal). Idempotent;
     /// does not downgrade a crash.
     pub fn remount_readonly(&self, subsystem: &'static str, msg: impl Into<String>) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if *st == MountState::ReadWrite {
             self.klog.error(subsystem, msg);
             *st = MountState::ReadOnly;
@@ -153,10 +152,7 @@ mod tests {
     fn unmounted_returns_enodev() {
         let env = FsEnv::new();
         env.set_state(MountState::Unmounted);
-        assert_eq!(
-            env.check_alive().unwrap_err().errno(),
-            Some(Errno::ENODEV)
-        );
+        assert_eq!(env.check_alive().unwrap_err().errno(), Some(Errno::ENODEV));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! implements beneath the generic layer.
 
 use crate::env::FsEnv;
-use crate::types::{DirEntry, InodeAttr, Ino, StatFs, VfsResult};
+use crate::types::{DirEntry, Ino, InodeAttr, StatFs, VfsResult};
 
 /// Inode-level operations provided by a specific file system (ext3,
 /// ReiserFS, JFS, NTFS, ixt3, or the in-memory reference [`crate::ramfs::RamFs`]).
@@ -60,8 +60,13 @@ pub trait SpecificFs {
 
     /// Rename `src_dir/src_name` to `dst_dir/dst_name` (replacing any
     /// existing file at the destination).
-    fn rename(&mut self, src_dir: Ino, src_name: &str, dst_dir: Ino, dst_name: &str)
-        -> VfsResult<()>;
+    fn rename(
+        &mut self,
+        src_dir: Ino,
+        src_name: &str,
+        dst_dir: Ino,
+        dst_name: &str,
+    ) -> VfsResult<()>;
 
     /// Read up to `len` bytes at `off` from a regular file. Short reads at
     /// end-of-file return fewer bytes; reads past EOF return empty.

@@ -10,7 +10,7 @@ use iron_core::Errno;
 
 use crate::env::{FsEnv, MountState};
 use crate::fs::SpecificFs;
-use crate::types::{DirEntry, FileType, InodeAttr, Ino, StatFs, VfsResult};
+use crate::types::{DirEntry, FileType, Ino, InodeAttr, StatFs, VfsResult};
 
 #[derive(Clone, Debug)]
 enum Node {
@@ -65,7 +65,9 @@ impl RamFs {
     }
 
     fn inode_mut(&mut self, ino: Ino) -> VfsResult<&mut Inode> {
-        self.inodes.get_mut(&ino).ok_or_else(|| Errno::ENOENT.into())
+        self.inodes
+            .get_mut(&ino)
+            .ok_or_else(|| Errno::ENOENT.into())
     }
 
     fn dir_entries(&self, ino: Ino) -> VfsResult<&BTreeMap<String, Ino>> {
@@ -284,7 +286,8 @@ impl SpecificFs for RamFs {
             }
         }
         self.dir_entries_mut(src_dir)?.remove(src_name);
-        self.dir_entries_mut(dst_dir)?.insert(dst_name.to_string(), ino);
+        self.dir_entries_mut(dst_dir)?
+            .insert(dst_name.to_string(), ino);
         // Fix ".." if a directory moved between parents.
         if src_dir != dst_dir {
             if let Node::Dir { entries } = &mut self.inode_mut(ino)?.node {
@@ -419,12 +422,12 @@ mod tests {
     #[test]
     fn enoent_and_eexist() {
         let mut v = vfs();
-        assert_eq!(
-            v.stat("/missing").unwrap_err().errno(),
-            Some(Errno::ENOENT)
-        );
+        assert_eq!(v.stat("/missing").unwrap_err().errno(), Some(Errno::ENOENT));
         v.mkdir("/d", 0o755).unwrap();
-        assert_eq!(v.mkdir("/d", 0o755).unwrap_err().errno(), Some(Errno::EEXIST));
+        assert_eq!(
+            v.mkdir("/d", 0o755).unwrap_err().errno(),
+            Some(Errno::EEXIST)
+        );
     }
 
     #[test]
@@ -568,10 +571,7 @@ mod tests {
         v.write_file("/outside", b"out").unwrap();
         v.chroot("/jail").unwrap();
         assert_eq!(v.read_file("/inside").unwrap(), b"in");
-        assert_eq!(
-            v.stat("/outside").unwrap_err().errno(),
-            Some(Errno::ENOENT)
-        );
+        assert_eq!(v.stat("/outside").unwrap_err().errno(), Some(Errno::ENOENT));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 use iron_core::Errno;
 
 use crate::fs::SpecificFs;
-use crate::types::{DirEntry, Fd, FileType, InodeAttr, Ino, OpenFlags, StatFs, VfsError, VfsResult};
+use crate::types::{
+    DirEntry, Fd, FileType, Ino, InodeAttr, OpenFlags, StatFs, VfsError, VfsResult,
+};
 
 /// Maximum symlink-follow depth before `ELOOP`.
 const MAX_SYMLINKS: usize = 8;
@@ -74,7 +76,11 @@ impl<F: SpecificFs> Vfs<F> {
         if depth > MAX_SYMLINKS {
             return Err(Errno::ELOOP.into());
         }
-        let mut cur = if path.starts_with('/') { self.root } else { start };
+        let mut cur = if path.starts_with('/') {
+            self.root
+        } else {
+            start
+        };
         let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
         let n = comps.len();
         for (i, comp) in comps.into_iter().enumerate() {

@@ -1,7 +1,7 @@
 //! The four Table 6 macro-benchmarks, measured in simulated time.
 
-use iron_core::{SimClock, BLOCK_SIZE};
 use iron_blockdev::{DiskGeometry, MemDisk};
+use iron_core::{SimClock, BLOCK_SIZE};
 use iron_ext3::{Ext3Fs, Ext3Options, Ext3Params, IronConfig};
 use iron_vfs::{FsEnv, OpenFlags, Vfs};
 
@@ -112,14 +112,16 @@ fn ssh_build(v: &mut Vfs<Fs>, clock: &SimClock) {
         v.close(fd).unwrap();
     }
     v.write_file("/ssh/config.h", &payload(8_000, 7)).unwrap();
-    v.write_file("/ssh/Makefile.out", &payload(4_000, 8)).unwrap();
+    v.write_file("/ssh/Makefile.out", &payload(4_000, 8))
+        .unwrap();
     // Phase 3 — build: read each source, compile (CPU), write an object
     // file (~40% of source size).
     for (i, (path, size)) in files.iter().enumerate() {
         let _ = v.read_file(path).unwrap();
         clock.advance_ns(COMPILE_NS);
         let obj = format!("/ssh/dir{}/obj{}.o", i % 25, i);
-        v.write_file(&obj, &payload(size * 2 / 5, i as u64)).unwrap();
+        v.write_file(&obj, &payload(size * 2 / 5, i as u64))
+            .unwrap();
     }
     // Link.
     let _ = v.read_file("/ssh/dir0/obj0.o").unwrap();
@@ -223,7 +225,8 @@ fn tpc_b(v: &mut Vfs<Fs>, clock: &SimClock) {
     let db_pages = 1024u64; // 4 MiB
     v.write_file("/accounts.db", &payload(db_pages as usize * BLOCK_SIZE, 1))
         .unwrap();
-    v.write_file("/branches.db", &payload(16 * BLOCK_SIZE, 2)).unwrap();
+    v.write_file("/branches.db", &payload(16 * BLOCK_SIZE, 2))
+        .unwrap();
     v.write_file("/history.log", b"").unwrap();
     v.sync().unwrap();
     let adb = v.open("/accounts.db", OpenFlags::rdwr()).unwrap();
@@ -313,7 +316,15 @@ pub struct Table6Row {
 pub fn table6(configs: &[IronConfig], benches: &[Benchmark]) -> Vec<Table6Row> {
     let baseline: Vec<u64> = benches
         .iter()
-        .map(|b| run_benchmark(*b, IronConfig { fix_bugs: true, ..IronConfig::off() }))
+        .map(|b| {
+            run_benchmark(
+                *b,
+                IronConfig {
+                    fix_bugs: true,
+                    ..IronConfig::off()
+                },
+            )
+        })
         .collect();
     configs
         .iter()
@@ -378,7 +389,13 @@ mod tests {
     #[test]
     fn web_server_is_insensitive_to_iron() {
         // Table 6: the web column is 1.00 for essentially every variant.
-        let base = run_benchmark(Benchmark::WebServer, IronConfig { fix_bugs: true, ..IronConfig::off() });
+        let base = run_benchmark(
+            Benchmark::WebServer,
+            IronConfig {
+                fix_bugs: true,
+                ..IronConfig::off()
+            },
+        );
         let full = run_benchmark(Benchmark::WebServer, IronConfig::full());
         let ratio = full as f64 / base as f64;
         assert!(
@@ -390,7 +407,13 @@ mod tests {
     #[test]
     fn transactional_checksums_speed_up_tpcb() {
         // Table 6 row 5: Tc alone gives ~0.80 on TPC-B.
-        let base = run_benchmark(Benchmark::TpcB, IronConfig { fix_bugs: true, ..IronConfig::off() });
+        let base = run_benchmark(
+            Benchmark::TpcB,
+            IronConfig {
+                fix_bugs: true,
+                ..IronConfig::off()
+            },
+        );
         let tc = run_benchmark(
             Benchmark::TpcB,
             IronConfig {
@@ -410,7 +433,13 @@ mod tests {
     #[test]
     fn metadata_replication_costs_on_postmark() {
         // Table 6 row 2: Mr alone costs ~18% on PostMark.
-        let base = run_benchmark(Benchmark::PostMark, IronConfig { fix_bugs: true, ..IronConfig::off() });
+        let base = run_benchmark(
+            Benchmark::PostMark,
+            IronConfig {
+                fix_bugs: true,
+                ..IronConfig::off()
+            },
+        );
         let mr = run_benchmark(
             Benchmark::PostMark,
             IronConfig {

@@ -65,7 +65,9 @@ impl VolumeProfile {
         let mut rng = Rng(23);
         VolumeProfile {
             name: "developer",
-            file_sizes: (0..6000).map(|_| rng.lognormalish(16_384.0, 32.0)).collect(),
+            file_sizes: (0..6000)
+                .map(|_| rng.lognormalish(16_384.0, 32.0))
+                .collect(),
         }
     }
 
@@ -74,7 +76,9 @@ impl VolumeProfile {
         let mut rng = Rng(37);
         VolumeProfile {
             name: "media",
-            file_sizes: (0..800).map(|_| rng.lognormalish(400_000.0, 16.0)).collect(),
+            file_sizes: (0..800)
+                .map(|_| rng.lognormalish(400_000.0, 16.0))
+                .collect(),
         }
     }
 
@@ -124,8 +128,7 @@ pub fn analyze_profile(profile: &VolumeProfile) -> SpaceOverheads {
     let dir_bytes = (nfiles * 32).max(bs);
     // Static structures (bitmaps ~ 1 bit/block ⇒ /8/bs fraction, tables).
     let bitmap_bytes = data_blocks.div_ceil(8);
-    let metadata_bytes =
-        inode_bytes + indirect_blocks * bs + dir_bytes + bitmap_bytes + 16 * bs;
+    let metadata_bytes = inode_bytes + indirect_blocks * bs + dir_bytes + bitmap_bytes + 16 * bs;
 
     let data_bytes = data_blocks * bs;
     let checksum_bytes = (data_blocks + metadata_bytes.div_ceil(bs)) * 8;

@@ -56,8 +56,14 @@ fn main() {
             .expect("mount");
         let mut v = Vfs::new(fs);
         println!("ext3 (no Tc):");
-        println!("  stat /important        -> {:?}", v.stat("/important").map(|a| a.ftype));
-        println!("  stat /important/ledger -> {:?}", v.stat("/important/ledger").map(|a| a.size));
+        println!(
+            "  stat /important        -> {:?}",
+            v.stat("/important").map(|a| a.ftype)
+        );
+        println!(
+            "  stat /important/ledger -> {:?}",
+            v.stat("/important/ledger").map(|a| a.size)
+        );
         println!("  (some metadata block now contains 0xDB garbage — corruption was replayed)\n");
     }
 

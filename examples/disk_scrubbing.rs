@@ -14,8 +14,8 @@ use ironfs::vfs::{FsEnv, SpecificFs, Vfs};
 fn main() {
     let disk = MemDisk::for_tests(4096);
     let env = FsEnv::new();
-    let mut fs = ironfs::ixt3::format_and_mount_full(disk, env.clone(), Ext3Params::small())
-        .expect("mount");
+    let mut fs =
+        ironfs::ixt3::format_and_mount_full(disk, env.clone(), Ext3Params::small()).expect("mount");
 
     // A handful of files the user cares about.
     {
@@ -29,8 +29,8 @@ fn main() {
 
     // Bit rot strikes: three blocks silently decay on the medium.
     let victims = [
-        fs.layout().inode_table(0) + 0, // an inode-table block
-        fs.layout().data_start(0) + 5,  // two data blocks
+        fs.layout().inode_table(0),    // an inode-table block
+        fs.layout().data_start(0) + 5, // two data blocks
         fs.layout().data_start(0) + 11,
     ];
     for v in victims {

@@ -41,8 +41,7 @@ fn main() {
             FaultTarget::Tag(BlockTag("inode")),
         ));
         let env = FsEnv::new();
-        let fs =
-            ironfs::ext3::Ext3Fs::mount(faulty, env.clone(), Default::default()).unwrap();
+        let fs = ironfs::ext3::Ext3Fs::mount(faulty, env.clone(), Default::default()).unwrap();
         let mut v = Vfs::new(fs);
         v.write_file("/f", b"x").unwrap();
         let r = v.sync();
@@ -64,8 +63,7 @@ fn main() {
             FaultTarget::Tag(BlockTag("leaf")),
         ));
         let env = FsEnv::new();
-        let fs =
-            ironfs::reiser::ReiserFs::mount(faulty, env.clone(), Default::default()).unwrap();
+        let fs = ironfs::reiser::ReiserFs::mount(faulty, env.clone(), Default::default()).unwrap();
         let mut v = Vfs::new(fs);
         v.write_file("/f", b"x").unwrap();
         let r = v.sync();

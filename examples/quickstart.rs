@@ -40,7 +40,10 @@ fn main() {
     //    notices. (Stock ext3 would return EIO and remount read-only.)
     let back = v.read_file("/photos/vacation.raw").expect("ixt3 recovers");
     assert_eq!(back, album);
-    println!("read back {} bytes intact — RRedundancy in action", back.len());
+    println!(
+        "read back {} bytes intact — RRedundancy in action",
+        back.len()
+    );
 
     for line in env.klog.entries() {
         println!("  klog: {line}");

@@ -101,8 +101,14 @@ fn posix_error_semantics_agree_across_fs() {
         v.mkdir("/d", 0o755).unwrap();
         v.write_file("/d/f", b"x").unwrap();
         let cases: Vec<(&str, Option<Errno>)> = vec![
-            ("missing file", v.stat("/nope").err().and_then(|e| e.errno())),
-            ("mkdir exists", v.mkdir("/d", 0o755).err().and_then(|e| e.errno())),
+            (
+                "missing file",
+                v.stat("/nope").err().and_then(|e| e.errno()),
+            ),
+            (
+                "mkdir exists",
+                v.mkdir("/d", 0o755).err().and_then(|e| e.errno()),
+            ),
             (
                 "rmdir non-empty",
                 v.rmdir("/d").err().and_then(|e| e.errno()),
@@ -141,7 +147,11 @@ fn write_failure_policies_differ_as_the_paper_reports() {
             FaultTarget::Tag(BlockTag(tag)),
         ));
         let write = v.write_file("/probe", b"x");
-        let sync = if write.is_ok() { v.sync() } else { write.clone() };
+        let sync = if write.is_ok() {
+            v.sync()
+        } else {
+            write.clone()
+        };
         match name {
             "ext3" => {
                 // PAPER-BUG: ignored entirely.
@@ -238,7 +248,11 @@ fn whole_disk_failure_outcomes() {
             FaultTarget::Tag(BlockTag("data")),
         ));
         let write = v.write_file("/g", &vec![7u8; 8192]);
-        let sync = if write.is_ok() { v.sync() } else { write.clone() };
+        let sync = if write.is_ok() {
+            v.sync()
+        } else {
+            write.clone()
+        };
         assert!(
             ctl.fired(ironfs::faultinject::FaultId(0)),
             "{name}: the whole-disk fault must trigger"
@@ -260,7 +274,10 @@ fn whole_disk_failure_outcomes() {
             "ntfs" => {
                 // Data-write errors are recorded-but-unused, but the MFT
                 // update behind the new file propagates after retries.
-                assert!(write.is_err() || sync.is_err(), "{name}: {write:?}/{sync:?}");
+                assert!(
+                    write.is_err() || sync.is_err(),
+                    "{name}: {write:?}/{sync:?}"
+                );
             }
             "ixt3" => {
                 assert!(sync.is_err(), "{name}: detects and stops");

@@ -3,11 +3,16 @@
 //! sequences must produce identical observable results on a healthy disk.
 //! (The ext3/ixt3 engine has its own, deeper differential suite in
 //! `crates/ext3/tests/`.)
+//!
+//! Runs on the in-tree `iron-testkit` harness: every case is generated
+//! from a reported seed, so any failure reruns deterministically with
+//! `IRON_TESTKIT_SEED=<seed> cargo test -q <test_name>`.
 
+use iron_testkit::gen::{self, Gen};
+use iron_testkit::prop::{check, Config};
 use ironfs::blockdev::MemDisk;
 use ironfs::vfs::ramfs::RamFs;
 use ironfs::vfs::{FileType, FsEnv, OpenFlags, SpecificFs, Vfs, VfsError};
-use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -41,28 +46,44 @@ fn path(n: u8) -> String {
     }
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<u8>().prop_map(Op::Create),
-        any::<u8>().prop_map(Op::Mkdir),
-        (any::<u8>(), any::<u16>(), prop::collection::vec(any::<u8>(), 0..1500))
-            .prop_map(|(p, o, d)| Op::Write(p, o % 6000, d)),
-        (any::<u8>(), any::<u16>()).prop_map(|(p, s)| Op::Truncate(p, s % 6000)),
-        any::<u8>().prop_map(Op::Read),
-        any::<u8>().prop_map(Op::Unlink),
-        any::<u8>().prop_map(Op::Rmdir),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Link(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Symlink(a, b)),
-        any::<u8>().prop_map(Op::Stat),
-        any::<u8>().prop_map(Op::Readdir),
-        Just(Op::Sync),
-    ]
+fn op_gen() -> impl Gen<Value = Op> {
+    gen::one_of(vec![
+        gen::u8_any().map(Op::Create).boxed(),
+        gen::u8_any().map(Op::Mkdir).boxed(),
+        (gen::u8_any(), gen::u16_any(), gen::bytes(0..1500))
+            .map(|(p, o, d)| Op::Write(p, o % 6000, d))
+            .boxed(),
+        (gen::u8_any(), gen::u16_any())
+            .map(|(p, s)| Op::Truncate(p, s % 6000))
+            .boxed(),
+        gen::u8_any().map(Op::Read).boxed(),
+        gen::u8_any().map(Op::Unlink).boxed(),
+        gen::u8_any().map(Op::Rmdir).boxed(),
+        (gen::u8_any(), gen::u8_any())
+            .map(|(a, b)| Op::Rename(a, b))
+            .boxed(),
+        (gen::u8_any(), gen::u8_any())
+            .map(|(a, b)| Op::Link(a, b))
+            .boxed(),
+        (gen::u8_any(), gen::u8_any())
+            .map(|(a, b)| Op::Symlink(a, b))
+            .boxed(),
+        gen::u8_any().map(Op::Stat).boxed(),
+        gen::u8_any().map(Op::Readdir).boxed(),
+        gen::just(Op::Sync).boxed(),
+    ])
+}
+
+fn ops_gen(max_len: usize) -> impl Gen<Value = Vec<Op>> {
+    gen::vec_of(op_gen(), 1..max_len)
 }
 
 fn apply<F: SpecificFs>(v: &mut Vfs<F>, op: &Op) -> Result<Vec<u8>, VfsError> {
     match op {
-        Op::Create(p) => v.creat(&path(*p)).and_then(|fd| v.close(fd)).map(|_| vec![]),
+        Op::Create(p) => v
+            .creat(&path(*p))
+            .and_then(|fd| v.close(fd))
+            .map(|_| vec![]),
         Op::Mkdir(p) => v.mkdir(&path(*p), 0o755).map(|_| vec![]),
         Op::Write(p, off, data) => {
             let fd = v.open(&path(*p), OpenFlags::rdwr())?;
@@ -78,7 +99,11 @@ fn apply<F: SpecificFs>(v: &mut Vfs<F>, op: &Op) -> Result<Vec<u8>, VfsError> {
         Op::Link(a, b) => v.link(&path(*a), &path(*b)).map(|_| vec![]),
         Op::Symlink(a, b) => v.symlink(&path(*a), &path(*b)).map(|_| vec![]),
         Op::Stat(p) => v.stat(&path(*p)).map(|a| {
-            let size = if a.ftype == FileType::Directory { 0 } else { a.size };
+            let size = if a.ftype == FileType::Directory {
+                0
+            } else {
+                a.size
+            };
             let mut out = size.to_le_bytes().to_vec();
             out.push(a.nlink as u8);
             out.push(match a.ftype {
@@ -117,86 +142,114 @@ fn run_against_reference<F: SpecificFs>(mut target: Vfs<F>, name: &str, ops: &[O
         }
     }
     // The target must also survive a final sync + unmount.
-    target.sync().unwrap_or_else(|e| panic!("{name}: final sync: {e}"));
-    target.umount().unwrap_or_else(|e| panic!("{name}: umount: {e}"));
+    target
+        .sync()
+        .unwrap_or_else(|e| panic!("{name}: final sync: {e}"));
+    target
+        .umount()
+        .unwrap_or_else(|e| panic!("{name}: umount: {e}"));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+#[test]
+fn reiserfs_matches_reference() {
+    check(
+        "reiserfs_matches_reference",
+        Config::cases(16),
+        &ops_gen(50),
+        |ops| {
+            let dev = MemDisk::for_tests(4096);
+            let fs = ironfs::reiser::ReiserFs::format_and_mount(
+                dev,
+                FsEnv::new(),
+                ironfs::reiser::ReiserParams::small(),
+                ironfs::reiser::ReiserOptions::default(),
+            )
+            .unwrap();
+            run_against_reference(Vfs::new(fs), "reiserfs", ops);
+        },
+    );
+}
 
-    #[test]
-    fn reiserfs_matches_reference(ops in prop::collection::vec(op_strategy(), 1..50)) {
-        let dev = MemDisk::for_tests(4096);
-        let fs = ironfs::reiser::ReiserFs::format_and_mount(
-            dev,
-            FsEnv::new(),
-            ironfs::reiser::ReiserParams::small(),
-            ironfs::reiser::ReiserOptions::default(),
-        )
-        .unwrap();
-        run_against_reference(Vfs::new(fs), "reiserfs", &ops);
-    }
+#[test]
+fn jfs_matches_reference() {
+    check(
+        "jfs_matches_reference",
+        Config::cases(16),
+        &ops_gen(50),
+        |ops| {
+            let dev = MemDisk::for_tests(4096);
+            let fs = ironfs::jfs::JfsFs::format_and_mount(
+                dev,
+                FsEnv::new(),
+                ironfs::jfs::JfsParams::small(),
+                ironfs::jfs::JfsOptions::default(),
+            )
+            .unwrap();
+            run_against_reference(Vfs::new(fs), "jfs", ops);
+        },
+    );
+}
 
-    #[test]
-    fn jfs_matches_reference(ops in prop::collection::vec(op_strategy(), 1..50)) {
-        let dev = MemDisk::for_tests(4096);
-        let fs = ironfs::jfs::JfsFs::format_and_mount(
-            dev,
-            FsEnv::new(),
-            ironfs::jfs::JfsParams::small(),
-            ironfs::jfs::JfsOptions::default(),
-        )
-        .unwrap();
-        run_against_reference(Vfs::new(fs), "jfs", &ops);
-    }
+#[test]
+fn ntfs_matches_reference() {
+    check(
+        "ntfs_matches_reference",
+        Config::cases(16),
+        &ops_gen(50),
+        |ops| {
+            let dev = MemDisk::for_tests(4096);
+            let fs = ironfs::ntfs::NtfsFs::format_and_mount(
+                dev,
+                FsEnv::new(),
+                ironfs::ntfs::NtfsParams::small(),
+            )
+            .unwrap();
+            run_against_reference(Vfs::new(fs), "ntfs", ops);
+        },
+    );
+}
 
-    #[test]
-    fn ntfs_matches_reference(ops in prop::collection::vec(op_strategy(), 1..50)) {
-        let dev = MemDisk::for_tests(4096);
-        let fs = ironfs::ntfs::NtfsFs::format_and_mount(
-            dev,
-            FsEnv::new(),
-            ironfs::ntfs::NtfsParams::small(),
-        )
-        .unwrap();
-        run_against_reference(Vfs::new(fs), "ntfs", &ops);
-    }
-
-    #[test]
-    fn reiserfs_state_survives_remount(ops in prop::collection::vec(op_strategy(), 1..30)) {
-        let dev = MemDisk::for_tests(4096);
-        let fs = ironfs::reiser::ReiserFs::format_and_mount(
-            dev,
-            FsEnv::new(),
-            ironfs::reiser::ReiserParams::small(),
-            ironfs::reiser::ReiserOptions::default(),
-        )
-        .unwrap();
-        let mut v = Vfs::new(fs);
-        let mut reference = Vfs::new(RamFs::new());
-        for op in &ops {
-            let _ = apply(&mut v, op);
-            let _ = apply(&mut reference, op);
-        }
-        v.umount().unwrap();
-        let dev = v.into_fs().into_device();
-        let fs = ironfs::reiser::ReiserFs::mount(
-            dev,
-            FsEnv::new(),
-            ironfs::reiser::ReiserOptions::default(),
-        )
-        .unwrap();
-        let mut v = Vfs::new(fs);
-        // Every file readable before must read identically after remount.
-        for n in 0..10u8 {
-            let p = path(n);
-            let before = reference.read_file(&p);
-            let after = v.read_file(&p);
-            match (&before, &after) {
-                (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "remount divergence at {}", p),
-                (Err(_), Err(_)) => {}
-                _ => prop_assert!(false, "remount divergence at {}: {:?} vs {:?}", p, before, after),
+#[test]
+fn reiserfs_state_survives_remount() {
+    check(
+        "reiserfs_state_survives_remount",
+        Config::cases(16),
+        &ops_gen(30),
+        |ops| {
+            let dev = MemDisk::for_tests(4096);
+            let fs = ironfs::reiser::ReiserFs::format_and_mount(
+                dev,
+                FsEnv::new(),
+                ironfs::reiser::ReiserParams::small(),
+                ironfs::reiser::ReiserOptions::default(),
+            )
+            .unwrap();
+            let mut v = Vfs::new(fs);
+            let mut reference = Vfs::new(RamFs::new());
+            for op in ops {
+                let _ = apply(&mut v, op);
+                let _ = apply(&mut reference, op);
             }
-        }
-    }
+            v.umount().unwrap();
+            let dev = v.into_fs().into_device();
+            let fs = ironfs::reiser::ReiserFs::mount(
+                dev,
+                FsEnv::new(),
+                ironfs::reiser::ReiserOptions::default(),
+            )
+            .unwrap();
+            let mut v = Vfs::new(fs);
+            // Every file readable before must read identically after remount.
+            for n in 0..10u8 {
+                let p = path(n);
+                let before = reference.read_file(&p);
+                let after = v.read_file(&p);
+                match (&before, &after) {
+                    (Ok(x), Ok(y)) => assert_eq!(x, y, "remount divergence at {p}"),
+                    (Err(_), Err(_)) => {}
+                    _ => panic!("remount divergence at {p}: {before:?} vs {after:?}"),
+                }
+            }
+        },
+    );
 }

@@ -167,7 +167,10 @@ fn ixt3_survives_corruption_that_defeats_ext3() {
 fn table5_summary_matches_paper_ordering() {
     // The paper's Table 5: ReiserFS leads on sanity checking; ext3 and JFS
     // ignore more write errors (DZero) than ReiserFS does.
-    let ext3 = summarize(&reduced(&Ext3Adapter::stock(), &["inode", "data", "j-data"]));
+    let ext3 = summarize(&reduced(
+        &Ext3Adapter::stock(),
+        &["inode", "data", "j-data"],
+    ));
     let reiser = summarize(&reduced(&ReiserAdapter, &["stat item", "data", "j-data"]));
 
     let get_d = |s: &ironfs::fingerprint::summary::TechniqueSummary, l: DetectionLevel| {
