@@ -1,0 +1,79 @@
+//! fsck thread-scaling: the pFSCK-style parallel engine checking one
+//! ext3 image at 1/2/4/8 worker threads. The `threads = 1` row is the
+//! honest sequential baseline (no pool, no atomics); every row must
+//! report the identical issue set — the scaling is free of result drift
+//! by construction, and this bench asserts it on every sample.
+
+use iron_testkit::{black_box, BenchGroup};
+
+use iron_blockdev::{MemDisk, RawAccess};
+use iron_ext3::fsck::Ext3Image;
+use iron_ext3::{alloc, Ext3Fs, Ext3Options, Ext3Params};
+use iron_fsck::FsckEngine;
+use iron_vfs::{FsEnv, Vfs};
+
+/// A medium image (32768 blocks) with a few hundred files across a
+/// directory tree — some large enough for indirect blocks — plus a
+/// scatter of inconsistencies so the issue paths are exercised too.
+fn build_image() -> Ext3Image<MemDisk> {
+    let dev = MemDisk::for_tests(32_768);
+    let fs = Ext3Fs::format_and_mount(
+        dev,
+        FsEnv::new(),
+        Ext3Params::medium(),
+        Ext3Options::default(),
+    )
+    .unwrap();
+    let mut v = Vfs::new(fs);
+    for d in 0..8 {
+        v.mkdir(&format!("/d{d}"), 0o755).unwrap();
+        for f in 0..30 {
+            let size = if f % 10 == 0 { 60_000 } else { 6_000 };
+            v.write_file(&format!("/d{d}/f{f}"), &vec![(d * 31 + f) as u8; size])
+                .unwrap();
+        }
+    }
+    v.link("/d0/f1", "/hard").unwrap();
+    v.umount().unwrap();
+    let fs = v.into_fs();
+    let layout = *fs.layout();
+    let mut dev = fs.into_device();
+
+    // Plant some damage: leaked blocks and a bitmap flip, so the check
+    // walks its issue paths, not just the clean fast path.
+    let bm_addr = layout.data_bitmap(1);
+    let mut bm = dev.peek(bm_addr);
+    for bit in [100u64, 200, 300] {
+        alloc::bit_set(&mut bm, layout.params.blocks_per_group - 2 - bit);
+    }
+    dev.poke(bm_addr, &bm);
+    let ibm_addr = layout.inode_bitmap(2);
+    let mut ibm = dev.peek(ibm_addr);
+    alloc::bit_set(&mut ibm, layout.params.inodes_per_group - 3);
+    dev.poke(ibm_addr, &ibm);
+
+    Ext3Image::new(dev, layout)
+}
+
+fn main() {
+    let mut g = BenchGroup::from_env("fsck");
+    let img = build_image();
+    let baseline = FsckEngine::with_threads(1).check(&img);
+    assert!(!baseline.is_clean(), "planted damage must be visible");
+
+    for threads in [1usize, 2, 4, 8] {
+        let engine = FsckEngine::with_threads(threads);
+        let expected = baseline.issues.clone();
+        let img = &img;
+        g.bench(&format!("check_t{threads}"), move || {
+            let report = engine.check(img);
+            assert_eq!(
+                report.issues, expected,
+                "t={threads} must report the t=1 issue set"
+            );
+            black_box(report.stats.block_refs)
+        });
+    }
+
+    g.finish();
+}

@@ -2,16 +2,27 @@
 //!
 //! The IRON taxonomy's `RRepair` level is fsck-style repair; the paper notes
 //! that even journaling file systems benefit from periodic full-scan
-//! integrity checks (§3.1). This checker walks the on-disk image through
-//! [`RawAccess`] (no faults, no timing) and reports structural
-//! inconsistencies. It is the oracle for the crash-consistency and
-//! property-based test suites, and `repair` implements the subset of fixes
-//! the paper calls out (freeing leaked blocks, fixing link counts).
+//! integrity checks (§3.1). This module has two faces:
+//!
+//! * [`check`]/[`repair`] — the original *sequential* checker. It walks the
+//!   on-disk image through [`RawAccess`] (no faults, no timing) and reports
+//!   structural inconsistencies. It is the **differential oracle** for
+//!   `iron-fsck`: the parallel engine must report the identical issue
+//!   multiset on every image, at every thread count.
+//! * [`Ext3Image`] — the adapter that implements `iron_fsck::Checkable`
+//!   and `iron_fsck::Repairable`, letting the generic parallel engine
+//!   check and transactionally repair ext3 images.
+//!
+//! Both faces share the issue vocabulary ([`iron_fsck::FsckIssue`]), the
+//! superblock geometry sanity checks ([`superblock_sanity`], `DSanity`),
+//! and the corruption-hardened block walker, so their reports agree by
+//! construction; the property suites in `crates/fsck/tests` pin it.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use iron_blockdev::RawAccess;
 use iron_core::{Block, BlockAddr, BLOCK_SIZE};
+use iron_fsck::{ChildEntry, FileKind, InodeSummary, RepairFix, SuperblockReport};
 use iron_vfs::FileType;
 
 use crate::alloc;
@@ -20,55 +31,7 @@ use crate::inode::{DiskInode, NDIRECT, PTRS_PER_BLOCK};
 use crate::layout::{DiskLayout, ROOT_INO};
 use crate::superblock::Superblock;
 
-/// One inconsistency found by [`check`].
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum FsckIssue {
-    /// The superblock failed to decode.
-    BadSuperblock,
-    /// A directory entry references a free or out-of-range inode.
-    DanglingEntry {
-        /// The directory containing the entry.
-        dir: u64,
-        /// The entry name.
-        name: String,
-        /// The referenced inode.
-        ino: u64,
-    },
-    /// An inode's link count disagrees with the directory tree.
-    WrongLinkCount {
-        /// The inode.
-        ino: u64,
-        /// Count stored on disk.
-        stored: u32,
-        /// Count derived from the tree walk.
-        actual: u32,
-    },
-    /// A block used by a file is not marked allocated in the bitmap.
-    BlockNotMarked {
-        /// The block.
-        addr: u64,
-    },
-    /// A block marked allocated is not referenced by anything ("leaked").
-    BlockLeaked {
-        /// The block.
-        addr: u64,
-    },
-    /// Two files reference the same block.
-    BlockDoublyUsed {
-        /// The block.
-        addr: u64,
-    },
-    /// An allocated inode is unreachable from the root.
-    OrphanInode {
-        /// The inode.
-        ino: u64,
-    },
-    /// An inode bitmap bit is set for a free inode slot (or vice versa).
-    InodeBitmapMismatch {
-        /// The inode.
-        ino: u64,
-    },
-}
+pub use iron_fsck::FsckIssue;
 
 /// The result of a consistency check.
 #[derive(Clone, Debug, Default)]
@@ -84,26 +47,78 @@ impl FsckReport {
     }
 }
 
+/// Geometry sanity checks (`DSanity`) of a decoded superblock against the
+/// trusted layout: recorded sizes vs. the device, and the journal region
+/// vs. the regions that follow it. Shared by the sequential oracle and
+/// the [`Ext3Image`] adapter so both report identical issues.
+pub fn superblock_sanity(sb: &Superblock, layout: &DiskLayout) -> Vec<FsckIssue> {
+    let p = &layout.params;
+    let mut issues = Vec::new();
+    let mut field = |name: &'static str, stored: u64, expected: u64| {
+        if stored != expected {
+            issues.push(FsckIssue::GeometryMismatch {
+                field: name,
+                stored,
+                expected,
+            });
+        }
+    };
+    field("total_blocks", sb.total_blocks, p.total_blocks);
+    field("blocks_per_group", sb.blocks_per_group, p.blocks_per_group);
+    field("inodes_per_group", sb.inodes_per_group, p.inodes_per_group);
+    field(
+        "mirror_metadata",
+        u64::from(sb.mirror_metadata),
+        u64::from(p.mirror_metadata),
+    );
+    // The journal region is [journal_start, journal_start + len); growing
+    // past the trusted length would overlap the checksum table / groups.
+    if sb.journal_blocks > layout.journal_len {
+        issues.push(FsckIssue::JournalOverlap {
+            stored: sb.journal_blocks,
+            max: layout.journal_len,
+        });
+    } else if sb.journal_blocks != layout.journal_len {
+        issues.push(FsckIssue::GeometryMismatch {
+            field: "journal_blocks",
+            stored: sb.journal_blocks,
+            expected: layout.journal_len,
+        });
+    }
+    issues
+}
+
 fn inode_at<D: RawAccess>(dev: &D, layout: &DiskLayout, ino: u64) -> DiskInode {
     let (blk, off) = layout.inode_location(ino);
     DiskInode::decode_from(&dev.peek(blk), off)
 }
 
-fn file_block_addrs<D: RawAccess>(dev: &D, di: &DiskInode) -> (Vec<u64>, Vec<u64>) {
+/// Enumerate an inode's block addresses, hardened against corruption: the
+/// block count is capped at the maximum a (double-)indirect tree can
+/// address, and pointer blocks are only dereferenced when their address
+/// is on the device — out-of-range pointers are still *recorded* (so
+/// duplicate detection sees them) but never followed.
+fn file_block_addrs<D: RawAccess>(
+    dev: &D,
+    di: &DiskInode,
+    device_blocks: u64,
+) -> (Vec<u64>, Vec<u64>) {
     // Returns (data blocks in index order incl. holes as 0, indirect blocks).
-    let nblocks = di.size.div_ceil(BLOCK_SIZE as u64);
+    let ppb = PTRS_PER_BLOCK as u64;
+    let max_addressable = NDIRECT as u64 + ppb + ppb * ppb;
+    let nblocks = di.size.div_ceil(BLOCK_SIZE as u64).min(max_addressable);
     let mut data = Vec::new();
     let mut indirect = Vec::new();
-    let ppb = PTRS_PER_BLOCK as u64;
     let l1: Option<Block> = if di.indirect != 0 {
         indirect.push(di.indirect as u64);
-        Some(dev.peek(BlockAddr(di.indirect as u64)))
+        ((di.indirect as u64) < device_blocks).then(|| dev.peek(BlockAddr(di.indirect as u64)))
     } else {
         None
     };
     let l2root: Option<Block> = if di.double_indirect != 0 {
         indirect.push(di.double_indirect as u64);
-        Some(dev.peek(BlockAddr(di.double_indirect as u64)))
+        ((di.double_indirect as u64) < device_blocks)
+            .then(|| dev.peek(BlockAddr(di.double_indirect as u64)))
     } else {
         None
     };
@@ -128,7 +143,7 @@ fn file_block_addrs<D: RawAccess>(dev: &D, di: &DiskInode) -> (Vec<u64>, Vec<u64
             match &l2root {
                 Some(root) => {
                     let p = root.get_u32((rel / ppb) as usize * 4) as u64;
-                    if p == 0 {
+                    if p == 0 || p >= device_blocks {
                         0
                     } else {
                         dev.peek(BlockAddr(p)).get_u32((rel % ppb) as usize * 4) as u64
@@ -145,10 +160,12 @@ fn file_block_addrs<D: RawAccess>(dev: &D, di: &DiskInode) -> (Vec<u64>, Vec<u64
 /// Check the on-disk image for structural consistency.
 pub fn check<D: RawAccess>(dev: &D, layout: &DiskLayout) -> FsckReport {
     let mut report = FsckReport::default();
-    let Some(_sb) = Superblock::decode(&dev.peek(BlockAddr(0))) else {
+    let Some(sb) = Superblock::decode(&dev.peek(BlockAddr(0))) else {
         report.issues.push(FsckIssue::BadSuperblock);
         return report;
     };
+    report.issues.extend(superblock_sanity(&sb, layout));
+    let device_blocks = layout.params.total_blocks;
 
     // Pass 1: walk the tree from the root.
     let mut used_blocks: BTreeMap<u64, u64> = BTreeMap::new(); // block -> owner ino
@@ -173,7 +190,7 @@ pub fn check<D: RawAccess>(dev: &D, layout: &DiskLayout) -> FsckReport {
         if di.is_free() || di.file_type().is_none() {
             continue; // reported as dangling where referenced
         }
-        let (data, indirect) = file_block_addrs(dev, &di);
+        let (data, indirect) = file_block_addrs(dev, &di, device_blocks);
         for a in &indirect {
             note_block(&mut report, *a, ino);
         }
@@ -184,7 +201,7 @@ pub fn check<D: RawAccess>(dev: &D, layout: &DiskLayout) -> FsckReport {
             Some(FileType::Directory) => {
                 for a in &data {
                     note_block(&mut report, *a, ino);
-                    if *a == 0 {
+                    if *a == 0 || *a >= device_blocks {
                         continue;
                     }
                     for e in dir::parse_block(&dev.peek(BlockAddr(*a))) {
@@ -277,6 +294,10 @@ pub fn check<D: RawAccess>(dev: &D, layout: &DiskLayout) -> FsckReport {
 /// fixes applied. Dangling entries and double-used blocks are *reported*
 /// but left alone (fixing them is data-loss territory — "Could lose data",
 /// Table 2).
+///
+/// This is the legacy sequential arm; the planner in `iron-fsck` covers
+/// more classes (geometry fields, unmarked blocks) and applies fixes
+/// transactionally — see [`Ext3Image`].
 pub fn repair<D: RawAccess>(dev: &mut D, layout: &DiskLayout) -> usize {
     let report = check(dev, layout);
     let mut fixes = 0;
@@ -318,4 +339,270 @@ pub fn repair<D: RawAccess>(dev: &mut D, layout: &DiskLayout) -> usize {
         }
     }
     fixes
+}
+
+/// An ext3 image viewed through the generic `iron-fsck` traits: the
+/// parallel engine checks it via `Checkable` and repairs it via
+/// `Repairable` (every fix returns its inverse for transactional
+/// rollback). Wraps any [`RawAccess`] medium plus the trusted layout.
+pub struct Ext3Image<D> {
+    dev: D,
+    layout: DiskLayout,
+}
+
+impl<D: RawAccess> Ext3Image<D> {
+    /// Wrap a device and its trusted (mount-time) layout.
+    pub fn new(dev: D, layout: DiskLayout) -> Self {
+        Ext3Image { dev, layout }
+    }
+
+    /// The trusted layout.
+    pub fn layout(&self) -> &DiskLayout {
+        &self.layout
+    }
+
+    /// The wrapped device.
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    /// The wrapped device, mutably.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.dev
+    }
+
+    /// Unwrap.
+    pub fn into_device(self) -> D {
+        self.dev
+    }
+
+    fn validate_ino(&self, ino: u64) -> Result<(), String> {
+        if ino == 0 || ino > self.layout.total_inodes() {
+            Err(format!("inode {ino} out of range"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<D: RawAccess + Sync> iron_fsck::Checkable for Ext3Image<D> {
+    fn fs_name(&self) -> &'static str {
+        "ext3"
+    }
+
+    fn device_blocks(&self) -> u64 {
+        self.layout.params.total_blocks
+    }
+
+    fn check_superblock(&self) -> SuperblockReport {
+        match Superblock::decode(&self.dev.peek(BlockAddr(0))) {
+            None => SuperblockReport {
+                issues: vec![FsckIssue::BadSuperblock],
+                fatal: true,
+            },
+            Some(sb) => SuperblockReport {
+                issues: superblock_sanity(&sb, &self.layout),
+                fatal: false,
+            },
+        }
+    }
+
+    fn root_ino(&self) -> u64 {
+        ROOT_INO
+    }
+
+    fn total_inodes(&self) -> u64 {
+        self.layout.total_inodes()
+    }
+
+    fn is_reserved_ino(&self, ino: u64) -> bool {
+        ino == 1
+    }
+
+    fn inode(&self, ino: u64) -> InodeSummary {
+        let di = inode_at(&self.dev, &self.layout, ino);
+        InodeSummary {
+            free: di.is_free(),
+            kind: di.file_type().map(|t| {
+                if t == FileType::Directory {
+                    FileKind::Directory
+                } else {
+                    FileKind::Other
+                }
+            }),
+            links: di.links_count,
+        }
+    }
+
+    fn dir_entries(&self, ino: u64) -> Vec<ChildEntry> {
+        let di = inode_at(&self.dev, &self.layout, ino);
+        if di.is_free() || di.file_type() != Some(FileType::Directory) {
+            return Vec::new();
+        }
+        let device_blocks = self.layout.params.total_blocks;
+        let (data, _) = file_block_addrs(&self.dev, &di, device_blocks);
+        let mut out = Vec::new();
+        for a in data {
+            if a == 0 || a >= device_blocks {
+                continue;
+            }
+            for e in dir::parse_block(&self.dev.peek(BlockAddr(a))) {
+                out.push(ChildEntry {
+                    name: e.name,
+                    ino: e.ino as u64,
+                });
+            }
+        }
+        out
+    }
+
+    fn block_refs(&self, ino: u64) -> Vec<u64> {
+        let di = inode_at(&self.dev, &self.layout, ino);
+        if di.is_free() || di.file_type().is_none() {
+            return Vec::new();
+        }
+        let (data, indirect) = file_block_addrs(&self.dev, &di, self.layout.params.total_blocks);
+        let mut refs = indirect;
+        if di.parity != 0 {
+            refs.push(di.parity as u64);
+        }
+        refs.extend(data.into_iter().filter(|&a| a != 0));
+        refs
+    }
+
+    fn data_regions(&self) -> Vec<std::ops::Range<u64>> {
+        (0..self.layout.num_groups)
+            .map(|g| {
+                // Super replica (last block of the group) excluded, as in
+                // the oracle's pass 3.
+                self.layout.data_start(g)
+                    ..self.layout.group_base(g) + self.layout.params.blocks_per_group - 1
+            })
+            .collect()
+    }
+
+    fn block_marked(&self, addr: u64) -> bool {
+        match self.layout.group_of_block(addr) {
+            Some(g) => {
+                let bm = self.dev.peek(self.layout.data_bitmap(g));
+                alloc::bit_test(&bm, addr - self.layout.group_base(g))
+            }
+            None => false,
+        }
+    }
+
+    fn inode_marked(&self, ino: u64) -> bool {
+        let g = (ino - 1) / self.layout.params.inodes_per_group;
+        let bit = (ino - 1) % self.layout.params.inodes_per_group;
+        let bm = self.dev.peek(self.layout.inode_bitmap(g));
+        alloc::bit_test(&bm, bit)
+    }
+}
+
+impl<D: RawAccess + Sync> iron_fsck::Repairable for Ext3Image<D> {
+    fn apply_fix(&mut self, fix: &RepairFix) -> Result<RepairFix, String> {
+        match *fix {
+            RepairFix::FreeBlock { addr } => {
+                let g = self
+                    .layout
+                    .group_of_block(addr)
+                    .ok_or_else(|| format!("block {addr} outside the block groups"))?;
+                let bm_addr = self.layout.data_bitmap(g);
+                let mut bm = self.dev.peek(bm_addr);
+                let bit = addr - self.layout.group_base(g);
+                if !alloc::bit_test(&bm, bit) {
+                    return Err(format!("block {addr} already free"));
+                }
+                alloc::bit_clear(&mut bm, bit);
+                self.dev.poke(bm_addr, &bm);
+                Ok(RepairFix::MarkBlock { addr })
+            }
+            RepairFix::MarkBlock { addr } => {
+                let g = self
+                    .layout
+                    .group_of_block(addr)
+                    .ok_or_else(|| format!("block {addr} outside the block groups"))?;
+                let bm_addr = self.layout.data_bitmap(g);
+                let mut bm = self.dev.peek(bm_addr);
+                let bit = addr - self.layout.group_base(g);
+                if alloc::bit_test(&bm, bit) {
+                    return Err(format!("block {addr} already marked"));
+                }
+                alloc::bit_set(&mut bm, bit);
+                self.dev.poke(bm_addr, &bm);
+                Ok(RepairFix::FreeBlock { addr })
+            }
+            RepairFix::SetLinkCount { ino, links } => {
+                self.validate_ino(ino)?;
+                let (blk, off) = self.layout.inode_location(ino);
+                let mut b = self.dev.peek(blk);
+                let mut di = DiskInode::decode_from(&b, off);
+                let old = di.links_count;
+                di.links_count = links;
+                di.encode_into(&mut b, off);
+                self.dev.poke(blk, &b);
+                Ok(RepairFix::SetLinkCount { ino, links: old })
+            }
+            RepairFix::SyncInodeMark { ino } => {
+                self.validate_ino(ino)?;
+                let used = !inode_at(&self.dev, &self.layout, ino).is_free();
+                self.write_inode_mark(ino, used)
+            }
+            RepairFix::SetInodeMark { ino, used } => {
+                self.validate_ino(ino)?;
+                self.write_inode_mark(ino, used)
+            }
+            RepairFix::SetGeometryField { field, value } => {
+                let mut sb = Superblock::decode(&self.dev.peek(BlockAddr(0)))
+                    .ok_or_else(|| "superblock undecodable".to_string())?;
+                let old = match field {
+                    "total_blocks" => {
+                        let old = sb.total_blocks;
+                        sb.total_blocks = value;
+                        old
+                    }
+                    "blocks_per_group" => {
+                        let old = sb.blocks_per_group;
+                        sb.blocks_per_group = value;
+                        old
+                    }
+                    "inodes_per_group" => {
+                        let old = sb.inodes_per_group;
+                        sb.inodes_per_group = value;
+                        old
+                    }
+                    "journal_blocks" => {
+                        let old = sb.journal_blocks;
+                        sb.journal_blocks = value;
+                        old
+                    }
+                    "mirror_metadata" => {
+                        let old = u64::from(sb.mirror_metadata);
+                        sb.mirror_metadata = value != 0;
+                        old
+                    }
+                    _ => return Err(format!("unknown geometry field {field}")),
+                };
+                self.dev.poke(BlockAddr(0), &sb.encode());
+                Ok(RepairFix::SetGeometryField { field, value: old })
+            }
+        }
+    }
+}
+
+impl<D: RawAccess> Ext3Image<D> {
+    fn write_inode_mark(&mut self, ino: u64, used: bool) -> Result<RepairFix, String> {
+        let g = (ino - 1) / self.layout.params.inodes_per_group;
+        let bit = (ino - 1) % self.layout.params.inodes_per_group;
+        let bm_addr = self.layout.inode_bitmap(g);
+        let mut bm = self.dev.peek(bm_addr);
+        let old = alloc::bit_test(&bm, bit);
+        if used {
+            alloc::bit_set(&mut bm, bit);
+        } else {
+            alloc::bit_clear(&mut bm, bit);
+        }
+        self.dev.poke(bm_addr, &bm);
+        Ok(RepairFix::SetInodeMark { ino, used: old })
+    }
 }

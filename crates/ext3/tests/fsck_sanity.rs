@@ -1,0 +1,164 @@
+//! Superblock/geometry sanity checks (`DSanity`, §3.1): stored geometry
+//! vs. the trusted layout, and the journal region vs. its neighbors.
+//! Each corruption is exercised through both the sequential oracle and
+//! the parallel `iron-fsck` engine, and the repairable ones are driven
+//! through the engine's transactional `RRepair` path.
+
+use iron_blockdev::{MemDisk, RawAccess};
+use iron_core::BlockAddr;
+use iron_ext3::fsck::{check, superblock_sanity, Ext3Image, FsckIssue};
+use iron_ext3::{Ext3Fs, Ext3Options, Ext3Params, Superblock};
+use iron_fsck::FsckEngine;
+use iron_vfs::{FsEnv, Vfs};
+
+fn image() -> (MemDisk, iron_ext3::DiskLayout) {
+    let dev = MemDisk::for_tests(4096);
+    let fs = Ext3Fs::format_and_mount(
+        dev,
+        FsEnv::new(),
+        Ext3Params::small(),
+        Ext3Options::default(),
+    )
+    .unwrap();
+    let mut v = Vfs::new(fs);
+    v.mkdir("/d", 0o755).unwrap();
+    for i in 0..4 {
+        v.write_file(&format!("/d/f{i}"), &vec![i as u8; 5_000])
+            .unwrap();
+    }
+    v.umount().unwrap();
+    let fs = v.into_fs();
+    let layout = *fs.layout();
+    (fs.into_device(), layout)
+}
+
+fn rewrite_sb(dev: &mut MemDisk, edit: impl FnOnce(&mut Superblock)) {
+    let mut sb = Superblock::decode(&dev.peek(BlockAddr(0))).unwrap();
+    edit(&mut sb);
+    dev.poke(BlockAddr(0), &sb.encode());
+}
+
+#[test]
+fn clean_image_passes_sanity() {
+    let (dev, layout) = image();
+    let sb = Superblock::decode(&dev.peek(BlockAddr(0))).unwrap();
+    assert!(superblock_sanity(&sb, &layout).is_empty());
+    assert!(check(&dev, &layout).is_clean());
+}
+
+#[test]
+fn total_blocks_mismatch_is_flagged_and_repaired() {
+    let (mut dev, layout) = image();
+    let expected = layout.params.total_blocks;
+    rewrite_sb(&mut dev, |sb| sb.total_blocks = expected * 2); // claims more than the device holds
+    let report = check(&dev, &layout);
+    assert!(report.issues.contains(&FsckIssue::GeometryMismatch {
+        field: "total_blocks",
+        stored: expected * 2,
+        expected,
+    }));
+
+    // The engine plans an RRepair (rewrite the field) and the second
+    // check comes back clean.
+    let mut img = Ext3Image::new(dev, layout);
+    let engine = FsckEngine::with_threads(2);
+    let (before, summary, after) = engine.check_and_repair(&mut img).unwrap();
+    assert!(!before.is_clean());
+    assert!(summary.applied >= 1);
+    assert!(after.is_clean(), "geometry repaired: {:?}", after.issues);
+}
+
+#[test]
+fn blocks_per_group_mismatch_is_flagged() {
+    let (mut dev, layout) = image();
+    let expected = layout.params.blocks_per_group;
+    rewrite_sb(&mut dev, |sb| sb.blocks_per_group = expected + 7);
+    let report = check(&dev, &layout);
+    assert!(report.issues.contains(&FsckIssue::GeometryMismatch {
+        field: "blocks_per_group",
+        stored: expected + 7,
+        expected,
+    }));
+}
+
+#[test]
+fn journal_overgrowth_overlaps_neighbors() {
+    let (mut dev, layout) = image();
+    // Journal claiming to extend past its region would overlap the
+    // checksum table and the block groups behind it.
+    let inflated = layout.journal_len + 100;
+    rewrite_sb(&mut dev, |sb| sb.journal_blocks = inflated);
+    let report = check(&dev, &layout);
+    assert!(report.issues.contains(&FsckIssue::JournalOverlap {
+        stored: inflated,
+        max: layout.journal_len,
+    }));
+
+    // Repair truncates the stored length back to the trusted maximum.
+    let mut img = Ext3Image::new(dev, layout);
+    let (_, summary, after) = FsckEngine::with_threads(4)
+        .check_and_repair(&mut img)
+        .unwrap();
+    assert!(summary.applied >= 1);
+    assert!(after.is_clean(), "{:?}", after.issues);
+    let sb = Superblock::decode(&img.device().peek(BlockAddr(0))).unwrap();
+    assert_eq!(sb.journal_blocks, layout.journal_len);
+}
+
+#[test]
+fn journal_shrinkage_is_a_plain_mismatch() {
+    let (mut dev, layout) = image();
+    let shrunk = layout.journal_len - 1;
+    rewrite_sb(&mut dev, |sb| sb.journal_blocks = shrunk);
+    let report = check(&dev, &layout);
+    assert!(report.issues.contains(&FsckIssue::GeometryMismatch {
+        field: "journal_blocks",
+        stored: shrunk,
+        expected: layout.journal_len,
+    }));
+    assert!(!report
+        .issues
+        .iter()
+        .any(|i| matches!(i, FsckIssue::JournalOverlap { .. })));
+}
+
+#[test]
+fn undecodable_superblock_is_fatal() {
+    let (mut dev, layout) = image();
+    dev.poke(BlockAddr(0), &iron_core::Block::zeroed()); // magic gone
+    let report = check(&dev, &layout);
+    assert_eq!(report.issues, vec![FsckIssue::BadSuperblock]);
+
+    // The engine stops after the superblock pass (fatal) and the planner
+    // maps BadSuperblock to RStop — nothing is auto-repaired.
+    let img = Ext3Image::new(dev, layout);
+    let engine = FsckEngine::with_threads(4);
+    let parallel = engine.check(&img);
+    assert_eq!(parallel.issues, vec![FsckIssue::BadSuperblock]);
+    assert_eq!(
+        parallel.stats.passes.len(),
+        1,
+        "stopped after superblock pass"
+    );
+}
+
+#[test]
+fn sanity_issues_agree_across_oracle_and_engine() {
+    let (mut dev, layout) = image();
+    rewrite_sb(&mut dev, |sb| {
+        sb.total_blocks += 5;
+        sb.inodes_per_group += 1;
+        sb.journal_blocks = layout.journal_len + 9;
+    });
+    let oracle = check(&dev, &layout);
+    let img = Ext3Image::new(dev, layout);
+    for threads in [1, 2, 4] {
+        let report = FsckEngine::with_threads(threads).check(&img);
+        assert!(
+            report.same_issues(&oracle.issues),
+            "threads={threads}: {:?} vs {:?}",
+            report.issues,
+            oracle.issues
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! A zero-dependency `std::thread` worker pool for fsck passes.
+//!
+//! Two primitives, mirroring pFSCK's two axes of parallelism:
+//!
+//! * [`WorkerPool::shard`] — *intra-pass data parallelism*: a slice of
+//!   work items is claimed in chunks from a shared atomic cursor, each
+//!   worker folds its chunks into a private accumulator (a per-shard
+//!   bitmap, counter map, ...), and the accumulators are merged on the
+//!   caller's thread once every worker has joined — the barrier.
+//! * [`WorkerPool::run_jobs`] — *inter-pass pipelining*: independent
+//!   passes run as concurrent jobs instead of sequentially.
+//!
+//! With one thread both primitives degrade to plain sequential loops on
+//! the calling thread — no pool, no atomics — so a `threads = 1`
+//! configuration is an honest single-threaded baseline for the scaling
+//! bench. Merging must be commutative: chunk claiming is racy, so which
+//! worker sees which item is nondeterministic. The engine re-establishes
+//! determinism by canonically sorting the final report.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// A boxed pipelined job (see [`WorkerPool::run_jobs`]).
+pub type Job<'env, R> = Box<dyn FnOnce() -> R + Send + 'env>;
+
+/// Upper bound on the chunk size workers claim per cursor fetch.
+const MAX_CHUNK: usize = 1024;
+/// Chunks-per-worker target; >1 so fast workers steal from slow ones.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// A fixed-width worker pool. Threads are scoped: each call spawns and
+/// joins its own gang, so the pool holds no state beyond the width.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Shard `items` across the pool: every worker folds claimed chunks
+    /// into its own `A` via `work`, then the per-shard accumulators are
+    /// merged into one at the join barrier via `merge` (which must be
+    /// commutative and associative — see module docs).
+    pub fn shard<T, A, W, M>(&self, items: &[T], work: W, merge: M) -> A
+    where
+        T: Sync,
+        A: Default + Send,
+        W: Fn(&mut A, &T) + Sync,
+        M: Fn(&mut A, A),
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            let mut acc = A::default();
+            for item in items {
+                work(&mut acc, item);
+            }
+            return acc;
+        }
+        let chunk = (items.len() / (self.threads * CHUNKS_PER_WORKER)).clamp(1, MAX_CHUNK);
+        let cursor = AtomicUsize::new(0);
+        let shards: Vec<A> = thread::scope(|s| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut acc = A::default();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= items.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(items.len());
+                            for item in &items[start..end] {
+                                work(&mut acc, item);
+                            }
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fsck shard worker panicked"))
+                .collect()
+        });
+        let mut out = A::default();
+        for shard in shards {
+            merge(&mut out, shard);
+        }
+        out
+    }
+
+    /// Run independent jobs concurrently (the pipelining primitive) and
+    /// return their results in submission order. With one thread the
+    /// jobs run sequentially, in order, on the calling thread.
+    pub fn run_jobs<'env, R: Send>(&self, jobs: Vec<Job<'env, R>>) -> Vec<R> {
+        if self.threads == 1 {
+            return jobs.into_iter().map(|j| j()).collect();
+        }
+        thread::scope(|s| {
+            let handles: Vec<_> = jobs.into_iter().map(|j| s.spawn(j)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fsck job panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn shard_visits_every_item_exactly_once() {
+        let items: Vec<u64> = (0..10_000).collect();
+        for threads in [1, 2, 4, 7] {
+            let pool = WorkerPool::new(threads);
+            let seen: BTreeSet<u64> = pool.shard(
+                &items,
+                |acc: &mut BTreeSet<u64>, &i| {
+                    assert!(acc.insert(i), "item folded twice within a shard");
+                },
+                |out, shard| {
+                    for i in shard {
+                        assert!(out.insert(i), "item claimed by two shards");
+                    }
+                },
+            );
+            assert_eq!(seen.len(), items.len(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shard_sum_matches_sequential() {
+        let items: Vec<u64> = (1..=5000).collect();
+        let expect: u64 = items.iter().sum();
+        for threads in [1, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            let sum: u64 = pool.shard(&items, |acc, &i| *acc += i, |out, shard| *out += shard);
+            assert_eq!(sum, expect);
+        }
+    }
+
+    #[test]
+    fn shard_handles_empty_and_tiny_inputs() {
+        let pool = WorkerPool::new(4);
+        let none: Vec<u32> = Vec::new();
+        let sum: u32 = pool.shard(&none, |acc, &i| *acc += i, |out, s| *out += s);
+        assert_eq!(sum, 0);
+        let one = vec![41u32];
+        let sum: u32 = pool.shard(&one, |acc, &i| *acc += i + 1, |out, s| *out += s);
+        assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn run_jobs_preserves_submission_order() {
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            let jobs: Vec<Job<'_, usize>> = (0..6usize)
+                .map(|i| Box::new(move || i * 10) as Job<'_, usize>)
+                .collect();
+            assert_eq!(pool.run_jobs(jobs), vec![0, 10, 20, 30, 40, 50]);
+        }
+    }
+
+    #[test]
+    fn width_is_clamped_to_one() {
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+        assert_eq!(WorkerPool::new(8).threads(), 8);
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`ext3`], [`reiser`], [`jfs`], [`ntfs`] — behavioral models of the
 //!   four commodity file systems, measured failure policies and bugs
 //!   included;
+//! * [`fsck`] — the file-system-agnostic parallel check-and-repair
+//!   engine (pFSCK-style sharded + pipelined passes, `RRepair`/`RRemap`
+//!   planner), which `ext3` implements the traits of;
 //! * [`ixt3`] — the prototype IRON file system (checksums, replication,
 //!   parity, transactional checksums, scrubbing);
 //! * [`fingerprint`] — the failure-policy fingerprinting framework
@@ -46,6 +49,7 @@ pub use iron_core as core;
 pub use iron_ext3 as ext3;
 pub use iron_faultinject as faultinject;
 pub use iron_fingerprint as fingerprint;
+pub use iron_fsck as fsck;
 pub use iron_ixt3 as ixt3;
 pub use iron_jfs as jfs;
 pub use iron_ntfs as ntfs;
