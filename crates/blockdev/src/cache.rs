@@ -1,0 +1,704 @@
+//! [`BufferCache`]: a sharded-LRU write-back buffer cache over any
+//! [`BlockDevice`].
+//!
+//! The paper's Figure 1 stack has a generic buffer/page cache between the
+//! file system and the disk; this is that layer. It implements
+//! [`BlockDevice`] over any inner device, so it slots transparently under
+//! every file-system model:
+//!
+//! * **Read hits** are served from memory: no inner request, no simulated
+//!   mechanical time charged — re-read-heavy workloads run at memory speed.
+//! * **Writes are absorbed** (write-back): the block is marked dirty and
+//!   destaged later — on eviction, on [`BlockDevice::flush`], or when the
+//!   cache is dropped through [`BufferCache::into_inner`] (which *discards*
+//!   dirty data, the paper's lost-write window made flesh).
+//! * **Barriers are absorbed** too: [`BlockDevice::barrier`] only seals the
+//!   current *epoch*. Destaging writes epochs strictly in issue order with
+//!   an inner barrier between them, so the ordering contract — everything
+//!   written before a barrier reaches the medium before anything written
+//!   after it — holds exactly for the traffic the device below observes.
+//!   Within an epoch no order is owed, and the [`crate::IoScheduler`]
+//!   elevator sorts the epoch's blocks into ascending adjacent sweeps that
+//!   the simulated disk services at streaming rate.
+//! * **Typed I/O is preserved**: each dirty block remembers the
+//!   [`BlockTag`] of the write that dirtied it and is destaged under that
+//!   tag, so type-aware fault injection below the cache keeps working.
+//! * **Errors are strict**: a failed write-back surfaces as the error of
+//!   the *triggering* call (the read or write that forced an eviction, or
+//!   the flush) — exactly the delayed-error window the paper's §2.2 warns
+//!   about. Nothing is retried and nothing is dropped silently: the failed
+//!   block stays dirty and the next destage attempt retries it.
+//!
+//! [`CachePolicy::WriteThrough`] disables all of the above: every request
+//! passes straight through and the cache holds nothing. Fingerprinting
+//! campaigns run in this mode so their media and traces stay byte-exact
+//! while still exercising the redesigned stack API.
+
+use std::collections::{HashMap, VecDeque};
+
+use iron_core::{Block, BlockAddr, BlockTag};
+
+use crate::device::{BlockDevice, DiskError, DiskResult, RawAccess};
+use crate::sched::IoScheduler;
+
+/// Caching policy for a [`BufferCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Write-back caching: reads hit, writes and barriers are absorbed.
+    WriteBack {
+        /// Total capacity in blocks (divided evenly across shards).
+        capacity: usize,
+        /// Number of LRU shards. Clamped to `capacity`.
+        shards: usize,
+    },
+    /// Transparent mode: every request passes straight through. The stack
+    /// stays byte- and trace-exact with respect to an uncached stack —
+    /// what fingerprinting campaigns need.
+    WriteThrough,
+}
+
+impl CachePolicy {
+    /// Write-back with `capacity` blocks and the default shard count.
+    pub fn write_back(capacity: usize) -> Self {
+        CachePolicy::WriteBack {
+            capacity,
+            shards: 8,
+        }
+    }
+
+    /// Transparent pass-through.
+    pub const fn write_through() -> Self {
+        CachePolicy::WriteThrough
+    }
+}
+
+impl Default for CachePolicy {
+    /// Write-back, 1024 blocks (4 MiB), 8 shards.
+    fn default() -> Self {
+        CachePolicy::write_back(1024)
+    }
+}
+
+/// Cumulative cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served from the cache.
+    pub hits: u64,
+    /// Reads that went to the inner device.
+    pub misses: u64,
+    /// Writes absorbed into the cache (write-back mode).
+    pub writes_absorbed: u64,
+    /// Dirty blocks written back to the inner device.
+    pub writebacks: u64,
+    /// Destage sweeps issued (each charged one positioning cost below).
+    pub sweeps: u64,
+    /// Resident blocks evicted.
+    pub evictions: u64,
+    /// Barriers absorbed into epoch seals (write-back mode).
+    pub barriers_absorbed: u64,
+    /// Full destages (flushes and dirty evictions).
+    pub destages: u64,
+}
+
+struct Entry {
+    data: Block,
+    /// Tag of the write that dirtied the block (or of the read that
+    /// fetched it); dirty blocks are destaged under this tag.
+    tag: BlockTag,
+    dirty: bool,
+    /// Issue number of the dirtying write; pairs with the dirty log to
+    /// lazily invalidate superseded log records.
+    dirty_seq: u64,
+    /// Barrier epoch the dirtying write belongs to.
+    epoch: u64,
+    /// Recency tick; pairs with the shard's recency queue.
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    /// Lazy LRU: (addr, tick) in touch order; stale pairs (tick no longer
+    /// matching the entry) are skipped at eviction time.
+    recency: VecDeque<(u64, u64)>,
+}
+
+/// One record of the dirty log: `(dirty_seq, epoch, addr)`.
+type DirtyRecord = (u64, u64, u64);
+
+/// Shard index for `addr`. The address is bit-mixed (Fibonacci hashing)
+/// before reduction so strided access patterns — which are the common
+/// case for file-system metadata laid out at fixed intervals — spread
+/// across shards instead of collapsing into one and thrashing it.
+fn shard_index(addr: u64, nshards: usize) -> usize {
+    ((addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % nshards as u64) as usize
+}
+
+/// A sharded-LRU write-back buffer cache implementing [`BlockDevice`]
+/// over any inner device. See the module docs for semantics.
+pub struct BufferCache<D> {
+    inner: D,
+    policy: CachePolicy,
+    shards: Vec<Shard>,
+    /// Per-shard capacity (policy capacity divided across shards).
+    shard_capacity: usize,
+    resident: usize,
+    tick: u64,
+    /// Current barrier epoch; destaging never reorders across epochs.
+    epoch: u64,
+    /// True once the current epoch holds a dirty block (so an empty epoch
+    /// is never sealed).
+    epoch_dirty: bool,
+    next_dirty_seq: u64,
+    /// Dirty blocks in issue order. Superseded records (a block
+    /// re-dirtied later) are skipped via the `dirty_seq` match.
+    dirty_log: VecDeque<DirtyRecord>,
+    sched: IoScheduler,
+    stats: CacheStats,
+}
+
+impl<D: BlockDevice> BufferCache<D> {
+    /// Wrap `inner` with the given policy.
+    pub fn new(inner: D, policy: CachePolicy) -> Self {
+        let (shard_count, shard_capacity) = match policy {
+            CachePolicy::WriteBack { capacity, shards } => {
+                let capacity = capacity.max(1);
+                let shards = shards.clamp(1, capacity);
+                (shards, capacity.div_ceil(shards))
+            }
+            CachePolicy::WriteThrough => (1, 0),
+        };
+        BufferCache {
+            inner,
+            policy,
+            shards: (0..shard_count).map(|_| Shard::default()).collect(),
+            shard_capacity,
+            resident: 0,
+            tick: 0,
+            epoch: 0,
+            epoch_dirty: false,
+            next_dirty_seq: 0,
+            dirty_log: VecDeque::new(),
+            sched: IoScheduler::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Wrap `inner` with the default write-back policy.
+    pub fn write_back(inner: D) -> Self {
+        Self::new(inner, CachePolicy::default())
+    }
+
+    /// Wrap `inner` in transparent pass-through mode.
+    pub fn write_through(inner: D) -> Self {
+        Self::new(inner, CachePolicy::WriteThrough)
+    }
+
+    /// The policy this cache was built with.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of blocks currently resident.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// Number of resident blocks that are dirty.
+    pub fn dirty_blocks(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.map.values().filter(|e| e.dirty).count())
+            .sum()
+    }
+
+    /// Access the wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped device.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwrap the inner device, **discarding dirty blocks** — the
+    /// volatile cache vanishing is exactly the paper's lost-write window.
+    /// Call [`BlockDevice::flush`] (or [`Self::destage`]) first to keep
+    /// them.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    fn shard_of(&self, addr: BlockAddr) -> usize {
+        shard_index(addr.0, self.shards.len())
+    }
+
+    /// Write every dirty block to the inner device: epochs strictly in
+    /// issue order with an inner barrier between them, each epoch's blocks
+    /// elevator-scheduled into ascending adjacent sweeps. On a failed
+    /// write-back the error is returned, already-destaged blocks stay
+    /// clean, and the failed block (plus everything after it) stays dirty
+    /// for the next attempt.
+    pub fn destage(&mut self) -> DiskResult<()> {
+        // Snapshot the live records (drop superseded ones) and clear the
+        // log; un-destaged records are pushed back on error.
+        let live: Vec<DirtyRecord> = self
+            .dirty_log
+            .drain(..)
+            .filter(|&(seq, _, addr)| {
+                self.shards[shard_index(addr, self.shards.len())]
+                    .map
+                    .get(&addr)
+                    .is_some_and(|e| e.dirty && e.dirty_seq == seq)
+            })
+            .collect();
+        if live.is_empty() {
+            return Ok(());
+        }
+        self.stats.destages += 1;
+
+        let mut idx = 0;
+        let mut first_epoch_written = false;
+        while idx < live.len() {
+            let epoch = live[idx].1;
+            let mut end = idx;
+            while end < live.len() && live[end].1 == epoch {
+                end += 1;
+            }
+            if first_epoch_written {
+                if let Err(e) = self.inner.barrier() {
+                    self.dirty_log.extend(&live[idx..]);
+                    return Err(e);
+                }
+            }
+            let sweeps = self.sched.plan(
+                live[idx..end]
+                    .iter()
+                    .map(|&(_, _, a)| (BlockAddr(a), ()))
+                    .collect(),
+            );
+            self.stats.sweeps += sweeps.len() as u64;
+            for sweep in &sweeps {
+                for &(addr, ()) in &sweep.items {
+                    let shard = self.shard_of(addr);
+                    let entry = self.shards[shard]
+                        .map
+                        .get(&addr.0)
+                        .expect("live dirty record has an entry");
+                    let (data, tag) = (entry.data.clone(), entry.tag);
+                    if let Err(e) = self.inner.write_tagged(addr, &data, tag) {
+                        // Requeue every record not yet destaged — exactly
+                        // the ones whose entries are still dirty (the
+                        // failed block included). `live` is in issue
+                        // order, so the rebuilt log is too.
+                        let rest = live[idx..].iter().filter(|&&(s, _, a)| {
+                            self.shards[shard_index(a, self.shards.len())]
+                                .map
+                                .get(&a)
+                                .is_some_and(|e| e.dirty && e.dirty_seq == s)
+                        });
+                        self.dirty_log.extend(rest);
+                        return Err(e);
+                    }
+                    self.stats.writebacks += 1;
+                    self.shards[shard]
+                        .map
+                        .get_mut(&addr.0)
+                        .expect("entry present")
+                        .dirty = false;
+                }
+            }
+            first_epoch_written = true;
+            idx = end;
+        }
+        Ok(())
+    }
+
+    /// Record a touch of `addr` in `shard` at a fresh tick.
+    fn touch(&mut self, shard: usize, addr: BlockAddr) -> u64 {
+        self.tick += 1;
+        self.shards[shard].recency.push_back((addr.0, self.tick));
+        self.tick
+    }
+
+    /// Make room in `addr`'s shard for one more entry, destaging first if
+    /// the chosen victim is dirty. `protect` (if set) is never evicted.
+    fn make_room(&mut self, addr: BlockAddr, protect: Option<BlockAddr>) -> DiskResult<()> {
+        let shard = self.shard_of(addr);
+        while self.shards[shard].map.len() >= self.shard_capacity {
+            // Lazy LRU: skip recency records superseded by later touches.
+            let victim = loop {
+                let Some((a, t)) = self.shards[shard].recency.pop_front() else {
+                    // Every resident entry is protected; allow temporary
+                    // overflow rather than evicting the caller's block.
+                    return Ok(());
+                };
+                if protect.map(|p| p.0) == Some(a) {
+                    // Re-queue the protected block at its original tick.
+                    self.shards[shard].recency.push_back((a, t));
+                    continue;
+                }
+                if self.shards[shard].map.get(&a).is_some_and(|e| e.tick == t) {
+                    break a;
+                }
+            };
+            if self.shards[shard].map[&victim].dirty {
+                // Ordered write-back of *everything* keeps the epoch
+                // ordering invariant without tracking partial epochs; the
+                // cost amortizes to one destage per ~capacity writes.
+                self.destage()?;
+            }
+            if self.shards[shard].map.remove(&victim).is_some() {
+                self.resident -= 1;
+                self.stats.evictions += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_range(&self, addr: BlockAddr) -> DiskResult<()> {
+        if addr.0 < self.inner.num_blocks() {
+            Ok(())
+        } else {
+            Err(DiskError::OutOfRange { addr })
+        }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for BufferCache<D> {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_tagged(&mut self, addr: BlockAddr, tag: BlockTag) -> DiskResult<Block> {
+        if self.policy == CachePolicy::WriteThrough {
+            return self.inner.read_tagged(addr, tag);
+        }
+        self.check_range(addr)?;
+        let shard = self.shard_of(addr);
+        if self.shards[shard].map.contains_key(&addr.0) {
+            self.stats.hits += 1;
+            let tick = self.touch(shard, addr);
+            let e = self.shards[shard].map.get_mut(&addr.0).expect("hit");
+            e.tick = tick;
+            return Ok(e.data.clone());
+        }
+        self.stats.misses += 1;
+        // Make room first so a destage failure surfaces before the medium
+        // is touched.
+        self.make_room(addr, None)?;
+        let data = self.inner.read_tagged(addr, tag)?;
+        let tick = self.touch(shard, addr);
+        self.shards[shard].map.insert(
+            addr.0,
+            Entry {
+                data: data.clone(),
+                tag,
+                dirty: false,
+                dirty_seq: 0,
+                epoch: 0,
+                tick,
+            },
+        );
+        self.resident += 1;
+        Ok(data)
+    }
+
+    fn write_tagged(&mut self, addr: BlockAddr, block: &Block, tag: BlockTag) -> DiskResult<()> {
+        if self.policy == CachePolicy::WriteThrough {
+            return self.inner.write_tagged(addr, block, tag);
+        }
+        self.check_range(addr)?;
+        let shard = self.shard_of(addr);
+        if !self.shards[shard].map.contains_key(&addr.0) {
+            self.make_room(addr, None)?;
+        }
+        let seq = self.next_dirty_seq;
+        self.next_dirty_seq += 1;
+        let tick = self.touch(shard, addr);
+        let epoch = self.epoch;
+        match self.shards[shard].map.get_mut(&addr.0) {
+            Some(e) => {
+                // Re-dirtying moves the block to the current epoch: the
+                // medium only ever sees the final data, so it must not be
+                // written back at the older epoch's position.
+                e.data = block.clone();
+                e.tag = tag;
+                e.dirty = true;
+                e.dirty_seq = seq;
+                e.epoch = epoch;
+                e.tick = tick;
+            }
+            None => {
+                self.shards[shard].map.insert(
+                    addr.0,
+                    Entry {
+                        data: block.clone(),
+                        tag,
+                        dirty: true,
+                        dirty_seq: seq,
+                        epoch,
+                        tick,
+                    },
+                );
+                self.resident += 1;
+            }
+        }
+        self.dirty_log.push_back((seq, epoch, addr.0));
+        self.epoch_dirty = true;
+        self.stats.writes_absorbed += 1;
+        Ok(())
+    }
+
+    fn barrier(&mut self) -> DiskResult<()> {
+        if self.policy == CachePolicy::WriteThrough {
+            return self.inner.barrier();
+        }
+        // Seal the epoch; no inner traffic. The ordering the caller asked
+        // for is enforced when the epochs are destaged.
+        if self.epoch_dirty {
+            self.epoch += 1;
+            self.epoch_dirty = false;
+        }
+        self.stats.barriers_absorbed += 1;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> DiskResult<()> {
+        if self.policy == CachePolicy::WriteThrough {
+            return self.inner.flush();
+        }
+        self.destage()?;
+        self.inner.flush()
+    }
+}
+
+impl<D: BlockDevice + RawAccess> RawAccess for BufferCache<D> {
+    /// The harness view is the *logical* contents: a resident dirty block
+    /// shadows the (stale) medium.
+    fn peek(&self, addr: BlockAddr) -> Block {
+        let shard = shard_index(addr.0, self.shards.len());
+        match self.shards[shard].map.get(&addr.0) {
+            Some(e) if e.dirty => e.data.clone(),
+            _ => self.inner.peek(addr),
+        }
+    }
+
+    /// Pokes hit the medium *and* any resident copy (which becomes clean:
+    /// cache and medium now agree).
+    fn poke(&mut self, addr: BlockAddr, block: &Block) {
+        self.inner.poke(addr, block);
+        let shard = shard_index(addr.0, self.shards.len());
+        if let Some(e) = self.shards[shard].map.get_mut(&addr.0) {
+            e.data = block.clone();
+            e.dirty = false; // dirty-log records go stale via seq mismatch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memdisk::MemDisk;
+    use iron_core::IoKind;
+
+    fn cached(capacity: usize) -> BufferCache<MemDisk> {
+        BufferCache::new(
+            MemDisk::for_tests(64),
+            CachePolicy::WriteBack {
+                capacity,
+                shards: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn read_hit_skips_the_inner_device() {
+        let mut c = cached(8);
+        c.inner_mut().poke(BlockAddr(3), &Block::filled(7));
+        assert_eq!(c.read(BlockAddr(3)).unwrap(), Block::filled(7));
+        let inner_reads = c.inner().stats().reads;
+        assert_eq!(c.read(BlockAddr(3)).unwrap(), Block::filled(7));
+        assert_eq!(c.inner().stats().reads, inner_reads, "hit: no inner read");
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn writes_are_absorbed_until_flush() {
+        let mut c = cached(8);
+        c.write(BlockAddr(5), &Block::filled(9)).unwrap();
+        assert!(c.inner().peek(BlockAddr(5)).is_zeroed(), "medium stale");
+        assert_eq!(c.read(BlockAddr(5)).unwrap(), Block::filled(9));
+        c.flush().unwrap();
+        assert_eq!(c.inner().peek(BlockAddr(5)), Block::filled(9));
+        assert_eq!(c.dirty_blocks(), 0);
+    }
+
+    #[test]
+    fn destage_preserves_epoch_order_and_sorts_within_epochs() {
+        let mut c = cached(16);
+        // Epoch 0: 30, 10 (any order within); barrier; epoch 1: 20.
+        c.write(BlockAddr(30), &Block::filled(1)).unwrap();
+        c.write(BlockAddr(10), &Block::filled(2)).unwrap();
+        c.barrier().unwrap();
+        c.write(BlockAddr(20), &Block::filled(3)).unwrap();
+        let trace = c.inner().trace();
+        let mark = trace.len();
+        c.flush().unwrap();
+        let writes: Vec<u64> = trace
+            .since(mark)
+            .into_iter()
+            .filter(|e| e.kind == IoKind::Write)
+            .map(|e| e.addr.0)
+            .collect();
+        assert_eq!(writes, vec![10, 30, 20], "epoch order, sorted within");
+    }
+
+    #[test]
+    fn redirtied_block_moves_to_the_later_epoch() {
+        let mut c = cached(16);
+        c.write(BlockAddr(10), &Block::filled(1)).unwrap();
+        c.barrier().unwrap();
+        c.write(BlockAddr(5), &Block::filled(2)).unwrap();
+        c.write(BlockAddr(10), &Block::filled(3)).unwrap(); // re-dirty
+        let trace = c.inner().trace();
+        let mark = trace.len();
+        c.flush().unwrap();
+        let writes: Vec<u64> = trace
+            .since(mark)
+            .into_iter()
+            .filter(|e| e.kind == IoKind::Write)
+            .map(|e| e.addr.0)
+            .collect();
+        assert_eq!(writes, vec![5, 10], "block 10 destaged once, in epoch 1");
+        assert_eq!(c.inner().peek(BlockAddr(10)), Block::filled(3));
+    }
+
+    #[test]
+    fn destage_tags_match_the_dirtying_write() {
+        let mut c = cached(8);
+        c.write_tagged(BlockAddr(2), &Block::filled(1), BlockTag("j-data"))
+            .unwrap();
+        let trace = c.inner().trace();
+        let mark = trace.len();
+        c.flush().unwrap();
+        let events = trace.since(mark);
+        assert_eq!(events[0].tag, BlockTag("j-data"), "tag preserved");
+    }
+
+    #[test]
+    fn capacity_one_still_reads_everything_correctly() {
+        let mut c = cached(1);
+        for i in 0..8u64 {
+            c.write(BlockAddr(i), &Block::filled(i as u8 + 1)).unwrap();
+        }
+        for i in 0..8u64 {
+            assert_eq!(c.read(BlockAddr(i)).unwrap(), Block::filled(i as u8 + 1));
+        }
+        c.flush().unwrap();
+        for i in 0..8u64 {
+            assert_eq!(c.inner().peek(BlockAddr(i)), Block::filled(i as u8 + 1));
+        }
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_recent_block() {
+        let mut c = BufferCache::new(
+            MemDisk::for_tests(64),
+            CachePolicy::WriteBack {
+                capacity: 2,
+                shards: 1,
+            },
+        );
+        c.read(BlockAddr(1)).unwrap();
+        c.read(BlockAddr(2)).unwrap();
+        c.read(BlockAddr(1)).unwrap(); // 1 is now more recent than 2
+        c.read(BlockAddr(3)).unwrap(); // evicts 2
+        let hits = c.stats().hits;
+        c.read(BlockAddr(1)).unwrap();
+        assert_eq!(c.stats().hits, hits + 1, "block 1 still resident");
+        let misses = c.stats().misses;
+        c.read(BlockAddr(2)).unwrap();
+        assert_eq!(c.stats().misses, misses + 1, "block 2 was evicted");
+    }
+
+    #[test]
+    fn out_of_range_is_rejected_without_caching() {
+        let mut c = cached(8);
+        assert_eq!(
+            c.write(BlockAddr(64), &Block::zeroed()),
+            Err(DiskError::OutOfRange {
+                addr: BlockAddr(64)
+            })
+        );
+        assert_eq!(
+            c.read(BlockAddr(99)),
+            Err(DiskError::OutOfRange {
+                addr: BlockAddr(99)
+            })
+        );
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn write_through_passes_everything_through() {
+        let mut c = BufferCache::write_through(MemDisk::for_tests(16));
+        c.write(BlockAddr(3), &Block::filled(5)).unwrap();
+        assert_eq!(
+            c.inner().peek(BlockAddr(3)),
+            Block::filled(5),
+            "write reached the medium immediately"
+        );
+        c.read(BlockAddr(3)).unwrap();
+        c.read(BlockAddr(3)).unwrap();
+        assert_eq!(c.inner().stats().reads, 2, "no read absorption");
+        assert_eq!(c.resident(), 0);
+        c.barrier().unwrap();
+        assert_eq!(c.inner().stats().barriers, 1, "barrier forwarded");
+    }
+
+    #[test]
+    fn peek_sees_dirty_data_and_poke_updates_residents() {
+        let mut c = cached(8);
+        c.write(BlockAddr(4), &Block::filled(1)).unwrap();
+        assert_eq!(c.peek(BlockAddr(4)), Block::filled(1), "logical view");
+        c.poke(BlockAddr(4), &Block::filled(2));
+        assert_eq!(c.read(BlockAddr(4)).unwrap(), Block::filled(2));
+        assert_eq!(c.inner().peek(BlockAddr(4)), Block::filled(2));
+        assert_eq!(c.dirty_blocks(), 0, "poked block is clean");
+        // A flush now writes nothing (the stale dirty record is skipped).
+        let writes = c.inner().stats().writes;
+        c.flush().unwrap();
+        assert_eq!(c.inner().stats().writes, writes);
+    }
+
+    #[test]
+    fn into_inner_discards_dirty_blocks() {
+        let mut c = cached(8);
+        c.write(BlockAddr(6), &Block::filled(3)).unwrap();
+        let inner = c.into_inner();
+        assert!(
+            inner.peek(BlockAddr(6)).is_zeroed(),
+            "unflushed write lost with the cache — the lost-write window"
+        );
+    }
+
+    #[test]
+    fn adjacent_dirty_blocks_destage_as_one_sweep() {
+        let mut c = cached(16);
+        for i in 10..14u64 {
+            c.write(BlockAddr(i), &Block::filled(i as u8)).unwrap();
+        }
+        c.write(BlockAddr(40), &Block::filled(9)).unwrap();
+        c.flush().unwrap();
+        assert_eq!(c.stats().sweeps, 2, "run [10..14] plus singleton [40]");
+    }
+}

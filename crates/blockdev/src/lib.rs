@@ -21,16 +21,27 @@
 //!   particular the *ordering barrier* ([`BlockDevice::barrier`]) models the
 //!   lost rotation that ext3 pays between journal data and the commit block
 //!   — the cost that transactional checksums (§6.1) eliminate.
+//!
+//! Between the file system and the disk sits the generic buffer cache of
+//! Figure 1 ([`cache::BufferCache`]): sharded-LRU, write-back, barrier-
+//! epoch-ordered destaging through an elevator [`sched::IoScheduler`].
+//! Stacks are assembled with the fluent [`stack::StackBuilder`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod device;
 pub mod geometry;
 pub mod memdisk;
+pub mod sched;
+pub mod stack;
 pub mod trace;
 
+pub use cache::{BufferCache, CachePolicy, CacheStats};
 pub use device::{BlockDevice, DiskError, DiskResult, RawAccess};
 pub use geometry::DiskGeometry;
 pub use memdisk::MemDisk;
-pub use trace::{IoEvent, IoOutcome, IoTrace};
+pub use sched::{IoScheduler, Sweep};
+pub use stack::StackBuilder;
+pub use trace::{IoEvent, IoOutcome, IoTrace, TraceLayer};

@@ -1,0 +1,152 @@
+//! [`IoScheduler`]: a simple elevator-style request scheduler.
+//!
+//! The write-back cache ([`crate::BufferCache`]) destages dirty blocks one
+//! barrier epoch at a time. Within an epoch no ordering is owed to the
+//! layer below (the [`crate::BlockDevice::barrier`] contract only orders
+//! *across* barriers), so the scheduler is free to reorder the epoch's
+//! blocks the way a disk elevator would: sort ascending and batch adjacent
+//! addresses into *sweeps*.
+//!
+//! A sweep is a maximal run of consecutive block addresses issued
+//! back-to-back. On the simulated disk ([`crate::MemDisk`]) consecutive
+//! accesses stream from the track buffer at media rate, so a sweep is
+//! charged the mechanical positioning cost (command overhead, seek,
+//! rotation) **once**, and each block after the first pays only its
+//! transfer time — the scheduler turns `n` scattered writes into
+//! `sweeps ≪ n` positioning charges.
+
+use iron_core::BlockAddr;
+
+/// One batch of adjacent, ascending block addresses, issued back-to-back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sweep<T> {
+    /// The scheduled requests: consecutive addresses, ascending.
+    pub items: Vec<(BlockAddr, T)>,
+}
+
+impl<T> Sweep<T> {
+    /// First address of the sweep.
+    pub fn start(&self) -> BlockAddr {
+        self.items[0].0
+    }
+
+    /// Number of blocks in the sweep.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the sweep holds no requests (never produced by the
+    /// scheduler; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Plans a set of same-epoch requests into ascending adjacent sweeps.
+#[derive(Clone, Copy, Debug)]
+pub struct IoScheduler {
+    /// Cap on blocks per sweep; longer runs are split. Bounds the time any
+    /// single batch keeps the device busy (a real scheduler's fairness
+    /// knob).
+    pub max_sweep: usize,
+}
+
+impl IoScheduler {
+    /// A scheduler with the default sweep cap.
+    pub fn new() -> Self {
+        IoScheduler { max_sweep: 128 }
+    }
+
+    /// Order `requests` (addresses unique within a call) into sweeps:
+    /// sorted ascending, split wherever addresses are non-adjacent or the
+    /// sweep cap is reached.
+    pub fn plan<T>(&self, mut requests: Vec<(BlockAddr, T)>) -> Vec<Sweep<T>> {
+        requests.sort_by_key(|(addr, _)| addr.0);
+        let max = self.max_sweep.max(1);
+        let mut sweeps: Vec<Sweep<T>> = Vec::new();
+        for (addr, item) in requests {
+            match sweeps.last_mut() {
+                Some(s)
+                    if s.len() < max && s.items.last().map(|(a, _)| a.0 + 1) == Some(addr.0) =>
+                {
+                    s.items.push((addr, item));
+                }
+                _ => sweeps.push(Sweep {
+                    items: vec![(addr, item)],
+                }),
+            }
+        }
+        sweeps
+    }
+}
+
+impl Default for IoScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(reqs: Vec<u64>) -> Vec<(BlockAddr, ())> {
+        reqs.into_iter().map(|a| (BlockAddr(a), ())).collect()
+    }
+
+    fn plan(reqs: Vec<u64>) -> Vec<Vec<u64>> {
+        IoScheduler::new()
+            .plan(addrs(reqs))
+            .into_iter()
+            .map(|s| s.items.into_iter().map(|(a, ())| a.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_plans_nothing() {
+        assert!(plan(vec![]).is_empty());
+    }
+
+    #[test]
+    fn adjacent_addresses_form_one_sweep() {
+        assert_eq!(plan(vec![5, 6, 7]), vec![vec![5, 6, 7]]);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_into_sweeps() {
+        assert_eq!(plan(vec![7, 5, 6]), vec![vec![5, 6, 7]]);
+    }
+
+    #[test]
+    fn gaps_split_sweeps() {
+        assert_eq!(
+            plan(vec![10, 11, 20, 21, 22, 40]),
+            vec![vec![10, 11], vec![20, 21, 22], vec![40]]
+        );
+    }
+
+    #[test]
+    fn sweep_cap_splits_long_runs() {
+        let sched = IoScheduler { max_sweep: 2 };
+        let out = sched.plan(addrs(vec![1, 2, 3, 4, 5]));
+        let lens: Vec<usize> = out.iter().map(Sweep::len).collect();
+        assert_eq!(lens, vec![2, 2, 1]);
+        assert_eq!(out[0].start(), BlockAddr(1));
+        assert_eq!(out[1].start(), BlockAddr(3));
+    }
+
+    #[test]
+    fn payloads_travel_with_their_address() {
+        let out = IoScheduler::new().plan(vec![
+            (BlockAddr(9), "nine"),
+            (BlockAddr(3), "three"),
+            (BlockAddr(4), "four"),
+        ]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out[0].items,
+            vec![(BlockAddr(3), "three"), (BlockAddr(4), "four")]
+        );
+        assert_eq!(out[1].items, vec![(BlockAddr(9), "nine")]);
+    }
+}

@@ -9,7 +9,9 @@
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
-use iron_core::{BlockAddr, BlockTag, IoKind};
+use iron_core::{Block, BlockAddr, BlockTag, IoKind};
+
+use crate::device::{BlockDevice, DiskResult, RawAccess};
 
 /// How a traced request completed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -142,6 +144,97 @@ impl IoTrace {
     }
 }
 
+/// A transparent tracing shim: forwards every request to the inner device
+/// and records it (with its outcome) in an [`IoTrace`].
+///
+/// [`MemDisk`](crate::MemDisk) and the fault-injection layer keep their
+/// own traces; this layer exists so a trace can be taken at *any* point of
+/// a built stack — most usefully **below the buffer cache**, where it
+/// records exactly the destaged traffic the medium observes (the
+/// barrier-ordering differential tests are built on this).
+pub struct TraceLayer<D> {
+    inner: D,
+    trace: IoTrace,
+}
+
+impl<D: BlockDevice> TraceLayer<D> {
+    /// Wrap `inner` with a fresh trace.
+    pub fn new(inner: D) -> Self {
+        Self::with_trace(inner, IoTrace::new())
+    }
+
+    /// Wrap `inner`, recording into an existing (shared) trace.
+    pub fn with_trace(inner: D, trace: IoTrace) -> Self {
+        TraceLayer { inner, trace }
+    }
+
+    /// The shared trace handle.
+    pub fn trace(&self) -> IoTrace {
+        self.trace.clone()
+    }
+
+    /// Access the wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped device.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwrap the inner device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for TraceLayer<D> {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_tagged(&mut self, addr: BlockAddr, tag: BlockTag) -> DiskResult<Block> {
+        let r = self.inner.read_tagged(addr, tag);
+        let outcome = if r.is_ok() {
+            IoOutcome::Ok
+        } else {
+            IoOutcome::Error
+        };
+        self.trace.record(IoKind::Read, addr, tag, outcome, 0);
+        r
+    }
+
+    fn write_tagged(&mut self, addr: BlockAddr, block: &Block, tag: BlockTag) -> DiskResult<()> {
+        let r = self.inner.write_tagged(addr, block, tag);
+        let outcome = if r.is_ok() {
+            IoOutcome::Ok
+        } else {
+            IoOutcome::Error
+        };
+        self.trace.record(IoKind::Write, addr, tag, outcome, 0);
+        r
+    }
+
+    fn barrier(&mut self) -> DiskResult<()> {
+        self.inner.barrier()
+    }
+
+    fn flush(&mut self) -> DiskResult<()> {
+        self.inner.flush()
+    }
+}
+
+impl<D: RawAccess> RawAccess for TraceLayer<D> {
+    fn peek(&self, addr: BlockAddr) -> Block {
+        self.inner.peek(addr)
+    }
+
+    fn poke(&mut self, addr: BlockAddr, block: &Block) {
+        self.inner.poke(addr, block)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +295,23 @@ mod tests {
         assert_eq!(t.since(mark).len(), 1);
         t.clear();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn trace_layer_records_forwarded_requests() {
+        let mut d = TraceLayer::new(crate::MemDisk::for_tests(8));
+        let trace = d.trace();
+        d.write_tagged(BlockAddr(1), &Block::filled(1), BlockTag("data"))
+            .unwrap();
+        d.read_tagged(BlockAddr(1), BlockTag("data")).unwrap();
+        assert!(d.read(BlockAddr(99)).is_err());
+        let events = trace.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, IoKind::Write);
+        assert_eq!(events[0].outcome, IoOutcome::Ok);
+        assert_eq!(events[1].kind, IoKind::Read);
+        assert_eq!(events[2].outcome, IoOutcome::Error);
+        // The medium was really written.
+        assert_eq!(d.peek(BlockAddr(1)), Block::filled(1));
     }
 }

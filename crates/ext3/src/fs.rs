@@ -230,9 +230,9 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         };
         for (addr, b) in written.into_iter().chain(mirror) {
             dev.write_tagged(BlockAddr(addr), &b, layout.classify_static(addr).tag())
-                .map_err(|_| VfsError::Errno(Errno::EIO))?;
+                .map_err(VfsError::from)?;
         }
-        dev.barrier().map_err(|_| VfsError::Errno(Errno::EIO))?;
+        dev.barrier().map_err(VfsError::from)?;
         Ok(())
     }
 
@@ -347,11 +347,11 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                 BlockAddr(fs.layout.journal_super),
                 BlockType::JournalSuper.tag(),
             )
-            .map_err(|_| {
+            .map_err(|e| {
                 fs.env
                     .klog
                     .error("ext3", "unable to read journal superblock; mount failed");
-                VfsError::Errno(Errno::EIO)
+                VfsError::from(e)
             })?;
         let js = match JournalSuper::decode(&js_block) {
             Some(js) => js,

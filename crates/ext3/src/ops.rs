@@ -182,7 +182,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         } else {
             self.dev
                 .read_tagged(BlockAddr(di.parity as u64), BlockType::Parity.tag())
-                .map_err(|_| iron_vfs::VfsError::Errno(Errno::EIO))?
+                .map_err(iron_vfs::VfsError::from)?
         };
         for baddr in self.file_blocks(&di)? {
             if baddr == failed {
@@ -193,7 +193,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                 None => self
                     .dev
                     .read_tagged(BlockAddr(baddr), BlockType::Data.tag())
-                    .map_err(|_| iron_vfs::VfsError::Errno(Errno::EIO))?,
+                    .map_err(iron_vfs::VfsError::from)?,
             };
             for i in 0..BLOCK_SIZE {
                 acc[i] ^= b[i];
@@ -1127,17 +1127,13 @@ impl<D: BlockDevice + RawAccess> SpecificFs for Ext3Fs<D> {
     fn fsync(&mut self, _ino: Ino) -> VfsResult<()> {
         self.env.check_alive()?;
         self.commit()?;
-        self.dev
-            .flush()
-            .map_err(|_| iron_vfs::VfsError::Errno(Errno::EIO))
+        self.dev.flush().map_err(iron_vfs::VfsError::from)
     }
 
     fn sync(&mut self) -> VfsResult<()> {
         self.env.check_alive()?;
         self.commit()?;
-        self.dev
-            .flush()
-            .map_err(|_| iron_vfs::VfsError::Errno(Errno::EIO))
+        self.dev.flush().map_err(iron_vfs::VfsError::from)
     }
 
     fn statfs(&mut self) -> VfsResult<StatFs> {

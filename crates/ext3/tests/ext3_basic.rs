@@ -302,3 +302,34 @@ fn statfs_tracks_usage() {
     assert_eq!(st0.blocks_free - st1.blocks_free, 10);
     assert_eq!(st0.inodes_free - st1.inodes_free, 1);
 }
+
+// ----------------------------------------------------------------------
+// The full Figure 1 stack: ext3 over the write-back buffer cache.
+// ----------------------------------------------------------------------
+
+#[test]
+fn cached_stack_round_trip() {
+    use iron_blockdev::{BufferCache, CachePolicy, StackBuilder};
+
+    let mut dev = StackBuilder::memdisk(4096)
+        .with_cache(CachePolicy::write_back(64))
+        .build();
+    Ext3Fs::<BufferCache<MemDisk>>::mkfs(&mut dev, Ext3Params::small()).unwrap();
+    let fs = Ext3Fs::mount(dev, FsEnv::new(), Ext3Options::default()).unwrap();
+    let mut v = Vfs::new(fs);
+    for i in 0..20u8 {
+        v.write_file(&format!("/f{i}"), &vec![i; 5000]).unwrap();
+    }
+    v.sync().unwrap();
+    v.umount().unwrap();
+
+    // Unmount flushed everything; the raw medium alone must carry the data.
+    let cache = v.into_fs().into_device();
+    assert_eq!(cache.dirty_blocks(), 0, "unmount drains the cache");
+    let md = cache.into_inner();
+    let fs = Ext3Fs::mount(md, FsEnv::new(), Ext3Options::default()).unwrap();
+    let mut v = Vfs::new(fs);
+    for i in 0..20u8 {
+        assert_eq!(v.read_file(&format!("/f{i}")).unwrap(), vec![i; 5000]);
+    }
+}

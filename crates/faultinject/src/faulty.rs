@@ -169,6 +169,10 @@ impl<D: BlockDevice + RawAccess> BlockDevice for FaultyDisk<D> {
     fn barrier(&mut self) -> DiskResult<()> {
         self.inner.barrier()
     }
+
+    fn flush(&mut self) -> DiskResult<()> {
+        self.inner.flush()
+    }
 }
 
 impl<D: RawAccess> RawAccess for FaultyDisk<D> {

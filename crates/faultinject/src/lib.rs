@@ -25,6 +25,8 @@
 pub mod faulty;
 pub mod plan;
 pub mod reliability;
+pub mod stack;
 
 pub use faulty::FaultyDisk;
 pub use plan::{FaultController, FaultId, FaultPlan, FaultSpec, FaultTarget};
+pub use stack::FaultStackExt;

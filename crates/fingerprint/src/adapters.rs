@@ -7,7 +7,7 @@
 //! image, which block-type rows the file system has, and how to mount it
 //! over a fault-armed device.
 
-use iron_blockdev::MemDisk;
+use iron_blockdev::{BufferCache, MemDisk};
 use iron_core::BlockTag;
 use iron_faultinject::FaultyDisk;
 use iron_vfs::{FsEnv, SpecificFs, Vfs, VfsError, VfsResult};
@@ -18,6 +18,13 @@ use iron_ntfs::{NtfsBlockType, NtfsFs, NtfsOptions, NtfsParams};
 use iron_reiser::{ReiserBlockType, ReiserFs, ReiserOptions, ReiserParams};
 
 use crate::workloads::build_fixture;
+
+/// The device stack every campaign instance mounts over: a golden-image
+/// snapshot, the fault-injection layer, and the buffer cache in
+/// [`iron_blockdev::CachePolicy::WriteThrough`] mode — transparent, so
+/// type-aware fault targeting and the recorded traces stay byte-exact
+/// while the mounted stack matches Figure 1 layer for layer.
+pub type CampaignDevice = BufferCache<FaultyDisk<MemDisk>>;
 
 /// A file system packaged for fingerprinting.
 pub trait FsUnderTest {
@@ -34,7 +41,7 @@ pub trait FsUnderTest {
     fn golden(&self, dirty_journal: bool) -> MemDisk;
 
     /// Mount over a (possibly fault-armed) device.
-    fn mount(&self, dev: FaultyDisk<MemDisk>, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>>;
+    fn mount(&self, dev: CampaignDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>>;
 }
 
 /// One mounted-or-failed campaign instance.
@@ -126,7 +133,7 @@ impl FsUnderTest for Ext3Adapter {
         }
     }
 
-    fn mount(&self, dev: FaultyDisk<MemDisk>, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
+    fn mount(&self, dev: CampaignDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
         Ok(Box::new(Ext3Fs::mount(dev, env, self.options())?))
     }
 }
@@ -191,7 +198,7 @@ impl FsUnderTest for ReiserAdapter {
         }
     }
 
-    fn mount(&self, dev: FaultyDisk<MemDisk>, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
+    fn mount(&self, dev: CampaignDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
         Ok(Box::new(ReiserFs::mount(
             dev,
             env,
@@ -240,7 +247,7 @@ impl FsUnderTest for JfsAdapter {
         }
     }
 
-    fn mount(&self, dev: FaultyDisk<MemDisk>, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
+    fn mount(&self, dev: CampaignDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
         Ok(Box::new(JfsFs::mount(dev, env, JfsOptions::default())?))
     }
 }
@@ -274,7 +281,7 @@ impl FsUnderTest for NtfsAdapter {
         v.into_fs().into_device()
     }
 
-    fn mount(&self, dev: FaultyDisk<MemDisk>, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
+    fn mount(&self, dev: CampaignDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
         Ok(Box::new(NtfsFs::mount(dev, env, NtfsOptions::default())?))
     }
 }
@@ -282,13 +289,17 @@ impl FsUnderTest for NtfsAdapter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iron_blockdev::StackBuilder;
 
     fn check_adapter(a: &dyn FsUnderTest) {
         // The golden image mounts cleanly and the fixture is present.
         let golden = a.golden(false);
-        let faulty = FaultyDisk::new(golden.snapshot());
+        let dev = StackBuilder::new(golden.snapshot())
+            .layer(FaultyDisk::new)
+            .write_through()
+            .build();
         let env = FsEnv::new();
-        let fs = a.mount(faulty, env).expect("golden mounts");
+        let fs = a.mount(dev, env).expect("golden mounts");
         let mut v = Vfs::new(fs);
         assert!(v.stat("/dir1/file_small").is_ok(), "{} fixture", a.name());
         assert!(v.stat("/file_big").unwrap().size > 100_000);
@@ -312,9 +323,12 @@ mod tests {
             &JfsAdapter,
         ] {
             let golden = a.golden(true);
-            let faulty = FaultyDisk::new(golden.snapshot());
+            let dev = StackBuilder::new(golden.snapshot())
+                .layer(FaultyDisk::new)
+                .write_through()
+                .build();
             let env = FsEnv::new();
-            let fs = a.mount(faulty, env.clone()).expect("recovery mount");
+            let fs = a.mount(dev, env.clone()).expect("recovery mount");
             let mut v = Vfs::new(fs);
             assert!(
                 v.stat("/recovered_dir").is_ok(),

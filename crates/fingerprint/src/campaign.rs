@@ -10,11 +10,11 @@
 
 use std::collections::HashMap;
 
-use iron_blockdev::MemDisk;
+use iron_blockdev::{MemDisk, StackBuilder};
 use iron_core::model::CorruptionStyle;
 use iron_core::policy::PolicyCell;
 use iron_core::{BlockTag, FaultKind};
-use iron_faultinject::{FaultPlan, FaultSpec, FaultTarget, FaultyDisk};
+use iron_faultinject::{FaultPlan, FaultSpec, FaultStackExt, FaultTarget};
 use iron_vfs::{FsEnv, Vfs, VfsError};
 
 use crate::adapters::FsUnderTest;
@@ -156,8 +156,12 @@ fn run_one(
         }
     }
 
-    let faulty = FaultyDisk::with_plan(golden.snapshot(), plan);
-    let trace = faulty.trace();
+    // The Figure 1 stack: snapshot, fault layer, write-through cache.
+    let dev = StackBuilder::new(golden.snapshot())
+        .with_faults(plan)
+        .write_through()
+        .build();
+    let trace = dev.inner().trace();
     let env = FsEnv::new();
     let mut cell = CellRun {
         output: WorkloadOutput::default(),
@@ -169,7 +173,7 @@ fn run_one(
         trace: Vec::new(),
     };
 
-    match adapter.mount(faulty, env) {
+    match adapter.mount(dev, env) {
         Ok(fs) => {
             let mut v = Vfs::new(fs);
             cell.output.steps.push("mount:ok".into());

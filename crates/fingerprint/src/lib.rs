@@ -36,6 +36,8 @@ pub mod render;
 pub mod summary;
 pub mod workloads;
 
-pub use adapters::{Ext3Adapter, FsUnderTest, Instance, JfsAdapter, NtfsAdapter, ReiserAdapter};
+pub use adapters::{
+    CampaignDevice, Ext3Adapter, FsUnderTest, Instance, JfsAdapter, NtfsAdapter, ReiserAdapter,
+};
 pub use campaign::{fingerprint_fs, CampaignOptions, FaultMode, PolicyMatrix};
 pub use workloads::{Workload, WorkloadOutput};

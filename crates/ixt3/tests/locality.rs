@@ -135,3 +135,46 @@ fn transient_scratch_heals_on_retry_everywhere() {
     });
     assert_eq!(v.read_file("/f").unwrap(), vec![0x31; 20_000]);
 }
+
+// ----------------------------------------------------------------------
+// The full Figure 1 stack: ixt3 (all IRON features) over the write-back
+// buffer cache AND the fault layer — recovery still works when reads are
+// served through a cache.
+// ----------------------------------------------------------------------
+
+#[test]
+fn cached_stack_recovers_from_replica() {
+    use iron_blockdev::{CachePolicy, StackBuilder};
+    use iron_core::BlockTag;
+    use iron_faultinject::FaultStackExt;
+
+    let plan = iron_faultinject::FaultPlan::new();
+    let ctl = plan.controller();
+    let mut dev = StackBuilder::memdisk(4096)
+        .with_faults(plan)
+        .with_cache(CachePolicy::write_back(32))
+        .build();
+    iron_ixt3::mkfs(
+        dev.inner_mut().inner_mut(),
+        Ext3Params {
+            mirror_metadata: true,
+            ..Ext3Params::small()
+        },
+        IronConfig::full(),
+    )
+    .unwrap();
+    let env = FsEnv::new();
+    let fs = iron_ixt3::mount_full(dev, env.clone()).unwrap();
+    let mut v = Vfs::new(fs);
+    v.write_file("/precious", &vec![7u8; 20_000]).unwrap();
+    v.sync().unwrap();
+
+    // Eviction pressure (capacity 32) means the inode block is long gone
+    // from the cache; the injected read error fires against the medium and
+    // ixt3 falls back to its distant replica.
+    ctl.inject(FaultSpec::sticky(
+        FaultKind::ReadError,
+        FaultTarget::Tag(BlockTag("inode")),
+    ));
+    assert_eq!(v.read_file("/precious").unwrap(), vec![7u8; 20_000]);
+}

@@ -237,7 +237,7 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
     /// Format a device.
     pub fn mkfs(dev: &mut D, params: JfsParams) -> VfsResult<()> {
         let layout = JfsLayout::compute(params);
-        let eio = |_| VfsError::Errno(Errno::EIO);
+        let eio = VfsError::from;
         let root_dir_block = layout.alloc_start;
 
         // Maps: reserve everything up to and including the root dir block.
@@ -1400,13 +1400,13 @@ impl<D: BlockDevice + RawAccess> SpecificFs for JfsFs<D> {
     fn fsync(&mut self, _ino: u64) -> VfsResult<()> {
         self.env.check_alive()?;
         self.commit()?;
-        self.dev.flush().map_err(|_| VfsError::Errno(Errno::EIO))
+        self.dev.flush().map_err(VfsError::from)
     }
 
     fn sync(&mut self) -> VfsResult<()> {
         self.env.check_alive()?;
         self.commit()?;
-        self.dev.flush().map_err(|_| VfsError::Errno(Errno::EIO))
+        self.dev.flush().map_err(VfsError::from)
     }
 
     fn statfs(&mut self) -> VfsResult<StatFs> {

@@ -326,3 +326,33 @@ fn unlink_inode_read_failure_corrupts_fs_paper_bug() {
     );
     assert_eq!(env2.state(), MountState::ReadWrite);
 }
+
+// ----------------------------------------------------------------------
+// The full Figure 1 stack: JFS over the write-back buffer cache.
+// ----------------------------------------------------------------------
+
+#[test]
+fn cached_stack_round_trip() {
+    use iron_blockdev::{CachePolicy, StackBuilder};
+
+    let mut dev = StackBuilder::memdisk(4096)
+        .with_cache(CachePolicy::write_back(64))
+        .build();
+    JfsFs::<MemDisk>::mkfs(dev.inner_mut(), JfsParams::small()).unwrap();
+    let fs = JfsFs::mount(dev, FsEnv::new(), JfsOptions::default()).unwrap();
+    let mut v = Vfs::new(fs);
+    for i in 0..12u8 {
+        v.write_file(&format!("/f{i}"), &vec![i; 3000]).unwrap();
+    }
+    v.sync().unwrap();
+    v.umount().unwrap();
+
+    let cache = v.into_fs().into_device();
+    assert_eq!(cache.dirty_blocks(), 0, "unmount drains the cache");
+    let md = cache.into_inner();
+    let fs = JfsFs::mount(md, FsEnv::new(), JfsOptions::default()).unwrap();
+    let mut v = Vfs::new(fs);
+    for i in 0..12u8 {
+        assert_eq!(v.read_file(&format!("/f{i}")).unwrap(), vec![i; 3000]);
+    }
+}

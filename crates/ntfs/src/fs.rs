@@ -299,7 +299,7 @@ impl<D: BlockDevice + RawAccess> NtfsFs<D> {
     /// Format a volume.
     pub fn mkfs(dev: &mut D, params: NtfsParams) -> VfsResult<()> {
         let layout = Layout::compute(params);
-        let eio = |_| VfsError::Errno(Errno::EIO);
+        let eio = VfsError::from;
         let root_dir_block = layout.alloc_start;
 
         let mut boot = Block::zeroed();
@@ -378,8 +378,8 @@ impl<D: BlockDevice + RawAccess> NtfsFs<D> {
     /// (except the journal) are corrupted" — every in-use MFT record is
     /// verified.
     pub fn mount(mut dev: D, env: FsEnv, opts: NtfsOptions) -> VfsResult<Self> {
-        let boot = retry_read(&mut dev, 0, NtfsBlockType::BootFile, &env)
-            .map_err(|_| VfsError::Errno(Errno::EIO))?;
+        let boot =
+            retry_read(&mut dev, 0, NtfsBlockType::BootFile, &env).map_err(VfsError::from)?;
         if boot.get_u64(0) != BOOT_MAGIC {
             env.klog
                 .error("ntfs", "boot file invalid; volume unmountable");
@@ -1133,12 +1133,12 @@ impl<D: BlockDevice + RawAccess> SpecificFs for NtfsFs<D> {
 
     fn fsync(&mut self, _rec: u64) -> VfsResult<()> {
         self.env.check_alive()?;
-        self.dev.flush().map_err(|_| VfsError::Errno(Errno::EIO))
+        self.dev.flush().map_err(VfsError::from)
     }
 
     fn sync(&mut self) -> VfsResult<()> {
         self.env.check_alive()?;
-        self.dev.flush().map_err(|_| VfsError::Errno(Errno::EIO))
+        self.dev.flush().map_err(VfsError::from)
     }
 
     fn statfs(&mut self) -> VfsResult<StatFs> {

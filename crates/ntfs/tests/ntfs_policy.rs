@@ -177,3 +177,33 @@ fn errors_propagate_reliably() {
     assert_eq!(v.stat("/f").unwrap_err().errno(), Some(Errno::EIO));
     assert_ne!(env.state(), MountState::Crashed, "no panic, just errors");
 }
+
+// ----------------------------------------------------------------------
+// The full Figure 1 stack: NTFS over the write-back buffer cache.
+// ----------------------------------------------------------------------
+
+#[test]
+fn cached_stack_round_trip() {
+    use iron_blockdev::{CachePolicy, StackBuilder};
+
+    let mut dev = StackBuilder::memdisk(4096)
+        .with_cache(CachePolicy::write_back(64))
+        .build();
+    NtfsFs::<MemDisk>::mkfs(dev.inner_mut(), NtfsParams::small()).unwrap();
+    let fs = NtfsFs::mount(dev, FsEnv::new(), NtfsOptions::default()).unwrap();
+    let mut v = Vfs::new(fs);
+    for i in 0..12u8 {
+        v.write_file(&format!("/f{i}"), &vec![i; 3000]).unwrap();
+    }
+    v.sync().unwrap();
+    v.umount().unwrap();
+
+    let cache = v.into_fs().into_device();
+    assert_eq!(cache.dirty_blocks(), 0, "unmount drains the cache");
+    let md = cache.into_inner();
+    let fs = NtfsFs::mount(md, FsEnv::new(), NtfsOptions::default()).unwrap();
+    let mut v = Vfs::new(fs);
+    for i in 0..12u8 {
+        assert_eq!(v.read_file(&format!("/f{i}")).unwrap(), vec![i; 3000]);
+    }
+}

@@ -216,7 +216,7 @@ impl<D: BlockDevice + RawAccess> ReiserFs<D> {
             dirty: false,
         };
 
-        let eio = |_| VfsError::Errno(Errno::EIO);
+        let eio = VfsError::from;
         dev.write_tagged(BlockAddr(0), &sb.encode(), ReiserBlockType::Super.tag())
             .map_err(eio)?;
         dev.write_tagged(
@@ -247,10 +247,10 @@ impl<D: BlockDevice + RawAccess> ReiserFs<D> {
     pub fn mount(mut dev: D, env: FsEnv, opts: ReiserOptions) -> VfsResult<Self> {
         let sb_block = dev
             .read_tagged(BlockAddr(0), ReiserBlockType::Super.tag())
-            .map_err(|_| {
+            .map_err(|e| {
                 env.klog
                     .error("reiserfs", "unable to read superblock; mount failed");
-                VfsError::Errno(Errno::EIO)
+                VfsError::from(e)
             })?;
         let sb = match ReiserSuper::decode(&sb_block) {
             Some(sb) => sb,
@@ -286,11 +286,11 @@ impl<D: BlockDevice + RawAccess> ReiserFs<D> {
                 BlockAddr(layout.journal_header),
                 ReiserBlockType::JournalHeader.tag(),
             )
-            .map_err(|_| {
+            .map_err(|e| {
                 fs.env
                     .klog
                     .error("reiserfs", "journal header unreadable; mount failed");
-                VfsError::Errno(Errno::EIO)
+                VfsError::from(e)
             })?;
         let jh = match JournalHeader::decode(&jh_block) {
             Some(jh) => jh,
@@ -572,12 +572,12 @@ impl<D: BlockDevice + RawAccess> ReiserFs<D> {
             let cblock = self
                 .dev
                 .read_tagged(BlockAddr(cpos), ReiserBlockType::JournalCommit.tag())
-                .map_err(|_| {
+                .map_err(|e| {
                     self.env.klog.error(
                         "reiserfs",
                         format!("journal-{cpos}: commit read failed; mount aborted"),
                     );
-                    VfsError::Errno(Errno::EIO)
+                    VfsError::from(e)
                 })?;
             let Some(commit) = JournalCommit::decode(&cblock) else {
                 self.env
@@ -1669,13 +1669,13 @@ impl<D: BlockDevice + RawAccess> SpecificFs for ReiserFs<D> {
     fn fsync(&mut self, _oid: u64) -> VfsResult<()> {
         self.env.check_alive()?;
         self.commit()?;
-        self.dev.flush().map_err(|_| VfsError::Errno(Errno::EIO))
+        self.dev.flush().map_err(VfsError::from)
     }
 
     fn sync(&mut self) -> VfsResult<()> {
         self.env.check_alive()?;
         self.commit()?;
-        self.dev.flush().map_err(|_| VfsError::Errno(Errno::EIO))
+        self.dev.flush().map_err(VfsError::from)
     }
 
     fn statfs(&mut self) -> VfsResult<StatFs> {

@@ -365,3 +365,33 @@ fn corrupted_superblock_fails_mount() {
     assert_eq!(err.errno(), Some(Errno::EUCLEAN));
     assert!(env.klog.contains("can not find reiserfs"));
 }
+
+// ----------------------------------------------------------------------
+// The full Figure 1 stack: ReiserFS over the write-back buffer cache.
+// ----------------------------------------------------------------------
+
+#[test]
+fn cached_stack_round_trip() {
+    use iron_blockdev::{CachePolicy, StackBuilder};
+
+    let mut dev = StackBuilder::memdisk(4096)
+        .with_cache(CachePolicy::write_back(64))
+        .build();
+    ReiserFs::<MemDisk>::mkfs(dev.inner_mut(), ReiserParams::small()).unwrap();
+    let fs = ReiserFs::mount(dev, FsEnv::new(), ReiserOptions::default()).unwrap();
+    let mut v = Vfs::new(fs);
+    for i in 0..12u8 {
+        v.write_file(&format!("/f{i}"), &vec![i; 3000]).unwrap();
+    }
+    v.sync().unwrap();
+    v.umount().unwrap();
+
+    let cache = v.into_fs().into_device();
+    assert_eq!(cache.dirty_blocks(), 0, "unmount drains the cache");
+    let md = cache.into_inner();
+    let fs = ReiserFs::mount(md, FsEnv::new(), ReiserOptions::default()).unwrap();
+    let mut v = Vfs::new(fs);
+    for i in 0..12u8 {
+        assert_eq!(v.read_file(&format!("/f{i}")).unwrap(), vec![i; 3000]);
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use iron_blockdev::DiskError;
 use iron_core::Errno;
 
 /// An inode number.
@@ -47,6 +48,17 @@ impl std::error::Error for VfsError {}
 impl From<Errno> for VfsError {
     fn from(e: Errno) -> Self {
         VfsError::Errno(e)
+    }
+}
+
+/// The canonical device-error mapping for every file-system model: any
+/// [`DiskError`] crossing the block/VFS boundary becomes `EIO`, exactly as
+/// the Linux block layer collapses low-level failures before the fs sees
+/// them. The fault-injection campaigns depend on this being uniform — a
+/// per-fs mapping would change fingerprints without changing policy.
+impl From<DiskError> for VfsError {
+    fn from(_: DiskError) -> Self {
+        VfsError::Errno(Errno::EIO)
     }
 }
 
@@ -196,6 +208,24 @@ mod tests {
         assert!(p.is_panic());
         assert_eq!(p.errno(), None);
         assert!(p.to_string().contains("kernel panic"));
+    }
+
+    #[test]
+    fn every_disk_error_variant_maps_to_eio() {
+        use iron_core::IoKind;
+        let variants = [
+            DiskError::Io {
+                addr: iron_core::BlockAddr(3),
+                kind: IoKind::Read,
+            },
+            DiskError::OutOfRange {
+                addr: iron_core::BlockAddr(9),
+            },
+            DiskError::DeviceFailed,
+        ];
+        for v in variants {
+            assert_eq!(VfsError::from(v).errno(), Some(Errno::EIO));
+        }
     }
 
     #[test]

@@ -6,16 +6,14 @@
 //!
 //! Run with: `cargo run --example crash_recovery`
 
-use ironfs::blockdev::{MemDisk, RawAccess};
-use ironfs::core::{Block, BlockAddr};
-use ironfs::ext3::{DiskLayout, Ext3Fs, Ext3Options, Ext3Params, IronConfig};
-use ironfs::vfs::{FsEnv, Vfs};
+use ironfs::ext3::DiskLayout;
+use ironfs::prelude::*;
 
 /// Build an image whose journal holds one committed, un-checkpointed
 /// transaction, then corrupt its first journal-data block.
 fn crashed_image(tc: bool) -> MemDisk {
     let params = Ext3Params::small();
-    let mut dev = MemDisk::for_tests(4096);
+    let mut dev = StackBuilder::memdisk(4096).build();
     Ext3Fs::<MemDisk>::mkfs(&mut dev, params).unwrap();
     let iron = IronConfig {
         txn_checksum: tc,

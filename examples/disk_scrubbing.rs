@@ -5,14 +5,11 @@
 //!
 //! Run with: `cargo run --example disk_scrubbing`
 
-use ironfs::blockdev::{MemDisk, RawAccess};
-use ironfs::core::{Block, BlockAddr};
-use ironfs::ext3::Ext3Params;
 use ironfs::ixt3::scrub::scrub;
-use ironfs::vfs::{FsEnv, SpecificFs, Vfs};
+use ironfs::prelude::*;
 
 fn main() {
-    let disk = MemDisk::for_tests(4096);
+    let disk = StackBuilder::memdisk(4096).build();
     let env = FsEnv::new();
     let mut fs =
         ironfs::ixt3::format_and_mount_full(disk, env.clone(), Ext3Params::small()).expect("mount");

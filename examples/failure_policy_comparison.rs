@@ -9,10 +9,7 @@
 //!
 //! Run with: `cargo run --example failure_policy_comparison`
 
-use ironfs::blockdev::MemDisk;
-use ironfs::core::{BlockTag, FaultKind};
-use ironfs::faultinject::{FaultSpec, FaultTarget, FaultyDisk};
-use ironfs::vfs::{FsEnv, MountState, Vfs};
+use ironfs::prelude::*;
 
 fn report(name: &str, outcome: &str, env: &FsEnv) {
     let state = match env.state() {
@@ -28,20 +25,30 @@ fn report(name: &str, outcome: &str, env: &FsEnv) {
     println!();
 }
 
+/// A formatted disk under a fault layer armed with a sticky write error
+/// aimed at `tag`.
+fn faulty_stack(mkfs: impl FnOnce(&mut MemDisk), tag: &'static str) -> FaultyDisk<MemDisk> {
+    let mut md = MemDisk::for_tests(4096);
+    mkfs(&mut md);
+    let faulty = StackBuilder::new(md).layer(FaultyDisk::new).build();
+    faulty.controller().inject(FaultSpec::sticky(
+        FaultKind::WriteError,
+        FaultTarget::Tag(BlockTag(tag)),
+    ));
+    faulty
+}
+
 fn main() {
     println!("One fault, four policies: fail every metadata write\n");
 
     // ext3: write errors are ignored (PAPER-BUG).
     {
-        let mut md = MemDisk::for_tests(4096);
-        ironfs::ext3::Ext3Fs::<MemDisk>::mkfs(&mut md, ironfs::ext3::Ext3Params::small()).unwrap();
-        let faulty = FaultyDisk::new(md);
-        faulty.controller().inject(FaultSpec::sticky(
-            FaultKind::WriteError,
-            FaultTarget::Tag(BlockTag("inode")),
-        ));
+        let faulty = faulty_stack(
+            |md| Ext3Fs::<MemDisk>::mkfs(md, Ext3Params::small()).unwrap(),
+            "inode",
+        );
         let env = FsEnv::new();
-        let fs = ironfs::ext3::Ext3Fs::mount(faulty, env.clone(), Default::default()).unwrap();
+        let fs = Ext3Fs::mount(faulty, env.clone(), Default::default()).unwrap();
         let mut v = Vfs::new(fs);
         v.write_file("/f", b"x").unwrap();
         let r = v.sync();
@@ -54,16 +61,12 @@ fn main() {
 
     // ReiserFS: panic.
     {
-        let mut md = MemDisk::for_tests(4096);
-        ironfs::reiser::ReiserFs::<MemDisk>::mkfs(&mut md, ironfs::reiser::ReiserParams::small())
-            .unwrap();
-        let faulty = FaultyDisk::new(md);
-        faulty.controller().inject(FaultSpec::sticky(
-            FaultKind::WriteError,
-            FaultTarget::Tag(BlockTag("leaf")),
-        ));
+        let faulty = faulty_stack(
+            |md| ReiserFs::<MemDisk>::mkfs(md, ReiserParams::small()).unwrap(),
+            "leaf",
+        );
         let env = FsEnv::new();
-        let fs = ironfs::reiser::ReiserFs::mount(faulty, env.clone(), Default::default()).unwrap();
+        let fs = ReiserFs::mount(faulty, env.clone(), Default::default()).unwrap();
         let mut v = Vfs::new(fs);
         v.write_file("/f", b"x").unwrap();
         let r = v.sync();
@@ -72,15 +75,12 @@ fn main() {
 
     // JFS: ignored (except the journal superblock).
     {
-        let mut md = MemDisk::for_tests(4096);
-        ironfs::jfs::JfsFs::<MemDisk>::mkfs(&mut md, ironfs::jfs::JfsParams::small()).unwrap();
-        let faulty = FaultyDisk::new(md);
-        faulty.controller().inject(FaultSpec::sticky(
-            FaultKind::WriteError,
-            FaultTarget::Tag(BlockTag("inode")),
-        ));
+        let faulty = faulty_stack(
+            |md| JfsFs::<MemDisk>::mkfs(md, JfsParams::small()).unwrap(),
+            "inode",
+        );
         let env = FsEnv::new();
-        let fs = ironfs::jfs::JfsFs::mount(faulty, env.clone(), Default::default()).unwrap();
+        let fs = JfsFs::mount(faulty, env.clone(), Default::default()).unwrap();
         let mut v = Vfs::new(fs);
         v.write_file("/f", b"x").unwrap();
         let r = v.sync();
@@ -93,15 +93,12 @@ fn main() {
 
     // NTFS: retry, retry, then tell the user.
     {
-        let mut md = MemDisk::for_tests(4096);
-        ironfs::ntfs::NtfsFs::<MemDisk>::mkfs(&mut md, ironfs::ntfs::NtfsParams::small()).unwrap();
-        let faulty = FaultyDisk::new(md);
-        faulty.controller().inject(FaultSpec::sticky(
-            FaultKind::WriteError,
-            FaultTarget::Tag(BlockTag("MFT record")),
-        ));
+        let faulty = faulty_stack(
+            |md| NtfsFs::<MemDisk>::mkfs(md, NtfsParams::small()).unwrap(),
+            "MFT record",
+        );
         let env = FsEnv::new();
-        let fs = ironfs::ntfs::NtfsFs::mount(faulty, env.clone(), Default::default()).unwrap();
+        let fs = NtfsFs::mount(faulty, env.clone(), Default::default()).unwrap();
         let mut v = Vfs::new(fs);
         let r = v.write_file("/f", b"x");
         report("NTFS", &format!("write() -> {r:?}"), &env);

@@ -3,18 +3,13 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use ironfs::blockdev::MemDisk;
-use ironfs::core::{BlockTag, FaultKind};
-use ironfs::ext3::{Ext3Params, IronConfig};
-use ironfs::faultinject::{FaultSpec, FaultTarget, FaultyDisk};
-use ironfs::vfs::{FsEnv, Vfs};
+use ironfs::prelude::*;
 
 fn main() {
-    // 1. A 16 MiB simulated disk, wrapped in the fault-injection layer.
-    let mut disk = MemDisk::for_tests(4096);
-    ironfs::ixt3::mkfs(&mut disk, Ext3Params::small(), IronConfig::full()).expect("mkfs");
-    let faulty = FaultyDisk::new(disk);
+    // 1. A 16 MiB simulated disk with the fault-injection layer above it.
+    let mut faulty = StackBuilder::memdisk(4096).layer(FaultyDisk::new).build();
     let faults = faulty.controller();
+    ironfs::ixt3::mkfs(faulty.inner_mut(), Ext3Params::small(), IronConfig::full()).expect("mkfs");
 
     // 2. Mount the full ixt3: metadata+data checksums, metadata
     //    replication, per-file parity, transactional checksums.

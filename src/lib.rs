@@ -56,3 +56,50 @@ pub use iron_ntfs as ntfs;
 pub use iron_reiser as reiser;
 pub use iron_vfs as vfs;
 pub use iron_workloads as workloads;
+
+/// The cross-crate surface in one import: everything needed to build a
+/// storage stack, mount a file system over it, and aim faults at it.
+///
+/// ```
+/// use ironfs::prelude::*;
+///
+/// let mut dev = StackBuilder::memdisk(4096)
+///     .with_cache(CachePolicy::write_back(256))
+///     .build();
+/// Ext3Fs::mkfs(&mut dev, Ext3Params::small()).unwrap();
+/// let fs = Ext3Fs::mount(dev, FsEnv::new(), Ext3Options::default()).unwrap();
+/// let mut v = Vfs::new(fs);
+/// v.write_file("/hello", b"hi").unwrap();
+/// ```
+pub mod prelude {
+    pub use iron_core::{
+        Block, BlockAddr, BlockTag, DetectionLevel, Errno, FaultKind, IoKind, KernelLog,
+        RecoveryLevel, SimClock, Transience, BLOCK_SIZE,
+    };
+
+    pub use iron_blockdev::{
+        BlockDevice, BufferCache, CachePolicy, CacheStats, DiskError, DiskGeometry, DiskResult,
+        IoScheduler, IoTrace, MemDisk, RawAccess, StackBuilder, TraceLayer,
+    };
+
+    pub use iron_faultinject::{
+        FaultController, FaultId, FaultPlan, FaultSpec, FaultStackExt, FaultTarget, FaultyDisk,
+    };
+
+    pub use iron_vfs::{
+        DirEntry, Fd, FileType, FsEnv, InodeAttr, MountState, OpenFlags, SpecificFs, StatFs, Vfs,
+        VfsError, VfsResult,
+    };
+
+    pub use iron_ext3::{BlockType as Ext3BlockType, Ext3Fs, Ext3Options, Ext3Params, IronConfig};
+    pub use iron_jfs::{JfsBlockType, JfsFs, JfsOptions, JfsParams};
+    pub use iron_ntfs::{NtfsBlockType, NtfsFs, NtfsOptions, NtfsParams};
+    pub use iron_reiser::{ReiserBlockType, ReiserFs, ReiserOptions, ReiserParams};
+
+    pub use iron_fsck::{FsckEngine, FsckOptions, FsckReport, FsckStats};
+
+    pub use iron_fingerprint::{
+        fingerprint_fs, CampaignDevice, CampaignOptions, Ext3Adapter, FaultMode, FsUnderTest,
+        JfsAdapter, NtfsAdapter, PolicyMatrix, ReiserAdapter, Workload,
+    };
+}
