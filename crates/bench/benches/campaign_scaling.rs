@@ -1,0 +1,40 @@
+//! Campaign thread-scaling: the full ext3 fingerprinting campaign (every
+//! Figure 2 mode × block type × workload cell) sharded over the shared
+//! executor at 1/2/4/8 worker threads. The `threads = 1` row is the
+//! honest sequential baseline (no pool, no atomics); every row must
+//! produce a matrix *bit-identical* to that baseline — cells merge by
+//! `(mode, row, col)` key, so parallelism is purely a wall-clock knob,
+//! and this bench asserts the equality on every sample before reporting
+//! a single timing.
+
+use iron_testkit::{black_box, BenchGroup};
+
+use iron_fingerprint::campaign::{fingerprint_fs, CampaignOptions};
+use iron_fingerprint::Ext3Adapter;
+
+fn main() {
+    let mut g = BenchGroup::from_env("campaign");
+    let adapter = Ext3Adapter::stock();
+
+    let baseline = fingerprint_fs(&adapter, &CampaignOptions::default().with_threads(1));
+    assert!(
+        baseline.relevant > 100,
+        "the full ext3 campaign must fire its ~400 relevant cells"
+    );
+
+    for threads in [1usize, 2, 4, 8] {
+        let opts = CampaignOptions::default().with_threads(threads);
+        let (adapter, baseline) = (&adapter, &baseline);
+        g.bench(&format!("ext3_full_t{threads}"), move || {
+            let m = fingerprint_fs(adapter, &opts);
+            assert_eq!(
+                m.cells, baseline.cells,
+                "t={threads} matrix must be bit-identical to sequential"
+            );
+            assert_eq!(m.relevant, baseline.relevant);
+            black_box(m.relevant)
+        });
+    }
+
+    g.finish();
+}

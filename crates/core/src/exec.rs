@@ -1,21 +1,29 @@
-//! A zero-dependency `std::thread` worker pool for fsck passes.
+//! A zero-dependency `std::thread` worker pool — the shared executor
+//! behind every embarrassingly-parallel engine in the workspace.
 //!
-//! Two primitives, mirroring pFSCK's two axes of parallelism:
+//! Extracted from `iron-fsck` (where it drove the pFSCK-style parallel
+//! check passes) so the fingerprinting campaign can shard its
+//! (mode × block-type × workload) cell cross product over the same
+//! scheduler: one implementation, two consumers. Two primitives, mirroring
+//! pFSCK's two axes of parallelism:
 //!
 //! * [`WorkerPool::shard`] — *intra-pass data parallelism*: a slice of
 //!   work items is claimed in chunks from a shared atomic cursor, each
 //!   worker folds its chunks into a private accumulator (a per-shard
-//!   bitmap, counter map, ...), and the accumulators are merged on the
-//!   caller's thread once every worker has joined — the barrier.
+//!   bitmap, counter map, keyed cell list, ...), and the accumulators are
+//!   merged on the caller's thread once every worker has joined — the
+//!   barrier.
 //! * [`WorkerPool::run_jobs`] — *inter-pass pipelining*: independent
 //!   passes run as concurrent jobs instead of sequentially.
 //!
 //! With one thread both primitives degrade to plain sequential loops on
 //! the calling thread — no pool, no atomics — so a `threads = 1`
 //! configuration is an honest single-threaded baseline for the scaling
-//! bench. Merging must be commutative: chunk claiming is racy, so which
-//! worker sees which item is nondeterministic. The engine re-establishes
-//! determinism by canonically sorting the final report.
+//! benches. Merging must be commutative: chunk claiming is racy, so which
+//! worker sees which item is nondeterministic. Consumers re-establish
+//! determinism downstream — `iron-fsck` canonically sorts its final
+//! report, the campaign engine merges cells by their unique
+//! `(mode, row, col)` key.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -41,6 +49,12 @@ impl WorkerPool {
         WorkerPool {
             threads: threads.max(1),
         }
+    }
+
+    /// A pool as wide as the machine (`available_parallelism`, or 1 when
+    /// that cannot be determined).
+    pub fn auto() -> Self {
+        WorkerPool::new(thread::available_parallelism().map_or(1, |n| n.get()))
     }
 
     /// The configured width.
@@ -89,7 +103,7 @@ impl WorkerPool {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("fsck shard worker panicked"))
+                .map(|h| h.join().expect("shard worker panicked"))
                 .collect()
         });
         let mut out = A::default();
@@ -110,7 +124,7 @@ impl WorkerPool {
             let handles: Vec<_> = jobs.into_iter().map(|j| s.spawn(j)).collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("fsck job panicked"))
+                .map(|h| h.join().expect("pool job panicked"))
                 .collect()
         })
     }
@@ -178,5 +192,6 @@ mod tests {
     fn width_is_clamped_to_one() {
         assert_eq!(WorkerPool::new(0).threads(), 1);
         assert_eq!(WorkerPool::new(8).threads(), 8);
+        assert!(WorkerPool::auto().threads() >= 1);
     }
 }

@@ -19,7 +19,11 @@
 //! * the simulated clock ([`clock::SimClock`]) that the disk timing model
 //!   advances and the benchmarks read;
 //! * the simulated kernel log ([`klog::KernelLog`]) that file systems write
-//!   detection/recovery messages to and the fingerprinting framework reads.
+//!   detection/recovery messages to and the fingerprinting framework reads;
+//! * the shared parallel executor ([`exec::WorkerPool`]): the scoped
+//!   `std::thread` sharded scheduler behind both the pFSCK-style check
+//!   engine (`iron-fsck`) and the fingerprinting campaign
+//!   (`iron-fingerprint`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +32,7 @@ pub mod block;
 pub mod checksum;
 pub mod clock;
 pub mod errno;
+pub mod exec;
 pub mod klog;
 pub mod model;
 pub mod policy;
@@ -36,6 +41,7 @@ pub mod taxonomy;
 pub use block::{Block, BlockAddr, BlockTag, BLOCK_SIZE};
 pub use clock::SimClock;
 pub use errno::Errno;
+pub use exec::WorkerPool;
 pub use klog::KernelLog;
 pub use model::{FaultKind, IoKind, Transience};
 pub use taxonomy::{DetectionLevel, RecoveryLevel};

@@ -531,6 +531,22 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         sha1(&block[..]).truncated64() == expected
     }
 
+    /// The expected on-medium content of checksum-table block `i`, built
+    /// from the authoritative in-memory table. Table blocks carry no
+    /// self-checksums (entry 0, avoiding recursion), so the scrubber
+    /// verifies them by comparing against this instead.
+    pub fn cksum_table_block(&self, i: u64) -> Block {
+        let entries_per_block = BLOCK_SIZE as u64 / 8;
+        let mut cb = Block::zeroed();
+        for e in 0..entries_per_block {
+            let idx = (i * entries_per_block + e) as usize;
+            if idx < self.cksums.len() {
+                cb.put_u64((e * 8) as usize, self.cksums[idx]);
+            }
+        }
+        cb
+    }
+
     /// Stage the dirty checksum-table blocks into the running transaction
     /// (journaled and checkpointed like any other metadata). The table's
     /// own blocks carry no self-checksums (entry 0), avoiding recursion.
@@ -538,7 +554,6 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         if self.dirty_cksum_blocks.is_empty() {
             return;
         }
-        let entries_per_block = BLOCK_SIZE as u64 / 8;
         let dirty: Vec<u64> = std::mem::take(&mut self.dirty_cksum_blocks)
             .into_iter()
             .collect();
@@ -546,24 +561,24 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             if i >= self.layout.cksum_len {
                 continue;
             }
-            let mut cb = Block::zeroed();
-            for e in 0..entries_per_block {
-                let idx = (i * entries_per_block + e) as usize;
-                if idx < self.cksums.len() {
-                    cb.put_u64((e * 8) as usize, self.cksums[idx]);
-                }
-            }
+            let cb = self.cksum_table_block(i);
             let addr = self.layout.cksum_start + i;
             self.cache.insert(BlockAddr(addr), cb.clone());
             self.txn.put(addr, cb, BlockType::CksumTable);
         }
     }
 
+    /// Write the dirty checksum-table blocks to the medium (scrubber
+    /// hook: the scrubber verifies the on-medium table against the
+    /// in-memory one, so the medium must be current first).
+    pub fn flush_cksum_table(&mut self) {
+        self.flush_cksum_blocks();
+    }
+
     fn flush_cksum_blocks(&mut self) {
         if self.dirty_cksum_blocks.is_empty() {
             return;
         }
-        let entries_per_block = BLOCK_SIZE as u64 / 8;
         let dirty: Vec<u64> = std::mem::take(&mut self.dirty_cksum_blocks)
             .into_iter()
             .collect();
@@ -571,13 +586,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             if i >= self.layout.cksum_len {
                 continue;
             }
-            let mut cb = Block::zeroed();
-            for e in 0..entries_per_block {
-                let idx = (i * entries_per_block + e) as usize;
-                if idx < self.cksums.len() {
-                    cb.put_u64((e * 8) as usize, self.cksums[idx]);
-                }
-            }
+            let cb = self.cksum_table_block(i);
             let addr = self.layout.cksum_start + i;
             // Write errors here follow the same policy as checkpoint writes.
             let r = self

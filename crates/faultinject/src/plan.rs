@@ -194,6 +194,17 @@ impl FaultController {
         }
     }
 
+    /// Re-arm a previously disarmed fault. The entry keeps its identity
+    /// and counters (`fired`, `anchor`), so a harness can disarm a fault
+    /// across a setup phase (e.g. mount) and re-arm the *same* fault for
+    /// the measured phase — disarmed faults see no accesses, so `TagNth`
+    /// counting effectively restarts at re-arm time.
+    pub fn arm(&self, id: FaultId) {
+        if let Some(e) = self.plan.state.lock().unwrap().faults.get_mut(id.0) {
+            e.armed = true;
+        }
+    }
+
     /// Remove every fault and clear whole-disk failure.
     pub fn clear(&self) {
         let mut st = self.plan.state.lock().unwrap();
@@ -385,5 +396,39 @@ mod tests {
             .is_none());
         ctl.clear();
         assert_eq!(ctl.fire_count(id), 0);
+    }
+
+    #[test]
+    fn rearm_keeps_identity_and_counters() {
+        let plan = FaultPlan::new();
+        let ctl = plan.controller();
+        let id = ctl.inject(FaultSpec::sticky(
+            FaultKind::ReadError,
+            FaultTarget::TagNth {
+                tag: BlockTag("inode"),
+                nth: 0,
+            },
+        ));
+        // Disarmed: accesses pass and are not counted toward TagNth.
+        ctl.disarm(id);
+        for a in 0..5 {
+            assert!(plan
+                .check(IoKind::Read, BlockAddr(a), BlockTag("inode"))
+                .is_none());
+        }
+        assert!(!ctl.fired(id));
+        // Re-armed: the same FaultId fires on the next matching access,
+        // counting from scratch.
+        ctl.arm(id);
+        assert_eq!(
+            plan.check(IoKind::Read, BlockAddr(7), BlockTag("inode")),
+            Some(FaultKind::ReadError)
+        );
+        assert!(ctl.fired(id));
+        assert_eq!(ctl.anchor(id), Some(BlockAddr(7)));
+        // Disarm again: counters survive for post-run inspection.
+        ctl.disarm(id);
+        assert_eq!(ctl.fire_count(id), 1);
+        assert_eq!(ctl.anchor(id), Some(BlockAddr(7)));
     }
 }

@@ -27,7 +27,12 @@ use crate::workloads::build_fixture;
 pub type CampaignDevice = BufferCache<FaultyDisk<MemDisk>>;
 
 /// A file system packaged for fingerprinting.
-pub trait FsUnderTest {
+///
+/// Adapters are shared by reference across the campaign's worker threads
+/// (every cell builds its own device stack and mounted instance from the
+/// adapter), so implementations must be [`Sync`]; the stock adapters are
+/// all stateless or hold immutable configuration.
+pub trait FsUnderTest: Sync {
     /// Display name ("ext3", "ReiserFS", "JFS", "NTFS", "ixt3").
     fn name(&self) -> &'static str;
 

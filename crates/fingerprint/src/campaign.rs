@@ -7,10 +7,21 @@
 //! For each file system, this amounts to roughly 400 relevant tests."
 //! The campaign runs the full cross product; cells whose fault never
 //! fires are the gray "not applicable" cells of Figure 2.
+//!
+//! Every cell is an independent snapshot–mount–run: each gets its own
+//! golden-image snapshot, fault plan, and [`FsEnv`]. That makes the cross
+//! product embarrassingly parallel, so the campaign shards its cell list
+//! over the workspace's shared executor ([`iron_core::exec::WorkerPool`]
+//! — the same scoped-`std::thread` scheduler behind `iron-fsck`). Workers
+//! fold finished cells into per-shard vectors keyed by `(mode, row, col)`;
+//! the merge inserts them into the matrix by key, so the result is
+//! *bit-identical* to the sequential run at any thread count (the
+//! `campaign_scaling` bench and the property suite assert this).
 
 use std::collections::HashMap;
 
 use iron_blockdev::{MemDisk, StackBuilder};
+use iron_core::exec::{Job, WorkerPool};
 use iron_core::model::CorruptionStyle;
 use iron_core::policy::PolicyCell;
 use iron_core::{BlockTag, FaultKind};
@@ -90,6 +101,10 @@ pub struct CampaignOptions {
     pub workloads: Vec<Workload>,
     /// Row filter: only these tags (empty = all rows).
     pub rows: Vec<BlockTag>,
+    /// Worker threads the cell cross product is sharded over; `0` means
+    /// one per hardware thread. The matrix is bit-identical at any width,
+    /// so this is purely a wall-clock knob.
+    pub threads: usize,
 }
 
 impl Default for CampaignOptions {
@@ -98,6 +113,24 @@ impl Default for CampaignOptions {
             modes: FaultMode::ALL.to_vec(),
             workloads: Workload::COLUMNS.to_vec(),
             rows: Vec::new(),
+            threads: 0,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// The same options at an explicit worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The executor this campaign will shard cells over.
+    fn pool(&self) -> WorkerPool {
+        if self.threads == 0 {
+            WorkerPool::auto()
+        } else {
+            WorkerPool::new(self.threads)
         }
     }
 }
@@ -148,7 +181,10 @@ fn run_one(
     // Special workloads need the fault live during mount; plain workloads
     // arm it afterwards so mount-time accesses (superblock, journal
     // superblock, checksum table) don't eat the fault meant for the
-    // workload. We achieve that by disarming now and re-arming post-mount.
+    // workload. One stable FaultId is disarmed across mount and re-armed
+    // for the workload proper — disarmed faults see no accesses, so
+    // `TagNth` counting starts at the re-arm, and `fired`/`anchor` are
+    // read from the same entry no matter which path the run took.
     let special = w.is_special();
     if let Some(id) = fault_id {
         if !special {
@@ -179,12 +215,7 @@ fn run_one(
             cell.output.steps.push("mount:ok".into());
             if let Some(id) = fault_id {
                 if !special {
-                    // Re-arm for the workload proper (a fresh fault spec —
-                    // disarm/arm toggling keeps the same counters).
-                    let (mode, tag) = fault.expect("fault present");
-                    ctl.clear();
-                    let _ = ctl.inject(mode.spec(tag));
-                    let _ = id;
+                    ctl.arm(id);
                 }
             }
             let out = run(w, &mut v, Some(&trace));
@@ -200,19 +231,25 @@ fn run_one(
         }
     }
 
-    // Collect artifacts. Note: after ctl.clear()+inject the live fault is
-    // id 0 in the (new) plan.
-    let live_id = iron_faultinject::FaultId(0);
-    if fault.is_some() {
-        cell.obs_fired = ctl.fired(live_id);
-        cell.anchor = ctl.anchor(live_id);
+    if let Some(id) = fault_id {
+        cell.obs_fired = ctl.fired(id);
+        cell.anchor = ctl.anchor(id);
     }
     cell.klog = cell.env.klog.entries();
     cell.trace = trace.events();
     cell
 }
 
+/// One entry of the campaign's flattened cell cross product.
+type CellKey = (usize, usize, usize);
+
 /// Fingerprint one file system: run the campaign and build its matrix.
+///
+/// The (mode × row × workload) cell list is sharded over
+/// [`CampaignOptions::threads`] workers; each cell is a self-contained
+/// snapshot–mount–run, and finished cells merge into the matrix by their
+/// `(mode, row, col)` key, so the result does not depend on scheduling —
+/// any thread count yields the bit-identical [`PolicyMatrix`].
 pub fn fingerprint_fs(adapter: &dyn FsUnderTest, opts: &CampaignOptions) -> PolicyMatrix {
     let all_rows = adapter.rows();
     let rows: Vec<BlockTag> = if opts.rows.is_empty() {
@@ -225,59 +262,86 @@ pub fn fingerprint_fs(adapter: &dyn FsUnderTest, opts: &CampaignOptions) -> Poli
     };
     let cols = opts.workloads.clone();
     let modes = opts.modes.clone();
+    let pool = opts.pool();
 
-    // Golden images: one clean, one with a dirty journal.
+    // Golden images: one clean, one with a dirty journal. Workers snapshot
+    // them read-only, so one pair serves every cell.
     let golden_clean = adapter.golden(false);
     let golden_dirty = adapter.golden(true);
-
-    // Reference runs (fault-free), one per workload.
-    let mut references: HashMap<Workload, WorkloadOutput> = HashMap::new();
-    for &w in &cols {
-        let golden = if w == Workload::Recovery {
+    let golden_for = |w: Workload| {
+        if w == Workload::Recovery {
             &golden_dirty
         } else {
             &golden_clean
-        };
-        let r = run_one(adapter, golden, w, None);
-        references.insert(w, r.output);
-    }
-
-    let mut matrix = PolicyMatrix {
-        fs_name: adapter.name(),
-        rows: rows.clone(),
-        cols: cols.clone(),
-        modes: modes.clone(),
-        cells: HashMap::new(),
-        relevant: 0,
+        }
     };
 
+    // Reference runs (fault-free), one per workload — independent of each
+    // other, so they run as pipelined jobs on the same pool.
+    let ref_jobs: Vec<Job<'_, (Workload, WorkloadOutput)>> = cols
+        .iter()
+        .map(|&w| {
+            let golden_clean = &golden_clean;
+            let golden_dirty = &golden_dirty;
+            Box::new(move || {
+                let golden = if w == Workload::Recovery {
+                    golden_dirty
+                } else {
+                    golden_clean
+                };
+                (w, run_one(adapter, golden, w, None).output)
+            }) as Job<'_, _>
+        })
+        .collect();
+    let references: HashMap<Workload, WorkloadOutput> =
+        pool.run_jobs(ref_jobs).into_iter().collect();
+
+    // The flattened cross product, in deterministic (mode, row, col) order.
+    let mut cells_todo: Vec<(CellKey, FaultMode, BlockTag, Workload)> = Vec::new();
     for (mi, &mode) in modes.iter().enumerate() {
         for (ri, &tag) in rows.iter().enumerate() {
             for (ci, &w) in cols.iter().enumerate() {
-                let golden = if w == Workload::Recovery {
-                    &golden_dirty
-                } else {
-                    &golden_clean
-                };
-                let r = run_one(adapter, golden, w, Some((mode, tag)));
-                let obs = Observation {
-                    mode,
-                    fired: r.obs_fired,
-                    anchor: r.anchor,
-                    reference: references[&w].clone(),
-                    faulty: r.output,
-                    mount_error: r.mount_error,
-                    final_state: r.env.state(),
-                    klog: r.klog,
-                    trace: r.trace,
-                };
-                let cell = infer(&obs);
-                if cell.is_some() {
-                    matrix.relevant += 1;
-                }
-                matrix.cells.insert((mi, ri, ci), cell);
+                cells_todo.push(((mi, ri, ci), mode, tag, w));
             }
         }
+    }
+
+    // Shard the cells: each worker folds finished cells into a private
+    // vector; the barrier merge appends them. Keys are unique, so the
+    // final keyed insertion is order-independent.
+    let done: Vec<(CellKey, Option<PolicyCell>)> = pool.shard(
+        &cells_todo,
+        |acc: &mut Vec<(CellKey, Option<PolicyCell>)>, &(key, mode, tag, w)| {
+            let r = run_one(adapter, golden_for(w), w, Some((mode, tag)));
+            let obs = Observation {
+                mode,
+                fired: r.obs_fired,
+                anchor: r.anchor,
+                reference: references[&w].clone(),
+                faulty: r.output,
+                mount_error: r.mount_error,
+                final_state: r.env.state(),
+                klog: r.klog,
+                trace: r.trace,
+            };
+            acc.push((key, infer(&obs)));
+        },
+        |out, shard| out.extend(shard),
+    );
+
+    let mut matrix = PolicyMatrix {
+        fs_name: adapter.name(),
+        rows,
+        cols,
+        modes,
+        cells: HashMap::new(),
+        relevant: 0,
+    };
+    for (key, cell) in done {
+        if cell.is_some() {
+            matrix.relevant += 1;
+        }
+        matrix.cells.insert(key, cell);
     }
     matrix
 }
@@ -295,6 +359,7 @@ mod tests {
             modes: vec![FaultMode::ReadError, FaultMode::WriteError],
             workloads: vec![Workload::Read, Workload::Write, Workload::AccessFamily],
             rows: vec![BlockTag("inode"), BlockTag("data")],
+            ..CampaignOptions::default()
         };
         let m = fingerprint_fs(&Ext3Adapter::stock(), &opts);
         assert_eq!(m.rows.len(), 2);
@@ -329,6 +394,7 @@ mod tests {
             modes: vec![FaultMode::WriteError],
             workloads: vec![Workload::Read],
             rows: vec![BlockTag("j-commit")],
+            ..CampaignOptions::default()
         };
         let m = fingerprint_fs(&Ext3Adapter::stock(), &opts);
         assert_eq!(m.cell(0, 0, 0), None, "cell must be gray");
@@ -341,6 +407,7 @@ mod tests {
             modes: vec![FaultMode::WriteError],
             workloads: vec![Workload::LogWrites],
             rows: vec![BlockTag("j-desc"), BlockTag("j-commit"), BlockTag("j-data")],
+            ..CampaignOptions::default()
         };
         let m = fingerprint_fs(&Ext3Adapter::stock(), &opts);
         for ri in 0..3 {
@@ -357,12 +424,65 @@ mod tests {
         }
     }
 
+    /// Regression test for the fault re-arm fix: a fault that fires
+    /// *during a failed mount* must still report `fired`/`anchor`. The old
+    /// code cleared the plan and re-injected under a hardcoded
+    /// `FaultId(0)`, which read the wrong entry on the mount-error path;
+    /// `run_one` now keeps one stable id across disarm/arm.
+    #[test]
+    fn fault_during_failed_mount_records_fired_and_anchor() {
+        let adapter = Ext3Adapter::stock();
+        let golden = adapter.golden(false);
+        let r = run_one(
+            &adapter,
+            &golden,
+            Workload::Mount,
+            Some((FaultMode::ReadError, BlockTag("super"))),
+        );
+        assert!(
+            r.mount_error.is_some(),
+            "a superblock read error must fail the mount"
+        );
+        assert!(r.obs_fired, "the fault fired even though mount failed");
+        assert!(r.anchor.is_some(), "anchor recorded from the stable id");
+
+        // And the matrix records the cell as relevant, not gray.
+        let opts = CampaignOptions {
+            modes: vec![FaultMode::ReadError],
+            workloads: vec![Workload::Mount],
+            rows: vec![BlockTag("super")],
+            ..CampaignOptions::default()
+        };
+        let m = fingerprint_fs(&adapter, &opts);
+        assert!(m.cell(0, 0, 0).is_some(), "failed-mount cell must fire");
+        assert_eq!(m.relevant, 1);
+    }
+
+    /// The supplementary §6.2 modes (transient read, zeroed corruption)
+    /// must be as deterministic as the Figure 2 panels: two runs of the
+    /// same campaign produce identical matrices.
+    #[test]
+    fn supplementary_modes_are_deterministic() {
+        let opts = CampaignOptions {
+            modes: vec![FaultMode::TransientRead, FaultMode::ZeroCorruption],
+            workloads: vec![Workload::Read, Workload::Write],
+            rows: vec![BlockTag("inode"), BlockTag("data")],
+            ..CampaignOptions::default()
+        };
+        let a = fingerprint_fs(&Ext3Adapter::stock(), &opts);
+        let b = fingerprint_fs(&Ext3Adapter::stock(), &opts);
+        assert_eq!(a.cells, b.cells, "repeat runs must be bit-identical");
+        assert_eq!(a.relevant, b.relevant);
+        assert!(a.relevant > 0, "the supplementary modes must fire");
+    }
+
     #[test]
     fn recovery_column_exercises_journal_reads() {
         let opts = CampaignOptions {
             modes: vec![FaultMode::ReadError],
             workloads: vec![Workload::Recovery],
             rows: vec![BlockTag("j-data")],
+            ..CampaignOptions::default()
         };
         let m = fingerprint_fs(&Ext3Adapter::stock(), &opts);
         let cell = m.cell(0, 0, 0).expect("replay reads journal data");

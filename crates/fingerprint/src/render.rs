@@ -84,6 +84,7 @@ mod tests {
             modes: vec![FaultMode::ReadError],
             workloads: vec![Workload::Read, Workload::Getdirentries],
             rows: vec![BlockTag("data"), BlockTag("dir")],
+            ..CampaignOptions::default()
         };
         let adapter = Ext3Adapter::stock();
         let m = fingerprint_fs(&adapter, &opts);

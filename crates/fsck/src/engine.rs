@@ -27,7 +27,7 @@ use iron_core::KernelLog;
 use crate::check::{Checkable, FileKind};
 use crate::issue::{FsckIssue, FsckReport};
 use crate::repair::{self, RepairFailure, RepairPlan, RepairSummary, Repairable};
-use crate::scheduler::{Job, WorkerPool};
+use iron_core::exec::{Job, WorkerPool};
 
 /// Blocks per bitmap-reconciliation work item.
 const REGION_CHUNK: u64 = 1024;

@@ -11,11 +11,13 @@
 //!   checking — superblock sanity, inode enumeration, directory entries,
 //!   block references, allocation bitmaps ([`check`]);
 //! * [`FsckEngine`] runs pFSCK-style parallel passes over that view
-//!   ([`engine`]): the inode/block-reference scans are sharded across a
-//!   zero-dependency `std::thread` worker pool ([`scheduler`]) with
-//!   per-shard reference bitmaps merged at a barrier, and the independent
-//!   late passes (link counts, inode-table scan, bitmap reconciliation)
-//!   are pipelined as concurrent jobs;
+//!   ([`engine`]): the inode/block-reference scans are sharded across the
+//!   workspace's shared zero-dependency `std::thread` worker pool
+//!   ([`iron_core::exec::WorkerPool`] — also the executor behind the
+//!   `iron-fingerprint` campaign) with per-shard reference bitmaps merged
+//!   at a barrier, and the independent late passes (link counts,
+//!   inode-table scan, bitmap reconciliation) are pipelined as concurrent
+//!   jobs;
 //! * [`RepairPlan`] maps each issue class to an IRON recovery action
 //!   (`RRepair`/`RRemap`/`RStop` via `iron_core::taxonomy`) and
 //!   [`repair::apply`] executes the fixable subset *transactionally*
@@ -36,15 +38,21 @@ pub mod check;
 pub mod engine;
 pub mod issue;
 pub mod repair;
-pub mod scheduler;
+
+/// The shared executor, re-exported from [`iron_core::exec`] (the
+/// scheduler used to live here; it was extracted so the fingerprinting
+/// campaign could reuse it).
+pub mod scheduler {
+    pub use iron_core::exec::{Job, WorkerPool};
+}
 
 pub use check::{Checkable, ChildEntry, FileKind, InodeSummary, SuperblockReport};
 pub use engine::{FsckEngine, FsckOptions, FsckStats, PassStat};
+pub use iron_core::exec::WorkerPool;
 pub use issue::{FsckIssue, FsckReport};
 pub use repair::{
     apply, PlannedAction, RepairFailure, RepairFix, RepairPlan, RepairSummary, Repairable,
 };
-pub use scheduler::WorkerPool;
 
 #[cfg(test)]
 pub(crate) mod mockfs;

@@ -43,9 +43,36 @@ pub struct ScrubReport {
 /// reconstructed through the parity path when `Dp` is active.
 pub fn scrub<D: BlockDevice + RawAccess>(fs: &mut Ext3Fs<D>) -> ScrubReport {
     let mut report = ScrubReport::default();
-    fs.flush_replicas(); // scrub verifies the mirror; make it current
+    // Scrub verifies the on-medium checksum table against the in-memory
+    // one and primaries against the mirror — make both current first.
+    fs.flush_cksum_table();
+    fs.flush_replicas();
     let layout = *fs.layout();
     let iron = fs.options().iron;
+
+    // Whether an on-medium block is good. Checksum-table blocks carry no
+    // self-checksums (entry 0 — that would be recursive), so they are
+    // verified byte-for-byte against the authoritative in-memory table
+    // (when any checksumming is active at all — an unchecksummed mount
+    // never maintains the table); everything else goes through the
+    // checksum table.
+    fn content_ok<D: BlockDevice + RawAccess>(
+        fs: &mut Ext3Fs<D>,
+        addr: u64,
+        ty: BlockType,
+        b: &iron_core::Block,
+    ) -> bool {
+        if ty == BlockType::CksumTable {
+            let iron = fs.options().iron;
+            if !(iron.meta_checksum || iron.data_checksum) {
+                return true;
+            }
+            let i = addr - fs.layout().cksum_start;
+            *b == fs.cksum_table_block(i)
+        } else {
+            fs.checksum_entry(addr) == 0 || fs.verify_block(addr, b)
+        }
+    }
 
     // Map data blocks to (ino, index) so parity repair has file context.
     let mut owner: std::collections::HashMap<u64, (u64, u64)> = std::collections::HashMap::new();
@@ -64,15 +91,12 @@ pub fn scrub<D: BlockDevice + RawAccess>(fs: &mut Ext3Fs<D>) -> ScrubReport {
 
     for addr in 0..layout.fs_blocks {
         let ty = layout.classify_static(addr);
-        // The journal log area is transient; skip it (its blocks are
-        // verified transactionally by Tc at recovery time).
-        if matches!(
-            ty,
-            BlockType::JournalData | BlockType::JournalSuper | BlockType::CksumTable
-        ) && addr != 0
-            && addr >= layout.journal_super
-            && addr < layout.groups_start
-        {
+        // Only the journal log area is skipped: it is transient, and its
+        // blocks are verified transactionally by Tc at recovery time.
+        // The checksum table itself *is* scrubbed — a corrupt table block
+        // would otherwise turn every covered block into a false
+        // corruption verdict on its next read.
+        if matches!(ty, BlockType::JournalData | BlockType::JournalSuper) {
             continue;
         }
         report.scanned += 1;
@@ -80,10 +104,7 @@ pub fn scrub<D: BlockDevice + RawAccess>(fs: &mut Ext3Fs<D>) -> ScrubReport {
         let outcome = fs.device_mut().read_tagged(BlockAddr(addr), ty.tag());
         let (is_bad, is_latent) = match outcome {
             Err(_) => (true, true),
-            Ok(b) => {
-                let ok = fs.checksum_entry(addr) == 0 || fs.verify_block(addr, &b);
-                (!ok, false)
-            }
+            Ok(b) => (!content_ok(fs, addr, ty, &b), false),
         };
         if !is_bad {
             continue;
@@ -102,38 +123,46 @@ pub fn scrub<D: BlockDevice + RawAccess>(fs: &mut Ext3Fs<D>) -> ScrubReport {
             ),
         );
 
-        // Attempt repair.
-        let repaired = if ty.is_metadata() && iron.meta_replication {
+        // Attempt repair: find a verified good copy of the block. The
+        // checksum table is mirrored like any other metadata (its flush
+        // goes through the replica path), so it heals from the replica
+        // even though `is_metadata()` excludes it.
+        let good = if (ty.is_metadata() || ty == BlockType::CksumTable) && iron.meta_replication {
             let replica = layout.replica_of(addr);
             match fs
                 .device_mut()
                 .read_tagged(replica, BlockType::Replica.tag())
             {
-                Ok(copy) if fs.checksum_entry(addr) == 0 || fs.verify_block(addr, &copy) => fs
-                    .device_mut()
-                    .write_tagged(BlockAddr(addr), &copy, ty.tag())
-                    .is_ok(),
-                _ => false,
+                Ok(copy) if content_ok(fs, addr, ty, &copy) => Some(copy),
+                _ => None,
             }
         } else if ty == BlockType::Data && iron.data_parity {
-            match owner.get(&addr).copied() {
-                Some((ino, idx)) => {
-                    // Reading through the file system reconstructs from
-                    // parity; write the result back in place.
-                    match fs.read(ino, idx * BLOCK_SIZE as u64, BLOCK_SIZE) {
-                        Ok(bytes) => {
-                            let block = iron_core::Block::from_bytes(&bytes);
-                            fs.device_mut()
-                                .write_tagged(BlockAddr(addr), &block, ty.tag())
-                                .is_ok()
-                        }
+            // Reading through the file system reconstructs from parity;
+            // write the result back in place.
+            owner.get(&addr).copied().and_then(|(ino, idx)| {
+                fs.read(ino, idx * BLOCK_SIZE as u64, BLOCK_SIZE)
+                    .ok()
+                    .map(|bytes| iron_core::Block::from_bytes(&bytes))
+            })
+        } else {
+            None
+        };
+
+        // Write the good copy back, then *re-read and verify*. A sticky
+        // latent error also fails the write-back or the re-read; counting
+        // a blind write-back as `repaired` would mis-report an
+        // unrecoverable block as healed.
+        let repaired = match good {
+            Some(block) => {
+                fs.device_mut()
+                    .write_tagged(BlockAddr(addr), &block, ty.tag())
+                    .is_ok()
+                    && match fs.device_mut().read_tagged(BlockAddr(addr), ty.tag()) {
+                        Ok(after) => after == block,
                         Err(_) => false,
                     }
-                }
-                None => false,
             }
-        } else {
-            false
+            None => false,
         };
 
         if repaired {
@@ -214,6 +243,69 @@ mod tests {
             original,
             "data block healed from parity"
         );
+    }
+
+    /// Regression test for the repair-verification fix: a *sticky* latent
+    /// read error cannot be healed by writing the replica back — the
+    /// medium still errors on every read. The old code counted the blind
+    /// write-back as `repaired`; the scrubber must re-read and count the
+    /// block `unrecoverable` instead.
+    #[test]
+    fn sticky_latent_error_is_unrecoverable_not_repaired() {
+        use iron_blockdev::StackBuilder;
+        use iron_core::FaultKind;
+        use iron_faultinject::{FaultPlan, FaultSpec, FaultStackExt, FaultTarget};
+
+        let mut dev = MemDisk::for_tests(4096);
+        crate::mkfs(&mut dev, Ext3Params::small(), IronConfig::full()).unwrap();
+        let plan = FaultPlan::new();
+        let ctl = plan.controller();
+        let stack = StackBuilder::new(dev).with_faults(plan).build();
+        let mut fs = crate::mount_full(stack, FsEnv::new()).unwrap();
+        {
+            let mut v = Vfs::new(&mut fs as &mut dyn SpecificFs);
+            v.write_file("/f", b"protected").unwrap();
+            v.sync().unwrap();
+        }
+        // Sticky read error on the inode-table block holding /f's inode.
+        let (blk, _) = fs.layout().inode_location(3);
+        ctl.inject(FaultSpec::sticky(
+            FaultKind::ReadError,
+            FaultTarget::Addr(blk),
+        ));
+        let report = scrub(&mut fs);
+        assert_eq!(report.latent_errors, 1);
+        assert_eq!(
+            report.repaired, 0,
+            "a blind write-back over a sticky error must not count as repair"
+        );
+        assert_eq!(report.unrecoverable, 1);
+    }
+
+    /// Regression test for the skip-predicate fix: the checksum table
+    /// itself must be scrubbed (a corrupt table block turns every covered
+    /// block into a false corruption verdict) and heals from its replica.
+    #[test]
+    fn scrub_detects_and_repairs_corrupt_cksum_table_block() {
+        let dev = MemDisk::for_tests(4096);
+        let mut fs = format_and_mount_full(dev, FsEnv::new(), Ext3Params::small()).unwrap();
+        {
+            let mut v = Vfs::new(&mut fs as &mut dyn SpecificFs);
+            v.write_file("/f", b"protected").unwrap();
+            v.sync().unwrap();
+        }
+        // Make the table and its mirror current, then corrupt the first
+        // table block on the medium.
+        fs.flush_cksum_table();
+        fs.flush_replicas();
+        let addr = BlockAddr(fs.layout().cksum_start);
+        let expected = fs.cksum_table_block(0);
+        fs.device_mut().poke(addr, &Block::filled(0xEE));
+        let report = scrub(&mut fs);
+        assert!(report.corruptions >= 1, "table corruption must be seen");
+        assert!(report.repaired >= 1, "table block heals from the replica");
+        assert_eq!(report.unrecoverable, 0);
+        assert_eq!(fs.device().peek(addr), expected, "table healed in place");
     }
 
     #[test]

@@ -7,103 +7,62 @@
 //! * JFS ignores it too (kitchen-sink policy, wrong drawer),
 //! * NTFS retries, then propagates the error.
 //!
-//! Run with: `cargo run --example failure_policy_comparison`
+//! Unlike the first version of this example (four hand-rolled single-fault
+//! demos), this goes through the real fingerprinting campaign: one
+//! [`fingerprint_fs`] call per file system, sharded over the shared
+//! parallel executor, and the policy read out of the resulting matrix
+//! cell — exactly how Figure 2 is made, just restricted to one row.
+//!
+//! Run with: `cargo run --release --example failure_policy_comparison`
 
 use ironfs::prelude::*;
 
-fn report(name: &str, outcome: &str, env: &FsEnv) {
-    let state = match env.state() {
-        MountState::ReadWrite => "still read-write",
-        MountState::ReadOnly => "remounted read-only",
-        MountState::Crashed => "KERNEL PANIC",
-        MountState::Unmounted => "unmounted",
+/// The campaign, restricted to the §5 vignette: one metadata row, the
+/// workloads that flush metadata (write + fsync/sync), the write-failure
+/// mode. `threads: 0` (the default) shards cells over one worker per
+/// hardware thread; the matrix is bit-identical at any width.
+fn one_cell(adapter: &dyn FsUnderTest, row: &'static str) -> String {
+    let opts = CampaignOptions {
+        modes: vec![FaultMode::WriteError],
+        workloads: vec![Workload::Write, Workload::SyncFamily],
+        rows: vec![BlockTag(row)],
+        ..CampaignOptions::default()
     };
-    println!("{name:<10} {outcome:<40} [{state}]");
-    if let Some(e) = env.klog.entries().last() {
-        println!("{:>10} last klog: {e}", "");
+    let m = fingerprint_fs(adapter, &opts);
+    // Report whichever column the fault fired under (write for NTFS's
+    // in-place MFT update, fsync/sync for the journaling checkpoints).
+    for col in 0..m.cols.len() {
+        if let Some(cell) = m.cell(0, 0, col) {
+            return format!(
+                "detection {{{}}}  recovery {{{}}}",
+                cell.detection, cell.recovery
+            );
+        }
     }
-    println!();
-}
-
-/// A formatted disk under a fault layer armed with a sticky write error
-/// aimed at `tag`.
-fn faulty_stack(mkfs: impl FnOnce(&mut MemDisk), tag: &'static str) -> FaultyDisk<MemDisk> {
-    let mut md = MemDisk::for_tests(4096);
-    mkfs(&mut md);
-    let faulty = StackBuilder::new(md).layer(FaultyDisk::new).build();
-    faulty.controller().inject(FaultSpec::sticky(
-        FaultKind::WriteError,
-        FaultTarget::Tag(BlockTag(tag)),
-    ));
-    faulty
+    "gray (fault never fired)".to_string()
 }
 
 fn main() {
-    println!("One fault, four policies: fail every metadata write\n");
-
-    // ext3: write errors are ignored (PAPER-BUG).
-    {
-        let faulty = faulty_stack(
-            |md| Ext3Fs::<MemDisk>::mkfs(md, Ext3Params::small()).unwrap(),
+    println!("One fault, four policies: fail a metadata write\n");
+    let cases: [(&dyn FsUnderTest, &'static str, &'static str); 4] = [
+        (
+            &Ext3Adapter::stock(),
             "inode",
-        );
-        let env = FsEnv::new();
-        let fs = Ext3Fs::mount(faulty, env.clone(), Default::default()).unwrap();
-        let mut v = Vfs::new(fs);
-        v.write_file("/f", b"x").unwrap();
-        let r = v.sync();
-        report(
-            "ext3",
-            &format!("sync() -> {:?}  (error silently ignored!)", r.is_ok()),
-            &env,
-        );
-    }
-
-    // ReiserFS: panic.
-    {
-        let faulty = faulty_stack(
-            |md| ReiserFs::<MemDisk>::mkfs(md, ReiserParams::small()).unwrap(),
-            "leaf",
-        );
-        let env = FsEnv::new();
-        let fs = ReiserFs::mount(faulty, env.clone(), Default::default()).unwrap();
-        let mut v = Vfs::new(fs);
-        v.write_file("/f", b"x").unwrap();
-        let r = v.sync();
-        report("ReiserFS", &format!("sync() -> {r:?}"), &env);
-    }
-
-    // JFS: ignored (except the journal superblock).
-    {
-        let faulty = faulty_stack(
-            |md| JfsFs::<MemDisk>::mkfs(md, JfsParams::small()).unwrap(),
-            "inode",
-        );
-        let env = FsEnv::new();
-        let fs = JfsFs::mount(faulty, env.clone(), Default::default()).unwrap();
-        let mut v = Vfs::new(fs);
-        v.write_file("/f", b"x").unwrap();
-        let r = v.sync();
-        report(
-            "JFS",
-            &format!("sync() -> {:?}  (checkpoint error dropped)", r.is_ok()),
-            &env,
+            "error silently ignored (PAPER-BUG)",
+        ),
+        (&ReiserAdapter, "leaf", "panics: \"first, do no harm\""),
+        (&JfsAdapter, "inode", "checkpoint error dropped"),
+        (&NtfsAdapter, "MFT record", "retries, then propagates"),
+    ];
+    for (adapter, row, gloss) in cases {
+        println!(
+            "{:<10} {:<44} ({gloss})",
+            adapter.name(),
+            one_cell(adapter, row)
         );
     }
 
-    // NTFS: retry, retry, then tell the user.
-    {
-        let faulty = faulty_stack(
-            |md| NtfsFs::<MemDisk>::mkfs(md, NtfsParams::small()).unwrap(),
-            "MFT record",
-        );
-        let env = FsEnv::new();
-        let fs = NtfsFs::mount(faulty, env.clone(), Default::default()).unwrap();
-        let mut v = Vfs::new(fs);
-        let r = v.write_file("/f", b"x");
-        report("NTFS", &format!("write() -> {r:?}"), &env);
-    }
-
+    println!();
     println!("(the fingerprinting framework does this for ~780 scenarios per file system —");
     println!(" run `cargo run --release --bin figure2` to regenerate the paper's Figure 2)");
 }

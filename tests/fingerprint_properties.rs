@@ -25,6 +25,7 @@ fn reduced(adapter: &dyn FsUnderTest, rows: &[&'static str]) -> PolicyMatrix {
                 Workload::LogWrites,
             ],
             rows: rows.iter().map(|r| BlockTag(r)).collect(),
+            ..CampaignOptions::default()
         },
     )
 }
@@ -188,6 +189,38 @@ fn table5_summary_matches_paper_ordering() {
 }
 
 #[test]
+fn parallel_campaign_is_bit_identical_to_sequential() {
+    // The tentpole guarantee: sharding the cell cross product over worker
+    // threads must not change a single cell. Run the same reduced ext3
+    // campaign sequentially and at several widths and compare the
+    // matrices cell for cell.
+    let base = CampaignOptions {
+        modes: FaultMode::ALL.to_vec(),
+        workloads: vec![
+            Workload::Read,
+            Workload::Write,
+            Workload::Mount,
+            Workload::Recovery,
+        ],
+        rows: vec![BlockTag("inode"), BlockTag("data"), BlockTag("j-data")],
+        ..CampaignOptions::default()
+    };
+    let adapter = Ext3Adapter::stock();
+    let seq = fingerprint_fs(&adapter, &base.clone().with_threads(1));
+    assert!(seq.relevant > 0, "the reduced campaign must fire cells");
+    for threads in [2, 4, 8] {
+        let par = fingerprint_fs(&adapter, &base.clone().with_threads(threads));
+        assert_eq!(
+            seq.cells, par.cells,
+            "matrix at {threads} threads differs from sequential"
+        );
+        assert_eq!(seq.relevant, par.relevant);
+        assert_eq!(seq.rows, par.rows);
+        assert_eq!(seq.cols, par.cols);
+    }
+}
+
+#[test]
 fn gray_cells_match_inapplicability() {
     // Journal rows can only fire during log writes / sync / recovery; a
     // read-only workload leaves them gray.
@@ -197,6 +230,7 @@ fn gray_cells_match_inapplicability() {
             modes: vec![FaultMode::ReadError],
             workloads: vec![Workload::Read, Workload::Getdirentries],
             rows: vec![BlockTag("j-desc"), BlockTag("j-commit")],
+            ..CampaignOptions::default()
         },
     );
     assert_eq!(m.relevant, 0, "journal rows are gray under read workloads");
