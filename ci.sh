@@ -20,7 +20,7 @@ echo '== bench smoke =='
 # Absolute path: cargo runs bench binaries with the package dir as cwd.
 BENCH_DIR="${IRON_BENCH_DIR:-$(pwd)/target/bench-smoke}"
 mkdir -p "$BENCH_DIR"
-for b in checksums device_model journal_commit fs_ops table6_kernels fsck_scaling campaign_scaling cache_hit; do
+for b in checksums device_model journal_commit fs_ops table6_kernels fsck_scaling campaign_scaling cache_hit crash_smoke; do
     IRON_BENCH_DIR="$BENCH_DIR" cargo bench -q --offline -p iron-bench --bench "$b" -- --smoke
 done
 for f in "$BENCH_DIR"/BENCH_*.json; do

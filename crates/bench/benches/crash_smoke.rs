@@ -1,0 +1,84 @@
+//! Crash-enumeration throughput: full `(file system, workload)` campaigns
+//! — record, enumerate, recover and oracle-check every bounded crash
+//! image — timed end to end. Run with `--smoke` for CI. Emits
+//! `BENCH_crash.json`.
+//!
+//! Two kernels:
+//!
+//! * `ext3_create_sync` / `ixt3_reuse_dir` — single campaigns on the
+//!   cheapest and the heaviest workload, reported with the images-checked
+//!   count asserted so a silently-shrinking image set cannot masquerade
+//!   as a speedup. The count rides into the JSON as `units_per_iter`,
+//!   making `units_per_s` the crash-states-checked-per-second figure.
+//! * `matrix_t{1,8}` — the stock-ext3 workload suite sequentially vs. on
+//!   8 worker threads; every sample asserts the reports are bit-identical
+//!   to the sequential baseline, so the parallel speedup is honest.
+
+use iron_testkit::{black_box, BenchGroup};
+
+use iron_crash::{run_crash_campaign, CrashCampaignOptions, CrashReport, WORKLOADS};
+use iron_fingerprint::{Ext3Adapter, FsUnderTest};
+
+fn suite(fs: &dyn FsUnderTest, threads: usize) -> Vec<CrashReport> {
+    let opts = CrashCampaignOptions {
+        threads,
+        ..Default::default()
+    };
+    WORKLOADS
+        .iter()
+        .map(|w| run_crash_campaign(fs, w, &opts))
+        .collect()
+}
+
+fn main() {
+    let mut g = BenchGroup::from_env("crash");
+
+    let ext3 = Ext3Adapter::stock();
+    let ixt3 = Ext3Adapter::ixt3();
+    let opts = CrashCampaignOptions::default();
+
+    // Pre-run each kernel once: the enumeration is deterministic, so the
+    // images-checked count is *the* count — recorded as units_per_iter so
+    // the JSON carries crash-states/sec.
+    let ext3_images = run_crash_campaign(&ext3, &WORKLOADS[0], &opts).images_checked;
+    g.throughput_units(Some(ext3_images as u64));
+    g.bench("ext3_create_sync", || {
+        let r = run_crash_campaign(&ext3, &WORKLOADS[0], &opts);
+        assert!(
+            r.images_checked >= 20,
+            "image set shrank: {}",
+            r.images_checked
+        );
+        black_box(r.images_checked)
+    });
+
+    let ixt3_images = run_crash_campaign(&ixt3, &WORKLOADS[2], &opts).images_checked;
+    g.throughput_units(Some(ixt3_images as u64));
+    g.bench("ixt3_reuse_dir", || {
+        let r = run_crash_campaign(&ixt3, &WORKLOADS[2], &opts);
+        assert!(r.is_clean(), "ixt3 regressed under the enumerator");
+        black_box(r.images_checked)
+    });
+
+    let baseline = suite(&ext3, 1);
+    let total: usize = baseline.iter().map(|r| r.images_checked).sum();
+    assert!(
+        total >= 80,
+        "the workload suite must enumerate a real image set"
+    );
+
+    g.throughput_units(Some(total as u64));
+    for threads in [1usize, 8] {
+        let (ext3, baseline) = (&ext3, &baseline);
+        g.bench(&format!("matrix_t{threads}"), move || {
+            let rs = suite(ext3, threads);
+            assert_eq!(
+                &rs, baseline,
+                "t={threads} reports must be bit-identical to sequential"
+            );
+            black_box(rs.len())
+        });
+    }
+
+    g.finish();
+}

@@ -75,10 +75,15 @@ pub trait BlockDevice {
     /// the paper's transactional checksums eliminate for journal commits.
     fn barrier(&mut self) -> DiskResult<()>;
 
-    /// Durability flush (models a cache flush; charged like a barrier).
-    fn flush(&mut self) -> DiskResult<()> {
-        self.barrier()
-    }
+    /// Durability flush: everything previously issued is on the medium
+    /// *and* will survive a crash / power loss. A barrier only orders; a
+    /// flush seals. The method is deliberately **required** (no default
+    /// forwarding to [`Self::barrier`]): an intermediate layer that
+    /// silently downgraded flush to barrier would forfeit durability for
+    /// the whole stack above it — the exact conflation the crash-state
+    /// enumerator exists to catch — so every implementation must state
+    /// its flush semantics explicitly.
+    fn flush(&mut self) -> DiskResult<()>;
 }
 
 /// Untimed, untraced access to the raw medium.

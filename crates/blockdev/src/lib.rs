@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod crashrec;
 pub mod device;
 pub mod geometry;
 pub mod memdisk;
@@ -39,6 +40,7 @@ pub mod stack;
 pub mod trace;
 
 pub use cache::{BufferCache, CachePolicy, CacheStats};
+pub use crashrec::{CrashRecorder, WriteLog, WriteLogSnapshot, WriteRecord};
 pub use device::{BlockDevice, DiskError, DiskResult, RawAccess};
 pub use geometry::DiskGeometry;
 pub use memdisk::MemDisk;

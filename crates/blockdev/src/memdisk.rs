@@ -13,8 +13,10 @@ pub struct DiskStats {
     pub reads: u64,
     /// Blocks written.
     pub writes: u64,
-    /// Barriers / flushes issued.
+    /// Ordering barriers issued.
     pub barriers: u64,
+    /// Durability flushes issued.
+    pub flushes: u64,
     /// Total simulated nanoseconds spent servicing requests.
     pub busy_ns: u64,
     /// Seeks performed (track changes).
@@ -183,6 +185,18 @@ impl BlockDevice for MemDisk {
 
     fn barrier(&mut self) -> DiskResult<()> {
         self.stats.barriers += 1;
+        self.pending_barrier = true;
+        Ok(())
+    }
+
+    /// The medium itself is nonvolatile (`blocks` is updated at write
+    /// time), so a flush adds no data movement — but it is counted
+    /// separately from barriers so layered stacks can assert that a
+    /// durability flush issued at the top really arrives at the bottom
+    /// *as a flush*, and it pays the same lost-slot penalty a drain of
+    /// the drive's write cache costs.
+    fn flush(&mut self) -> DiskResult<()> {
+        self.stats.flushes += 1;
         self.pending_barrier = true;
         Ok(())
     }

@@ -22,6 +22,7 @@
 use iron_core::SimClock;
 
 use crate::cache::{BufferCache, CachePolicy};
+use crate::crashrec::{CrashRecorder, WriteLog};
 use crate::device::BlockDevice;
 use crate::geometry::DiskGeometry;
 use crate::memdisk::MemDisk;
@@ -72,6 +73,14 @@ impl<D: BlockDevice> StackBuilder<D> {
     /// it to observe what the file system issued.
     pub fn with_trace(self, trace: IoTrace) -> StackBuilder<TraceLayer<D>> {
         self.layer(|dev| TraceLayer::with_trace(dev, trace))
+    }
+
+    /// Record the write stream crossing this point (with barrier/flush
+    /// epoch boundaries) into `log` — the input to crash-state
+    /// enumeration. Place it directly above the medium whose crash
+    /// states are to be reconstructed.
+    pub fn with_crash_recorder(self, log: WriteLog) -> StackBuilder<CrashRecorder<D>> {
+        self.layer(|dev| CrashRecorder::with_log(dev, log))
     }
 
     /// Top the stack with the buffer cache under the given policy.
@@ -152,6 +161,9 @@ mod tests {
             }
             fn barrier(&mut self) -> crate::DiskResult<()> {
                 self.0.barrier()
+            }
+            fn flush(&mut self) -> crate::DiskResult<()> {
+                self.0.flush()
             }
         }
         let mut dev = StackBuilder::memdisk(8).layer(Nop).build();

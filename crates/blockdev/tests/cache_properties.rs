@@ -209,6 +209,9 @@ impl BlockDevice for BadSpot {
     fn barrier(&mut self) -> DiskResult<()> {
         self.inner.barrier()
     }
+    fn flush(&mut self) -> DiskResult<()> {
+        self.inner.flush()
+    }
 }
 
 #[test]

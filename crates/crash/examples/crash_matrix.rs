@@ -1,0 +1,33 @@
+//! Run the full crash matrix and print every violation. Exploration /
+//! debugging aid; the test suite encodes the expected outcome.
+
+use iron_crash::{run_crash_campaign, CrashCampaignOptions, WORKLOADS};
+use iron_fingerprint::{Ext3Adapter, FsUnderTest, JfsAdapter, ReiserAdapter};
+
+fn main() {
+    let adapters: Vec<Box<dyn FsUnderTest>> = vec![
+        Box::new(Ext3Adapter::stock()),
+        Box::new(Ext3Adapter::ixt3()),
+        Box::new(ReiserAdapter),
+        Box::new(JfsAdapter),
+    ];
+    let opts = CrashCampaignOptions::default();
+    for a in &adapters {
+        for w in WORKLOADS {
+            let r = run_crash_campaign(a.as_ref(), w, &opts);
+            println!(
+                "{:8} {:16} epochs={:3} writes={:4} flushes={} images={:3} violations={}",
+                r.fs,
+                r.workload,
+                r.epochs,
+                r.writes_recorded,
+                r.flushes,
+                r.images_checked,
+                r.violations.len()
+            );
+            for v in &r.violations {
+                println!("    {v}");
+            }
+        }
+    }
+}

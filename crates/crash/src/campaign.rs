@@ -1,0 +1,115 @@
+//! The crash campaign: record one workload, enumerate its crash images,
+//! and check every image in parallel.
+
+use iron_blockdev::{CrashRecorder, WriteLog};
+use iron_core::exec::WorkerPool;
+use iron_fingerprint::FsUnderTest;
+use iron_vfs::{FsEnv, Vfs};
+
+use crate::enumerate::{enumerate_images, EnumOptions};
+use crate::oracle::{check_image, walk_tree, Violation};
+use crate::workload::{run_workload, CrashWorkload};
+
+/// Campaign configuration.
+#[derive(Clone, Debug, Default)]
+pub struct CrashCampaignOptions {
+    /// Enumeration bounds (seed + subsets per epoch).
+    pub enumeration: EnumOptions,
+    /// Worker threads for image checking; `0` = one per CPU. Reports are
+    /// bit-identical at any width.
+    pub threads: usize,
+}
+
+/// The outcome of one `(file system, workload)` campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashReport {
+    /// File system name.
+    pub fs: String,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Barrier/flush epochs the recorded stream spans.
+    pub epochs: u64,
+    /// Writes recorded.
+    pub writes_recorded: usize,
+    /// Flushes (durability points) recorded.
+    pub flushes: usize,
+    /// Crash images enumerated and checked.
+    pub images_checked: usize,
+    /// Oracle violations, sorted by image index.
+    pub violations: Vec<Violation>,
+}
+
+impl CrashReport {
+    /// True when every image recovered cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Record `workload` on a fresh golden image of `fs`, enumerate the
+/// bounded crash-image set, and run recovery plus all four oracles
+/// against every image.
+///
+/// Deterministic for a fixed `(fs, workload, seed)`: the image set, the
+/// checks, and the report are identical at any thread count.
+pub fn run_crash_campaign(
+    fs: &dyn FsUnderTest,
+    workload: &CrashWorkload,
+    opts: &CrashCampaignOptions,
+) -> CrashReport {
+    let base = fs.golden(false);
+
+    // Checkpoint zero: what the untouched golden image looks like.
+    let golden_tree = {
+        let mounted = fs
+            .mount_crash(CrashRecorder::new(base.snapshot()), FsEnv::new())
+            .expect("golden image mounts");
+        let mut v = Vfs::new(mounted);
+        walk_tree(&mut v).expect("golden image walks")
+    };
+
+    // Record the workload's write stream. Dropping the mount without
+    // unmounting is the crash.
+    let log = WriteLog::new();
+    let shadow = {
+        let mounted = fs
+            .mount_crash(
+                CrashRecorder::with_log(base.snapshot(), log.clone()),
+                FsEnv::new(),
+            )
+            .expect("workload mount on healthy disk");
+        let mut v = Vfs::new(mounted);
+        run_workload(&mut v, workload, &log).expect("workload runs on healthy disk")
+    };
+    let snap = log.snapshot();
+
+    let images = enumerate_images(&snap, &opts.enumeration);
+    let pool = if opts.threads == 0 {
+        WorkerPool::auto()
+    } else {
+        WorkerPool::new(opts.threads)
+    };
+    let mut found: Vec<(usize, Vec<Violation>)> = pool.shard(
+        &images,
+        |acc: &mut Vec<(usize, Vec<Violation>)>, spec| {
+            let vs = check_image(fs, workload.name, &base, &snap, &shadow, &golden_tree, spec);
+            if !vs.is_empty() {
+                acc.push((spec.index, vs));
+            }
+        },
+        |a, b| a.extend(b),
+    );
+    // Merge order is thread-arbitrary; the image index restores a total
+    // order, making the report bit-identical at any width.
+    found.sort_by_key(|(index, _)| *index);
+
+    CrashReport {
+        fs: fs.name().to_string(),
+        workload: workload.name,
+        epochs: snap.epoch_count(),
+        writes_recorded: snap.records.len(),
+        flushes: snap.flush_marks.len(),
+        images_checked: images.len(),
+        violations: found.into_iter().flat_map(|(_, vs)| vs).collect(),
+    }
+}

@@ -1,0 +1,243 @@
+//! Scripted crash workloads and the shadow model the oracles check
+//! against.
+//!
+//! Each workload is a fixed op script run over the VFS while the
+//! [`iron_blockdev::CrashRecorder`] captures the write stream. Alongside
+//! the real ops, a *shadow model* tracks what a correct file system must
+//! preserve: at every `Sync` a checkpoint snapshots the expected tree
+//! together with the recorder's flush count — the durability promise the
+//! sync just bought — and per-path version history feeds the atomicity
+//! oracle.
+//!
+//! All workload paths live under [`CRASH_ROOT`], so the oracles can tell
+//! workload state apart from the pre-existing golden fixture.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use iron_blockdev::WriteLog;
+use iron_vfs::{SpecificFs, Vfs, VfsResult};
+
+/// Directory every workload confines itself to.
+pub const CRASH_ROOT: &str = "/crash";
+
+/// One step of a crash workload.
+#[derive(Clone, Copy, Debug)]
+pub enum CrashOp {
+    /// Create a directory.
+    Mkdir(&'static str),
+    /// Create or overwrite a file with `pattern(len, seed)` content.
+    Write(&'static str, usize, u8),
+    /// Remove a file.
+    Unlink(&'static str),
+    /// Remove an (empty) directory.
+    Rmdir(&'static str),
+    /// Rename a file or directory.
+    Rename(&'static str, &'static str),
+    /// `sync()`: commit and flush — a durability checkpoint.
+    Sync,
+}
+
+/// A named op script.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashWorkload {
+    /// Display name (appears in violation reports).
+    pub name: &'static str,
+    /// The script.
+    pub ops: &'static [CrashOp],
+}
+
+/// Deterministic file content, reproducible from `(len, seed)`.
+pub fn pattern(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| {
+            (seed as usize)
+                .wrapping_mul(131)
+                .wrapping_add(i.wrapping_mul(31)) as u8
+        })
+        .collect()
+}
+
+/// The expected tree at one durability checkpoint.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Index (into the op script) of the `Sync` that took this snapshot.
+    pub op_index: usize,
+    /// Recorder flush count right after the sync. The checkpoint's
+    /// durability promise is `flush_marks[flush_count - 1]`: crash images
+    /// containing every epoch below that mark must show this tree.
+    pub flush_count: usize,
+    /// Expected file contents.
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// Expected directories.
+    pub dirs: BTreeSet<String>,
+}
+
+/// Everything the oracles need to know about what the workload did.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowModel {
+    /// One checkpoint per `Sync`, in script order.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Every content version each file path ever held, in order.
+    pub versions: BTreeMap<String, Vec<Vec<u8>>>,
+    /// Every path that was ever a directory.
+    pub ever_dirs: BTreeSet<String>,
+    /// Paths written exactly once and never unlinked, renamed, or
+    /// rewritten — the only paths the strict create-atomicity oracle
+    /// applies to (in-place overwrites legitimately tear under
+    /// ordered-mode journaling).
+    pub create_once: BTreeSet<String>,
+    /// Op index of the last modification touching each path. Durability
+    /// checks skip paths modified after the checkpoint they test.
+    pub last_modified: BTreeMap<String, usize>,
+}
+
+/// Run `w` over a mounted file system, mirroring every op into the shadow
+/// model. `log` must be the recorder's log, so checkpoints capture the
+/// flush count their `sync` reached.
+pub fn run_workload(
+    v: &mut Vfs<Box<dyn SpecificFs>>,
+    w: &CrashWorkload,
+    log: &WriteLog,
+) -> VfsResult<ShadowModel> {
+    let mut shadow = ShadowModel::default();
+    let mut files: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    let mut dirs: BTreeSet<String> = BTreeSet::new();
+    let mut mutated: BTreeSet<String> = BTreeSet::new();
+
+    for (op_index, op) in w.ops.iter().enumerate() {
+        let op_index = op_index + 1; // 0 is reserved for the golden baseline
+        match *op {
+            CrashOp::Mkdir(p) => {
+                v.mkdir(p, 0o755)?;
+                dirs.insert(p.to_string());
+                shadow.ever_dirs.insert(p.to_string());
+                shadow.last_modified.insert(p.to_string(), op_index);
+            }
+            CrashOp::Write(p, len, seed) => {
+                let data = pattern(len, seed);
+                v.write_file(p, &data)?;
+                if files.insert(p.to_string(), data.clone()).is_some() {
+                    mutated.insert(p.to_string());
+                }
+                shadow.versions.entry(p.to_string()).or_default().push(data);
+                shadow.last_modified.insert(p.to_string(), op_index);
+            }
+            CrashOp::Unlink(p) => {
+                v.unlink(p)?;
+                files.remove(p);
+                mutated.insert(p.to_string());
+                shadow.last_modified.insert(p.to_string(), op_index);
+            }
+            CrashOp::Rmdir(p) => {
+                v.rmdir(p)?;
+                dirs.remove(p);
+                shadow.last_modified.insert(p.to_string(), op_index);
+            }
+            CrashOp::Rename(from, to) => {
+                v.rename(from, to)?;
+                if let Some(data) = files.remove(from) {
+                    shadow
+                        .versions
+                        .entry(to.to_string())
+                        .or_default()
+                        .push(data.clone());
+                    files.insert(to.to_string(), data);
+                }
+                if dirs.remove(from) {
+                    dirs.insert(to.to_string());
+                    shadow.ever_dirs.insert(to.to_string());
+                }
+                mutated.insert(from.to_string());
+                mutated.insert(to.to_string());
+                shadow.last_modified.insert(from.to_string(), op_index);
+                shadow.last_modified.insert(to.to_string(), op_index);
+            }
+            CrashOp::Sync => {
+                v.sync()?;
+                shadow.checkpoints.push(Checkpoint {
+                    op_index,
+                    flush_count: log.flush_count(),
+                    files: files.clone(),
+                    dirs: dirs.clone(),
+                });
+            }
+        }
+    }
+
+    shadow.create_once = shadow
+        .versions
+        .iter()
+        .filter(|(p, vs)| vs.len() == 1 && !mutated.contains(*p))
+        .map(|(p, _)| p.clone())
+        .collect();
+    Ok(shadow)
+}
+
+use CrashOp::*;
+
+/// The standard workload suite. Between them the scripts exercise synced
+/// creates (durability), unsynced creates (atomicity), in-place
+/// overwrite after sync (legitimately tearable), rename, unlink, and
+/// directory-block free-and-reuse (the journal-revoke hazard).
+pub const WORKLOADS: &[CrashWorkload] = &[
+    CrashWorkload {
+        name: "create_sync",
+        ops: &[
+            Mkdir("/crash"),
+            Write("/crash/a", 3000, 11),
+            Write("/crash/b", 9000, 12),
+            Sync,
+            Write("/crash/c", 5000, 13),
+            Mkdir("/crash/d"),
+            Write("/crash/d/e", 12000, 14),
+            Sync,
+            Write("/crash/late", 4000, 15),
+        ],
+    },
+    CrashWorkload {
+        name: "overwrite_rename",
+        ops: &[
+            Mkdir("/crash"),
+            Write("/crash/log", 8000, 21),
+            Sync,
+            Write("/crash/log", 8000, 22),
+            Rename("/crash/log", "/crash/log.old"),
+            Write("/crash/log", 2000, 23),
+            Sync,
+            Write("/crash/tmp", 1000, 24),
+            Unlink("/crash/tmp"),
+        ],
+    },
+    CrashWorkload {
+        name: "reuse_dir",
+        ops: &[
+            Mkdir("/crash"),
+            Mkdir("/crash/d"),
+            Write("/crash/d/f", 6000, 31),
+            Sync,
+            Unlink("/crash/d/f"),
+            Rmdir("/crash/d"),
+            Sync,
+            Mkdir("/crash/e"),
+            Write("/crash/e/g", 6000, 32),
+            Sync,
+        ],
+    },
+    // Metadata freed and reused as *file data* within one transaction:
+    // the freed directory block is reallocated to /crash/big before the
+    // sync commits. A journal that forgets to revoke the freed block's
+    // staged copy writes stale directory bytes over the file's data at
+    // checkpoint/replay time (the PR-1 `journal_forget` seed bug).
+    CrashWorkload {
+        name: "free_reuse",
+        ops: &[
+            Mkdir("/crash"),
+            Mkdir("/crash/d"),
+            Write("/crash/d/f", 6000, 41),
+            Unlink("/crash/d/f"),
+            Rmdir("/crash/d"),
+            Write("/crash/big", 24000, 42),
+            Sync,
+        ],
+    },
+];

@@ -1,0 +1,229 @@
+//! The crash-state oracle matrix, in the default test tier.
+//!
+//! Every cell here is a full campaign: record a workload over a golden
+//! image, enumerate the bounded crash-image set, recover each image and
+//! run all four durability oracles. The expectations encode the matrix
+//! `EXPERIMENTS.md` documents:
+//!
+//! * ixt3 passes every oracle on every workload;
+//! * stock ext3 and ReiserFS exhibit the journal-superblock-clean /
+//!   partial-checkpoint hazard (fsck-clean violations, occasionally
+//!   atomicity phantoms from replayed-then-torn checkpoints);
+//! * JFS (metadata-only journaling, no ordered data, no commit marker)
+//!   exhibits torn creates and partial log-record application.
+//!
+//! If a violation class *disappears* these tests fail too: the harness
+//! proving the hazards exist is the regression guard for the harness
+//! itself.
+
+use iron_blockdev::{CrashRecorder, WriteLog};
+use iron_crash::{
+    check_image, enumerate_images, run_crash_campaign, run_workload, walk_tree,
+    CrashCampaignOptions, CrashReport, EnumOptions, OracleKind, WORKLOADS,
+};
+use iron_fingerprint::{Ext3Adapter, FsUnderTest, JfsAdapter, ReiserAdapter};
+use iron_vfs::{FsEnv, Vfs};
+
+fn campaign(fs: &dyn FsUnderTest, wl_index: usize, threads: usize) -> CrashReport {
+    run_crash_campaign(
+        fs,
+        &WORKLOADS[wl_index],
+        &CrashCampaignOptions {
+            enumeration: EnumOptions::default(),
+            threads,
+        },
+    )
+}
+
+fn dump(r: &CrashReport) -> String {
+    r.violations
+        .iter()
+        .map(|v| format!("  {v}\n"))
+        .collect::<String>()
+}
+
+#[test]
+fn ixt3_passes_all_oracles_on_every_workload() {
+    let fs = Ext3Adapter::ixt3();
+    for (i, w) in WORKLOADS.iter().enumerate() {
+        let r = campaign(&fs, i, 0);
+        assert!(r.images_checked > 0, "{}: no images enumerated", w.name);
+        assert!(
+            r.is_clean(),
+            "ixt3/{} must recover every crash image cleanly; got:\n{}",
+            w.name,
+            dump(&r)
+        );
+    }
+}
+
+#[test]
+fn stock_ext3_shows_the_checkpoint_hazard_and_nothing_else() {
+    let fs = Ext3Adapter::stock();
+    let mut total = 0;
+    for (i, w) in WORKLOADS.iter().enumerate() {
+        let r = campaign(&fs, i, 0);
+        total += r.violations.len();
+        for v in &r.violations {
+            assert!(
+                matches!(v.oracle, OracleKind::FsckClean | OracleKind::Atomicity),
+                "ext3/{}: unexpected oracle class: {v}",
+                w.name
+            );
+        }
+    }
+    // The hazard is real: checkpoint home writes and the js-clean marker
+    // share an epoch, so some sampled in-epoch subsets leave the journal
+    // claiming "nothing to replay" over a half-applied checkpoint.
+    assert!(
+        total > 0,
+        "the enumerator must detect stock ext3's checkpoint hazard"
+    );
+}
+
+#[test]
+fn reiser_shows_only_the_checkpoint_hazard() {
+    let fs = ReiserAdapter;
+    let mut total = 0;
+    for (i, w) in WORKLOADS.iter().enumerate() {
+        let r = campaign(&fs, i, 0);
+        total += r.violations.len();
+        for v in &r.violations {
+            assert!(
+                matches!(v.oracle, OracleKind::FsckClean),
+                "ReiserFS/{}: unexpected oracle class: {v}",
+                w.name
+            );
+        }
+    }
+    assert!(
+        total > 0,
+        "the enumerator must detect ReiserFS's checkpoint hazard"
+    );
+}
+
+#[test]
+fn jfs_shows_torn_creates_and_partial_log_application() {
+    let fs = JfsAdapter;
+    let mut torn = 0;
+    let mut total = 0;
+    for (i, w) in WORKLOADS.iter().enumerate() {
+        let r = campaign(&fs, i, 0);
+        total += r.violations.len();
+        for v in &r.violations {
+            assert!(
+                matches!(v.oracle, OracleKind::FsckClean | OracleKind::Atomicity),
+                "JFS/{}: unexpected oracle class: {v}",
+                w.name
+            );
+            if v.detail.contains("torn create") {
+                torn += 1;
+            }
+        }
+    }
+    assert!(total > 0, "JFS crash windows must be detected");
+    assert!(
+        torn > 0,
+        "JFS (no ordered data, no commit marker) must show torn creates"
+    );
+}
+
+#[test]
+fn reports_are_bit_identical_at_any_thread_count() {
+    // reuse_dir on stock ext3 has violations — the strongest signal that
+    // merge order, not just counts, is deterministic.
+    let fs = Ext3Adapter::stock();
+    let baseline = campaign(&fs, 2, 1);
+    assert!(!baseline.is_clean(), "baseline should carry violations");
+    for threads in [2usize, 4, 8] {
+        let r = campaign(&fs, 2, threads);
+        assert_eq!(
+            r, baseline,
+            "threads={threads} report must be bit-identical to sequential"
+        );
+    }
+}
+
+#[test]
+fn same_seed_reproduces_the_same_report() {
+    let fs = Ext3Adapter::stock();
+    let a = campaign(&fs, 0, 0);
+    let b = campaign(&fs, 0, 0);
+    assert_eq!(a, b, "same (fs, workload, seed) must reproduce exactly");
+}
+
+/// A violation names `(cut epoch, write subset, oracle)`; this test
+/// replays one from scratch — fresh golden image, fresh recording, fresh
+/// enumeration — and demands the identical violations fall out.
+#[test]
+fn violation_witnesses_replay_from_scratch() {
+    let fs = Ext3Adapter::stock();
+    let w = &WORKLOADS[2]; // reuse_dir
+    let report = campaign(&fs, 2, 0);
+    let witness = report
+        .violations
+        .first()
+        .expect("stock ext3 reuse_dir carries violations")
+        .clone();
+
+    // Independent re-recording.
+    let base = fs.golden(false);
+    let golden_tree = {
+        let mounted = fs
+            .mount_crash(CrashRecorder::new(base.snapshot()), FsEnv::new())
+            .unwrap();
+        walk_tree(&mut Vfs::new(mounted)).unwrap()
+    };
+    let log = WriteLog::new();
+    let shadow = {
+        let mounted = fs
+            .mount_crash(
+                CrashRecorder::with_log(base.snapshot(), log.clone()),
+                FsEnv::new(),
+            )
+            .unwrap();
+        run_workload(&mut Vfs::new(mounted), w, &log).unwrap()
+    };
+    let snap = log.snapshot();
+    let images = enumerate_images(&snap, &EnumOptions::default());
+    let spec = &images[witness.image.index];
+    assert_eq!(
+        *spec, witness.image,
+        "enumeration must regenerate the witness image spec verbatim"
+    );
+
+    let replayed = check_image(&fs, w.name, &base, &snap, &shadow, &golden_tree, spec);
+    let expected: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.image.index == witness.image.index)
+        .cloned()
+        .collect();
+    assert_eq!(replayed, expected, "witness must replay identically");
+}
+
+/// Satellite: the enumerator regression-proves it would have caught the
+/// two seed journaling bugs fixed in PR 1 (`legacy_journal_bugs`): with
+/// the knob on, freed-and-reused blocks are clobbered on replay; with it
+/// off the same configuration is clean.
+#[test]
+fn enumerator_catches_the_pr1_legacy_journal_bugs() {
+    // free_reuse frees a directory block and reallocates it as file data
+    // within one transaction — exactly the journal_forget hazard. With
+    // the fix, every pure epoch-prefix image (no in-epoch tearing, the
+    // drive honored every barrier) recovers perfectly; with the seed bugs
+    // back in, the stale directory image lands on the reused data block.
+    let stock = campaign(&Ext3Adapter::stock(), 3, 0);
+    assert!(
+        stock.violations.iter().all(|v| !v.image.subset.is_empty()),
+        "fixed ext3 must be clean on all prefix images of free_reuse:\n{}",
+        dump(&stock)
+    );
+    let legacy = campaign(&Ext3Adapter::stock().with_legacy_journal_bugs(), 3, 0);
+    assert!(
+        legacy.violations.iter().any(|v| v.image.subset.is_empty()),
+        "the enumerator must flag the legacy revoke/forget bugs on the \
+         block-reuse workload even without in-epoch tearing; got:\n{}",
+        dump(&legacy)
+    );
+}

@@ -39,6 +39,13 @@ pub struct Ext3Options {
     /// crash between commit and checkpoint (used by recovery fingerprints
     /// and crash-consistency tests).
     pub crash_mode: bool,
+    /// Testing knob: re-introduce the two seed journaling bugs fixed in
+    /// PR 1 — freed blocks are *not* forgotten/revoked from the running
+    /// transaction, and replay applies revoke records globally instead of
+    /// sequence-scoped. Exists only so the crash-state enumerator can
+    /// regression-prove it would have caught the original bugs. Never set
+    /// outside tests.
+    pub legacy_journal_bugs: bool,
     /// Clock for charging simulated CPU costs (checksum/XOR); `None`
     /// disables CPU accounting.
     pub cpu_clock: Option<SimClock>,
@@ -51,6 +58,7 @@ impl Default for Ext3Options {
             commit_threshold: 64,
             cache_blocks: 2048,
             crash_mode: false,
+            legacy_journal_bugs: false,
             cpu_clock: None,
         }
     }
@@ -321,25 +329,6 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             opts,
         };
 
-        // --- checksum table (needed when Mc or Dc verifies reads; loaded
-        // before any checksummed metadata is consumed) ---
-        if fs.opts.iron.meta_checksum || fs.opts.iron.data_checksum {
-            fs.load_cksum_table()?;
-        }
-
-        // --- group descriptors ---
-        // Stock ext3 uses them blindly (no sanity checking); ixt3 verifies
-        // the block against the checksum table and falls back to the
-        // replica.
-        let gdt_block = fs.read_meta(1, BlockType::GroupDesc).inspect_err(|_e| {
-            fs.env
-                .klog
-                .error("ext3", "unable to read group descriptors; mount failed");
-        })?;
-        fs.gdt = (0..fs.layout.num_groups as usize)
-            .map(|g| (gdt_block.get_u32(g * 8), gdt_block.get_u32(g * 8 + 4)))
-            .collect();
-
         // --- journal superblock (type-checked) ---
         let js_block = fs
             .dev
@@ -367,6 +356,30 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         if js.dirty || fs.sb.state == FsState::Dirty {
             fs.replay_journal()?;
         }
+
+        // --- checksum table (needed when Mc or Dc verifies reads) ---
+        // Loaded only AFTER replay: a committed transaction can carry new
+        // checksum-table blocks, and replay just wrote them home. Loading
+        // before replay left the in-memory table stale, so every block the
+        // transaction re-checksummed failed verification on first read
+        // (found by the iron-crash enumerator).
+        if fs.opts.iron.meta_checksum || fs.opts.iron.data_checksum {
+            fs.load_cksum_table()?;
+        }
+
+        // --- group descriptors ---
+        // Stock ext3 uses them blindly (no sanity checking); ixt3 verifies
+        // the block against the checksum table and falls back to the
+        // replica — which likewise must wait until replay has restored the
+        // committed copies.
+        let gdt_block = fs.read_meta(1, BlockType::GroupDesc).inspect_err(|_e| {
+            fs.env
+                .klog
+                .error("ext3", "unable to read group descriptors; mount failed");
+        })?;
+        fs.gdt = (0..fs.layout.num_groups as usize)
+            .map(|g| (gdt_block.get_u32(g * 8), gdt_block.get_u32(g * 8 + 4)))
+            .collect();
 
         // Mark mounted (dirty until clean unmount).
         fs.sb.state = FsState::Dirty;
@@ -927,6 +940,16 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             return Err(Errno::EIO.into());
         }
 
+        // Order checkpoint before the clean journal superblock. Stock
+        // ext3 issues both in one barrier epoch, so under a write-back
+        // drive cache the clean marker can land while home-location
+        // writes are still volatile — a crash there skips replay and
+        // loses the committed transaction (found by the iron-crash
+        // enumerator; kept paper-faithful for stock ext3, fixed in ixt3).
+        if self.opts.iron.fix_bugs {
+            let _ = self.dev.barrier();
+        }
+
         // Mark the journal clean again.
         let js_clean = JournalSuper {
             sequence: self.jseq,
@@ -1042,6 +1065,13 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         // only. A later transaction that re-logs the block (after reuse)
         // must still be replayed.
         let mut revoked: BTreeMap<u64, u64> = BTreeMap::new();
+        // Revoke blocks logged since the last commit. commit() includes
+        // them in the transactional checksum (they are written first, before
+        // the descriptor), so replay must hash the same block set — found by
+        // the iron-crash enumerator: a fully-durable transaction carrying a
+        // revoke failed Tc on replay because the revoke image was missing
+        // from the replay-side hash.
+        let mut pending_revoke_images: Vec<Block> = Vec::new();
         let mut pos = start;
         'scan: while pos < end {
             let block = match self
@@ -1069,6 +1099,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                         let e = revoked.entry(a).or_insert(r.sequence);
                         *e = (*e).max(r.sequence);
                     }
+                    pending_revoke_images.push(block.clone());
                     pos += 1;
                 }
                 Some(JournalRecord::Descriptor(desc)) => {
@@ -1077,7 +1108,8 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                         // transaction: recovery ends here.
                         break 'scan;
                     }
-                    let mut images = vec![block.clone()];
+                    let mut images = std::mem::take(&mut pending_revoke_images);
+                    images.push(block.clone());
                     let mut data = Vec::new();
                     let n = desc.entries.len() as u64;
                     for i in 0..n {
@@ -1124,7 +1156,15 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                         }
                     };
                     match CommitBlock::decode(&cblock) {
-                        Some(c) => {
+                        // JBD validates the commit sequence against the
+                        // transaction it closes: a stale commit block left
+                        // over from an earlier pass through the log must
+                        // not validate a torn transaction whose own commit
+                        // never landed (found by the iron-crash
+                        // enumerator: the stale commit completed a
+                        // partially-written transaction and replay copied
+                        // leftover journal bytes over home metadata).
+                        Some(c) if c.sequence == desc.sequence => {
                             committed.push(PendingTxn {
                                 sequence: desc.sequence,
                                 entries: desc.entries,
@@ -1134,15 +1174,17 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                             });
                             pos = cpos + 1;
                         }
-                        None => {
-                            // No valid commit block: either the crash
-                            // landed mid-commit (normal) or the commit
-                            // block is corrupt — both fail its type check
-                            // and the transaction is not replayed.
+                        _ => {
+                            // No commit block for this transaction: either
+                            // the crash landed mid-commit (normal), the
+                            // commit block is corrupt, or it belongs to an
+                            // older transaction — the transaction is not
+                            // replayed and recovery ends here.
                             self.env.klog.warn(
                                 "ext3",
                                 format!(
-                                    "journal block {cpos} is not a valid commit; transaction ignored"
+                                    "journal block {cpos} is not this transaction's commit; \
+                                     transaction ignored"
                                 ),
                             );
                             break 'scan;
@@ -1187,7 +1229,15 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                 }
             }
             for ((addr, ty), data) in txn.entries.iter().zip(&txn.data) {
-                if revoked.get(addr).is_some_and(|&rs| rs >= txn.sequence) {
+                let suppressed = if self.opts.legacy_journal_bugs {
+                    // Seed bug (see Ext3Options::legacy_journal_bugs): a
+                    // revoke suppressed *every* logged copy of the block,
+                    // including ones re-logged after reuse.
+                    revoked.contains_key(addr)
+                } else {
+                    revoked.get(addr).is_some_and(|&rs| rs >= txn.sequence)
+                };
+                if suppressed {
                     continue;
                 }
                 // PAPER-NOTE: stock ext3 replays journal data with no

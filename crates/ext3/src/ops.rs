@@ -148,7 +148,23 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             if let Some((ino, di)) = file {
                 if di.parity != 0 {
                     match self.reconstruct_from_parity(ino, di, addr) {
+                        // A reconstruction is only as good as the parity
+                        // it came from: a crash can tear data and parity
+                        // together, so the rebuilt block must pass the
+                        // same checksum the original failed — otherwise
+                        // silent garbage would be returned as file data
+                        // (found by the iron-crash enumerator).
                         Ok(b) => {
+                            if self.opts.iron.data_checksum && !self.verify_cksum(addr, &b) {
+                                self.env.klog.error(
+                                    "ixt3",
+                                    format!(
+                                        "parity reconstruction of block {addr} failed its \
+                                         checksum; returning EIO"
+                                    ),
+                                );
+                                return Err(Errno::EIO.into());
+                            }
                             self.env.klog.info(
                                 "ixt3",
                                 format!("data block {addr} reconstructed from parity"),
@@ -322,7 +338,10 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         // in the running transaction and revoke it, so neither checkpoint
         // nor replay can write a stale image over the block once it is
         // reused — e.g. a freed directory block reallocated as file data.
-        self.revoke_meta(addr);
+        // The legacy knob re-introduces the seed bug of skipping this.
+        if !self.opts.legacy_journal_bugs {
+            self.revoke_meta(addr);
+        }
         Ok(())
     }
 

@@ -341,6 +341,21 @@ mod tests {
     }
 
     #[test]
+    fn flush_forwards_as_flush_not_barrier() {
+        // Audit regression: the fault layer must not downgrade a
+        // durability flush to an ordering barrier for the stack below.
+        let (mut disk, _ctl) = setup();
+        disk.flush().unwrap();
+        let s = disk.inner().stats();
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.barriers, 0);
+        disk.barrier().unwrap();
+        let s = disk.inner().stats();
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.barriers, 1);
+    }
+
+    #[test]
     fn trace_records_errors() {
         let (mut disk, ctl) = setup();
         ctl.inject(FaultSpec::sticky(

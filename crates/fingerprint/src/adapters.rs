@@ -7,7 +7,7 @@
 //! image, which block-type rows the file system has, and how to mount it
 //! over a fault-armed device.
 
-use iron_blockdev::{BufferCache, MemDisk};
+use iron_blockdev::{BufferCache, CrashRecorder, MemDisk, RawAccess};
 use iron_core::BlockTag;
 use iron_faultinject::FaultyDisk;
 use iron_vfs::{FsEnv, SpecificFs, Vfs, VfsError, VfsResult};
@@ -25,6 +25,12 @@ use crate::workloads::build_fixture;
 /// type-aware fault targeting and the recorded traces stay byte-exact
 /// while the mounted stack matches Figure 1 layer for layer.
 pub type CampaignDevice = BufferCache<FaultyDisk<MemDisk>>;
+
+/// The device stack crash-state enumeration records through: the file
+/// system writes directly onto the medium with every write, barrier, and
+/// flush captured by the recorder — in-epoch reordering then models the
+/// drive's volatile write cache.
+pub type CrashDevice = CrashRecorder<MemDisk>;
 
 /// A file system packaged for fingerprinting.
 ///
@@ -47,6 +53,17 @@ pub trait FsUnderTest: Sync {
 
     /// Mount over a (possibly fault-armed) device.
     fn mount(&self, dev: CampaignDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>>;
+
+    /// Mount over a crash-recording device (the `iron-crash` stack).
+    fn mount_crash(&self, dev: CrashDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>>;
+
+    /// Offline structural check of an unmounted medium, for file systems
+    /// that have an fsck: `None` when no checker exists, otherwise the
+    /// (possibly empty) rendered issue list.
+    fn fsck_issues(&self, dev: &MemDisk) -> Option<Vec<String>> {
+        let _ = dev;
+        None
+    }
 }
 
 /// One mounted-or-failed campaign instance.
@@ -67,6 +84,10 @@ pub struct Instance {
 pub struct Ext3Adapter {
     /// The IRON configuration to mount with.
     pub iron: IronConfig,
+    /// Re-introduce the seed journaling bugs fixed in PR 1 (see
+    /// [`Ext3Options::legacy_journal_bugs`]). Test-only: lets the
+    /// crash-state enumerator regression-prove it would have caught them.
+    pub legacy_journal_bugs: bool,
 }
 
 impl Ext3Adapter {
@@ -74,6 +95,7 @@ impl Ext3Adapter {
     pub fn stock() -> Self {
         Ext3Adapter {
             iron: IronConfig::off(),
+            legacy_journal_bugs: false,
         }
     }
 
@@ -81,7 +103,14 @@ impl Ext3Adapter {
     pub fn ixt3() -> Self {
         Ext3Adapter {
             iron: IronConfig::full(),
+            legacy_journal_bugs: false,
         }
+    }
+
+    /// Same configuration with the PR-1 seed journaling bugs re-enabled.
+    pub fn with_legacy_journal_bugs(mut self) -> Self {
+        self.legacy_journal_bugs = true;
+        self
     }
 
     fn params(&self) -> Ext3Params {
@@ -92,16 +121,23 @@ impl Ext3Adapter {
     }
 
     fn options(&self) -> Ext3Options {
-        Ext3Options::with_iron(self.iron)
+        Ext3Options {
+            legacy_journal_bugs: self.legacy_journal_bugs,
+            ..Ext3Options::with_iron(self.iron)
+        }
     }
 }
 
 impl FsUnderTest for Ext3Adapter {
     fn name(&self) -> &'static str {
-        if self.iron.any_iron() || self.iron.fix_bugs {
-            "ixt3"
-        } else {
-            "ext3"
+        match (
+            self.iron.any_iron() || self.iron.fix_bugs,
+            self.legacy_journal_bugs,
+        ) {
+            (true, false) => "ixt3",
+            (true, true) => "ixt3-legacy",
+            (false, false) => "ext3",
+            (false, true) => "ext3-legacy",
         }
     }
 
@@ -140,6 +176,17 @@ impl FsUnderTest for Ext3Adapter {
 
     fn mount(&self, dev: CampaignDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
         Ok(Box::new(Ext3Fs::mount(dev, env, self.options())?))
+    }
+
+    fn mount_crash(&self, dev: CrashDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
+        Ok(Box::new(Ext3Fs::mount(dev, env, self.options())?))
+    }
+
+    fn fsck_issues(&self, dev: &MemDisk) -> Option<Vec<String>> {
+        let sb = iron_ext3::Superblock::decode(&dev.peek(iron_core::BlockAddr(0)))?;
+        let layout = iron_ext3::DiskLayout::compute(sb.params());
+        let report = iron_ext3::fsck::check(dev, &layout);
+        Some(report.issues.iter().map(|i| format!("{i:?}")).collect())
     }
 }
 
@@ -210,6 +257,14 @@ impl FsUnderTest for ReiserAdapter {
             ReiserOptions::default(),
         )?))
     }
+
+    fn mount_crash(&self, dev: CrashDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
+        Ok(Box::new(ReiserFs::mount(
+            dev,
+            env,
+            ReiserOptions::default(),
+        )?))
+    }
 }
 
 // ======================================================================
@@ -255,6 +310,10 @@ impl FsUnderTest for JfsAdapter {
     fn mount(&self, dev: CampaignDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
         Ok(Box::new(JfsFs::mount(dev, env, JfsOptions::default())?))
     }
+
+    fn mount_crash(&self, dev: CrashDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
+        Ok(Box::new(JfsFs::mount(dev, env, JfsOptions::default())?))
+    }
 }
 
 // ======================================================================
@@ -287,6 +346,10 @@ impl FsUnderTest for NtfsAdapter {
     }
 
     fn mount(&self, dev: CampaignDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
+        Ok(Box::new(NtfsFs::mount(dev, env, NtfsOptions::default())?))
+    }
+
+    fn mount_crash(&self, dev: CrashDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
         Ok(Box::new(NtfsFs::mount(dev, env, NtfsOptions::default())?))
     }
 }

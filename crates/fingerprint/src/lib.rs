@@ -37,7 +37,8 @@ pub mod summary;
 pub mod workloads;
 
 pub use adapters::{
-    CampaignDevice, Ext3Adapter, FsUnderTest, Instance, JfsAdapter, NtfsAdapter, ReiserAdapter,
+    CampaignDevice, CrashDevice, Ext3Adapter, FsUnderTest, Instance, JfsAdapter, NtfsAdapter,
+    ReiserAdapter,
 };
 pub use campaign::{fingerprint_fs, CampaignOptions, FaultMode, PolicyMatrix};
 pub use workloads::{Workload, WorkloadOutput};

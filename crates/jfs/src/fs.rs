@@ -1,7 +1,7 @@
 //! The JFS model: operations, record-level journaling, and the §5.3
 //! failure policy — "the kitchen sink".
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use iron_blockdev::{BlockDevice, RawAccess};
 use iron_core::{Block, BlockAddr, Errno, BLOCK_SIZE};
@@ -639,6 +639,7 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
         let end = start + self.layout.journal_len;
         let mut pos = start;
         let mut pending: Vec<LogRecord> = Vec::new();
+        let mut committed: Vec<LogRecord> = Vec::new();
         let mut applied = 0;
         while pos < end {
             let block = match self
@@ -671,24 +672,39 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
             }
             pending.extend(rb.records);
             if rb.commit {
-                for r in pending.drain(..) {
-                    let mut home = match self.dev.read(BlockAddr(r.addr)) {
-                        Ok(b) => b,
-                        Err(_) => {
-                            self.env.klog.error(
-                                "jfs",
-                                format!("home block {} unreadable during replay", r.addr),
-                            );
-                            self.env.remount_readonly("jfs", "journal replay aborted");
-                            return Ok(());
-                        }
-                    };
-                    home.put_bytes(r.offset as usize, &r.data);
-                    let _ = self.dev.write(BlockAddr(r.addr), &home);
-                }
+                committed.append(&mut pending);
                 applied += 1;
             }
             pos += 1;
+        }
+        // Apply the committed records in log order, honoring NOREDOPAGE: a
+        // no-redo marker for a block suppresses every record for it logged
+        // earlier (the block was freed there; redoing stale bytes would
+        // corrupt whatever reallocated it), while records logged after the
+        // marker still apply.
+        let mut last_noredo: BTreeMap<u64, usize> = BTreeMap::new();
+        for (p, r) in committed.iter().enumerate() {
+            if r.is_noredo() {
+                last_noredo.insert(r.addr, p);
+            }
+        }
+        for (p, r) in committed.iter().enumerate() {
+            if r.is_noredo() || last_noredo.get(&r.addr).is_some_and(|&q| q > p) {
+                continue;
+            }
+            let mut home = match self.dev.read(BlockAddr(r.addr)) {
+                Ok(b) => b,
+                Err(_) => {
+                    self.env.klog.error(
+                        "jfs",
+                        format!("home block {} unreadable during replay", r.addr),
+                    );
+                    self.env.remount_readonly("jfs", "journal replay aborted");
+                    return Ok(());
+                }
+            };
+            home.put_bytes(r.offset as usize, &r.data);
+            let _ = self.dev.write(BlockAddr(r.addr), &home);
         }
         let js = JournalSuper {
             sequence: self.jseq + applied,
@@ -740,6 +756,16 @@ impl<D: BlockDevice + RawAccess> JfsFs<D> {
         self.sb.free_blocks += 1;
         self.update_super_and_desc();
         self.cache.remove(&addr);
+        // Forget the freed page, as real JFS does: drop its staged
+        // checkpoint image and its pending byte-range records, and log a
+        // NOREDOPAGE marker so replay of already-committed transactions
+        // cannot redo stale bytes onto the block once it is reallocated
+        // (found by the iron-crash enumerator: a directory block freed and
+        // reused as file data within one transaction was clobbered at
+        // checkpoint even without a crash).
+        self.dirty.remove(&addr);
+        self.records.retain(|r| r.addr != addr);
+        self.records.push(LogRecord::noredo(addr));
         Ok(())
     }
 

@@ -42,18 +42,39 @@ impl JournalSuper {
     }
 }
 
-/// One journal record: a byte-range update to a home block.
+/// Offset sentinel marking a NOREDOPAGE record (real JFS logs one when a
+/// page is freed: replay must not redo any earlier record for that page,
+/// or a stale image lands on a reallocated block).
+pub const NOREDO_OFFSET: u16 = u16::MAX;
+
+/// One journal record: a byte-range update to a home block, or a
+/// no-redo marker for a freed one.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LogRecord {
     /// Home block address.
     pub addr: u64,
-    /// Byte offset within the home block.
+    /// Byte offset within the home block ([`NOREDO_OFFSET`] = no-redo
+    /// marker).
     pub offset: u16,
-    /// The new bytes.
+    /// The new bytes (empty for a no-redo marker).
     pub data: Vec<u8>,
 }
 
 impl LogRecord {
+    /// A NOREDOPAGE record for a freed home block.
+    pub fn noredo(addr: u64) -> LogRecord {
+        LogRecord {
+            addr,
+            offset: NOREDO_OFFSET,
+            data: Vec::new(),
+        }
+    }
+
+    /// Is this a NOREDOPAGE marker?
+    pub fn is_noredo(&self) -> bool {
+        self.offset == NOREDO_OFFSET && self.data.is_empty()
+    }
+
     /// Serialized size.
     pub fn on_disk_size(&self) -> usize {
         12 + self.data.len()
@@ -121,7 +142,8 @@ impl RecordBlock {
             let addr = b.get_u64(off);
             let offset = b.get_u16(off + 8);
             let len = b.get_u16(off + 10) as usize;
-            if off + 12 + len > BLOCK_SIZE || offset as usize + len > BLOCK_SIZE {
+            let noredo = offset == NOREDO_OFFSET && len == 0;
+            if off + 12 + len > BLOCK_SIZE || (!noredo && offset as usize + len > BLOCK_SIZE) {
                 return None;
             }
             records.push(LogRecord {
@@ -211,6 +233,19 @@ mod tests {
         let mut bad = rb.encode();
         bad.put_u16(24 + 8, 5000); // record offset beyond block
         assert_eq!(RecordBlock::decode(&bad), None);
+    }
+
+    #[test]
+    fn noredo_record_round_trips() {
+        let rb = RecordBlock {
+            sequence: 2,
+            records: vec![rec(9, 0, 32), LogRecord::noredo(9)],
+            commit: true,
+        };
+        let dec = RecordBlock::decode(&rb.encode()).expect("decodes");
+        assert_eq!(dec, rb);
+        assert!(dec.records[1].is_noredo());
+        assert!(!dec.records[0].is_noredo());
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!       "min_ns": 1200.0,
 //!       "max_ns": 1300.1,
 //!       "throughput_mb_per_s": 3164.6,
+//!       "units_per_iter": null,
+//!       "units_per_s": null,
 //!       "sim_ns": null
 //!     }
 //!   ]
@@ -28,7 +30,9 @@
 //!
 //! `mean_ns`/`min_ns`/`max_ns` are per-iteration wall-clock figures across
 //! samples; `throughput_mb_per_s` appears when the bench declared a
-//! per-iteration byte count; `sim_ns` is the simulated-disk-clock time of
+//! per-iteration byte count; `units_per_iter`/`units_per_s` appear when it
+//! declared a work-item count (e.g. crash states checked per iteration →
+//! crash-states/sec); `sim_ns` is the simulated-disk-clock time of
 //! one iteration for benches registered via [`BenchGroup::bench_with_sim`].
 //!
 //! ## Smoke mode
@@ -59,6 +63,8 @@ pub struct BenchResult {
     pub sample_means_ns: Vec<f64>,
     /// Bytes processed per iteration, if declared.
     pub throughput_bytes: Option<u64>,
+    /// Abstract work items per iteration (e.g. crash states), if declared.
+    pub units_per_iter: Option<u64>,
     /// Simulated clock time of one iteration, if the bench reports it.
     pub sim_ns: Option<u64>,
 }
@@ -83,6 +89,10 @@ impl BenchResult {
         self.throughput_bytes
             .map(|b| b as f64 / self.mean_ns() * 1e9 / (1024.0 * 1024.0))
     }
+
+    fn units_per_s(&self) -> Option<f64> {
+        self.units_per_iter.map(|u| u as f64 / self.mean_ns() * 1e9)
+    }
 }
 
 /// A named group of benches — the unit that becomes one JSON file.
@@ -91,6 +101,7 @@ pub struct BenchGroup {
     smoke: bool,
     out_dir: PathBuf,
     throughput_bytes: Option<u64>,
+    throughput_units: Option<u64>,
     results: Vec<BenchResult>,
 }
 
@@ -109,6 +120,7 @@ impl BenchGroup {
             smoke,
             out_dir,
             throughput_bytes: None,
+            throughput_units: None,
             results: Vec::new(),
         }
     }
@@ -117,6 +129,13 @@ impl BenchGroup {
     /// results also report MB/s). Call with `None` to stop.
     pub fn throughput_bytes(&mut self, bytes: Option<u64>) {
         self.throughput_bytes = bytes;
+    }
+
+    /// Declare abstract work-items-per-iteration for subsequent benches
+    /// (so results also report items/s — e.g. crash states checked).
+    /// Call with `None` to stop.
+    pub fn throughput_units(&mut self, units: Option<u64>) {
+        self.throughput_units = units;
     }
 
     /// Measure `f`: warmup, then [`SAMPLES`] timed samples of adaptively
@@ -175,6 +194,7 @@ impl BenchGroup {
             iters_per_sample,
             sample_means_ns: samples,
             throughput_bytes: self.throughput_bytes,
+            units_per_iter: self.throughput_units,
             sim_ns: record_sim.then_some(last_sim_ns),
         });
     }
@@ -196,7 +216,8 @@ impl BenchGroup {
                 out,
                 "\n    {{\"name\": {}, \"iters_per_sample\": {}, \"samples\": {}, \
                  \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
-                 \"throughput_mb_per_s\": {}, \"sim_ns\": {}}}",
+                 \"throughput_mb_per_s\": {}, \"units_per_iter\": {}, \
+                 \"units_per_s\": {}, \"sim_ns\": {}}}",
                 json_string(&r.name),
                 r.iters_per_sample,
                 r.sample_means_ns.len(),
@@ -204,6 +225,8 @@ impl BenchGroup {
                 json_f64(r.min_ns()),
                 json_f64(r.max_ns()),
                 r.throughput_mb_per_s().map_or("null".into(), json_f64),
+                r.units_per_iter.map_or("null".into(), |u| u.to_string()),
+                r.units_per_s().map_or("null".into(), json_f64),
                 r.sim_ns.map_or("null".into(), |s| s.to_string()),
             );
         }
@@ -230,6 +253,9 @@ impl BenchGroup {
             );
             if let Some(t) = r.throughput_mb_per_s() {
                 let _ = write!(line, "  {t:.1} MiB/s");
+            }
+            if let (Some(u), Some(rate)) = (r.units_per_iter, r.units_per_s()) {
+                let _ = write!(line, "  {u} units, {rate:.1}/s");
             }
             if let Some(s) = r.sim_ns {
                 let _ = write!(line, "  sim {s} ns");
@@ -286,6 +312,7 @@ mod tests {
             smoke: true,
             out_dir: std::env::temp_dir(),
             throughput_bytes: None,
+            throughput_units: None,
             results: Vec::new(),
         }
     }
@@ -313,11 +340,14 @@ mod tests {
         g.throughput_bytes(Some(4096));
         g.bench("a", || ());
         g.throughput_bytes(None);
+        g.throughput_units(Some(42));
         g.bench_with_sim("b", || ((), 7u64));
         let json = g.to_json();
         assert!(json.contains("\"group\": \"unit\""));
         assert!(json.contains("\"name\": \"a\""));
         assert!(json.contains("\"throughput_mb_per_s\": null"), "{json}");
+        assert!(json.contains("\"units_per_iter\": 42"), "{json}");
+        assert!(json.contains("\"units_per_iter\": null"), "{json}");
         assert!(json.contains("\"sim_ns\": 7"));
         // Minimal structural sanity: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

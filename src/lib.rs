@@ -46,6 +46,7 @@
 
 pub use iron_blockdev as blockdev;
 pub use iron_core as core;
+pub use iron_crash as crash;
 pub use iron_ext3 as ext3;
 pub use iron_faultinject as faultinject;
 pub use iron_fingerprint as fingerprint;
