@@ -2,6 +2,10 @@
 # Local mirror of .github/workflows/ci.yml — run before pushing.
 # The workspace is hermetic (no registry dependencies); everything runs
 # --offline, and a build that tries to reach a registry is a failure.
+#
+# IRON_STRESS=1 ./ci.sh additionally runs the stress lane: every
+# #[ignore]d concurrency-differential test (serve, fsck, campaign,
+# crash) at elevated thread counts (IRON_TEST_THREADS, default 16).
 set -eu
 
 echo '== build (release, offline) =='
@@ -20,11 +24,31 @@ echo '== bench smoke =='
 # Absolute path: cargo runs bench binaries with the package dir as cwd.
 BENCH_DIR="${IRON_BENCH_DIR:-$(pwd)/target/bench-smoke}"
 mkdir -p "$BENCH_DIR"
-for b in checksums device_model journal_commit fs_ops table6_kernels fsck_scaling campaign_scaling cache_hit crash_smoke; do
+# Discovery-driven: every file in crates/bench/benches/ is a bench
+# target (each has a [[bench]] entry in crates/bench/Cargo.toml), so a
+# new bench is picked up — and gated — without touching this script.
+bench_count=0
+for f in crates/bench/benches/*.rs; do
+    b="$(basename "$f" .rs)"
+    bench_count=$((bench_count + 1))
     IRON_BENCH_DIR="$BENCH_DIR" cargo bench -q --offline -p iron-bench --bench "$b" -- --smoke
 done
+if [ "$bench_count" -eq 0 ]; then
+    echo 'ERROR: no bench targets found in crates/bench/benches/' >&2
+    exit 1
+fi
 for f in "$BENCH_DIR"/BENCH_*.json; do
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f"
 done
+
+echo '== bench regression gate =='
+cargo run -q --offline -p iron-bench --bin bench_check -- \
+    --baseline results/baselines --current "$BENCH_DIR"
+
+if [ "${IRON_STRESS:-0}" = "1" ]; then
+    echo '== stress lane (--ignored differential suites) =='
+    IRON_TEST_THREADS="${IRON_TEST_THREADS:-16}" \
+        cargo test --workspace --release -q --offline -- --ignored
+fi
 
 echo 'CI OK'

@@ -1,0 +1,109 @@
+//! `bench_check` — the CI bench-regression gate.
+//!
+//! ```text
+//! cargo run -p iron-bench --bin bench_check -- \
+//!     --baseline results/baselines --current target/bench-smoke
+//! ```
+//!
+//! Compares every committed `BENCH_*.json` baseline against the fresh
+//! run, printing one verdict per bench result. Exits non-zero if any
+//! result regressed beyond tolerance or disappeared. Tolerances:
+//! `--tolerance` / `IRON_BENCH_TOLERANCE` for deterministic metrics
+//! (sim_ns; default 0.20), `--wall-tolerance` /
+//! `IRON_BENCH_WALL_TOLERANCE` for wall-clock metrics (default 2.0 —
+//! smoke-mode wall timings on shared runners only catch cliffs).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use iron_bench::check::{compare, has_failures, load_dir, CheckOptions, Status};
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_check --baseline <dir> --current <dir> \
+         [--tolerance <frac>] [--wall-tolerance <frac>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut opts = CheckOptions::default();
+    if let Some(t) = env_f64("IRON_BENCH_TOLERANCE") {
+        opts.tolerance = t;
+    }
+    if let Some(t) = env_f64("IRON_BENCH_WALL_TOLERANCE") {
+        opts.wall_tolerance = t;
+    }
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = args.next().map(PathBuf::from),
+            "--current" => current = args.next().map(PathBuf::from),
+            "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) => opts.tolerance = t,
+                None => usage(),
+            },
+            "--wall-tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) => opts.wall_tolerance = t,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        usage()
+    };
+
+    let base = match load_dir(&baseline) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_check: baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cur = match load_dir(&current) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_check: current: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if base.is_empty() {
+        eprintln!(
+            "bench_check: no BENCH_*.json baselines in {} — commit some \
+             (see results/baselines/README.md)",
+            baseline.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let comparisons = compare(&base, &cur, &opts);
+    for c in &comparisons {
+        println!("{c}");
+    }
+    let regressed = comparisons
+        .iter()
+        .filter(|c| matches!(c.status, Status::Regressed { .. } | Status::Missing))
+        .count();
+    println!(
+        "bench_check: {} results, {} failing (tolerance {:.0}% deterministic / {:.0}% wall)",
+        comparisons.len(),
+        regressed,
+        opts.tolerance * 100.0,
+        opts.wall_tolerance * 100.0,
+    );
+    if has_failures(&comparisons) {
+        println!("bench_check: FAIL — intentional? re-baseline per results/baselines/README.md");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_check: ok");
+        ExitCode::SUCCESS
+    }
+}

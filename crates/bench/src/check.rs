@@ -1,0 +1,492 @@
+//! The bench-regression gate: compare a directory of freshly produced
+//! `BENCH_<group>.json` files against the committed baselines in
+//! `results/baselines/` and fail on regressions beyond tolerance.
+//!
+//! ## What is compared
+//!
+//! For each result in each baseline group, one *headline metric* is
+//! chosen, in priority order:
+//!
+//! 1. `sim_ns` — simulated disk-clock time. Deterministic (the device
+//!    model's clock, not the host's), so it gets the **tight** tolerance.
+//! 2. `units_per_s`, then `throughput_mb_per_s`, then `mean_ns` — all
+//!    wall-clock figures. CI runs benches in `--smoke` mode (one
+//!    untimed-warmup iteration) on shared runners, so these are noisy and
+//!    get the **coarse** tolerance. They still catch order-of-magnitude
+//!    cliffs: an accidentally quadratic path or a lost fast path.
+//!
+//! A result or whole group present in the baseline but missing from the
+//! current run is a failure (a silently deleted bench is how a gate rots).
+//! New benches with no baseline yet are reported but pass — committing
+//! their baseline is the bench author's next step.
+//!
+//! ## Re-baselining
+//!
+//! Intentional perf changes re-baseline by copying the fresh files over
+//! the committed ones (see `results/baselines/README.md`):
+//!
+//! ```text
+//! ./ci.sh                                   # writes target/bench-smoke/
+//! cp target/bench-smoke/BENCH_*.json results/baselines/
+//! git add results/baselines && git commit
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use iron_testkit::json::{self, Value};
+
+/// Default allowed fractional regression for deterministic metrics.
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+/// Default allowed fractional regression for wall-clock metrics.
+pub const DEFAULT_WALL_TOLERANCE: f64 = 2.0;
+
+/// Which metric a comparison used, and how it is judged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Simulated disk-clock nanoseconds (lower is better, deterministic).
+    SimNs,
+    /// Work items per second (higher is better, wall clock).
+    UnitsPerS,
+    /// MiB per second (higher is better, wall clock).
+    MbPerS,
+    /// Mean nanoseconds per iteration (lower is better, wall clock).
+    MeanNs,
+}
+
+impl Metric {
+    fn key(self) -> &'static str {
+        match self {
+            Metric::SimNs => "sim_ns",
+            Metric::UnitsPerS => "units_per_s",
+            Metric::MbPerS => "throughput_mb_per_s",
+            Metric::MeanNs => "mean_ns",
+        }
+    }
+
+    fn lower_is_better(self) -> bool {
+        matches!(self, Metric::SimNs | Metric::MeanNs)
+    }
+
+    fn is_wall_clock(self) -> bool {
+        !matches!(self, Metric::SimNs)
+    }
+}
+
+/// The outcome of one result-vs-baseline comparison.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Group the result belongs to.
+    pub group: String,
+    /// Result name within the group.
+    pub name: String,
+    /// Verdict.
+    pub status: Status,
+}
+
+/// Per-result verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Status {
+    /// Within tolerance (fractional change, signed: + is a regression).
+    Ok {
+        /// Metric compared.
+        metric: Metric,
+        /// Fractional regression (negative = improvement).
+        regression: f64,
+    },
+    /// Beyond tolerance.
+    Regressed {
+        /// Metric compared.
+        metric: Metric,
+        /// Fractional regression.
+        regression: f64,
+        /// The tolerance it exceeded.
+        tolerance: f64,
+    },
+    /// Present in the baseline, absent from the current run.
+    Missing,
+    /// Present in the current run, no baseline yet (passes).
+    NewBench,
+    /// Neither side carried a comparable metric.
+    NoMetric,
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.status {
+            Status::Ok { metric, regression } => write!(
+                f,
+                "ok       {}/{} {:+.1}% ({})",
+                self.group,
+                self.name,
+                regression * 100.0,
+                metric.key()
+            ),
+            Status::Regressed {
+                metric,
+                regression,
+                tolerance,
+            } => write!(
+                f,
+                "REGRESSED {}/{} {:+.1}% > {:.0}% allowed ({})",
+                self.group,
+                self.name,
+                regression * 100.0,
+                tolerance * 100.0,
+                metric.key()
+            ),
+            Status::Missing => {
+                write!(
+                    f,
+                    "MISSING  {}/{} (in baseline, not in run)",
+                    self.group, self.name
+                )
+            }
+            Status::NewBench => {
+                write!(f, "new      {}/{} (no baseline yet)", self.group, self.name)
+            }
+            Status::NoMetric => {
+                write!(
+                    f,
+                    "NO-METRIC {}/{} (nothing comparable)",
+                    self.group, self.name
+                )
+            }
+        }
+    }
+}
+
+/// Gate configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckOptions {
+    /// Allowed fractional regression for deterministic metrics.
+    pub tolerance: f64,
+    /// Allowed fractional regression for wall-clock metrics.
+    pub wall_tolerance: f64,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            tolerance: DEFAULT_TOLERANCE,
+            wall_tolerance: DEFAULT_WALL_TOLERANCE,
+        }
+    }
+}
+
+/// One parsed result row: name → metric values.
+type ResultRow = BTreeMap<String, f64>;
+/// One parsed group file: result name → row.
+type Group = BTreeMap<String, ResultRow>;
+
+fn parse_group(text: &str) -> Result<(String, Group), String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let group = doc
+        .get("group")
+        .and_then(Value::as_str)
+        .ok_or("missing 'group' field")?
+        .to_string();
+    let mut out = Group::new();
+    for r in doc
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or("missing 'results'")?
+    {
+        let name = r
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("result without 'name'")?
+            .to_string();
+        let mut row = ResultRow::new();
+        for m in [
+            Metric::SimNs,
+            Metric::UnitsPerS,
+            Metric::MbPerS,
+            Metric::MeanNs,
+        ] {
+            if let Some(v) = r.get(m.key()).and_then(Value::as_f64) {
+                row.insert(m.key().to_string(), v);
+            }
+        }
+        out.insert(name, row);
+    }
+    Ok((group, out))
+}
+
+/// Load every `BENCH_*.json` in `dir` into `group name → results`.
+pub fn load_dir(dir: &Path) -> Result<BTreeMap<String, Group>, String> {
+    let mut out = BTreeMap::new();
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let fname = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !fname.starts_with("BENCH_") || !fname.ends_with(".json") {
+            continue;
+        }
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let (group, results) =
+            parse_group(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.insert(group, results);
+    }
+    Ok(out)
+}
+
+/// Pick the headline metric a baseline row is judged by.
+fn headline(row: &ResultRow) -> Option<Metric> {
+    [
+        Metric::SimNs,
+        Metric::UnitsPerS,
+        Metric::MbPerS,
+        Metric::MeanNs,
+    ]
+    .into_iter()
+    .find(|m| row.contains_key(m.key()))
+}
+
+fn compare_row(base: &ResultRow, cur: &ResultRow, opts: &CheckOptions) -> Status {
+    let Some(metric) = headline(base) else {
+        return Status::NoMetric;
+    };
+    let b = base[metric.key()];
+    let Some(&c) = cur.get(metric.key()) else {
+        // The metric disappeared (e.g. a bench stopped declaring units):
+        // nothing comparable.
+        return Status::NoMetric;
+    };
+    if b <= 0.0 {
+        // A zero baseline is a meaningful claim for deterministic metrics
+        // (e.g. sim_ns 0 = "this path does no disk I/O at all"); any
+        // nonzero current value is an infinite regression. Zero wall-clock
+        // baselines are junk data — nothing to compare.
+        return match (metric.is_wall_clock(), c <= 0.0) {
+            (true, _) => Status::NoMetric,
+            (false, true) => Status::Ok {
+                metric,
+                regression: 0.0,
+            },
+            (false, false) => Status::Regressed {
+                metric,
+                regression: f64::INFINITY,
+                tolerance: opts.tolerance,
+            },
+        };
+    }
+    // Signed fractional slowdown relative to baseline: +1.0 means "twice
+    // as slow" (or half the throughput), negative means improvement. The
+    // ratio form keeps one scale across lower-is-better and
+    // higher-is-better metrics, so tolerances above 1.0 stay meaningful
+    // for throughput.
+    let regression = if metric.lower_is_better() {
+        c / b - 1.0
+    } else if c > 0.0 {
+        b / c - 1.0
+    } else {
+        f64::INFINITY // throughput collapsed to zero
+    };
+    let tolerance = if metric.is_wall_clock() {
+        opts.wall_tolerance
+    } else {
+        opts.tolerance
+    };
+    if regression > tolerance {
+        Status::Regressed {
+            metric,
+            regression,
+            tolerance,
+        }
+    } else {
+        Status::Ok { metric, regression }
+    }
+}
+
+/// Compare every baseline group/result against the current run.
+///
+/// Returns all comparisons (for reporting); the gate fails if
+/// [`has_failures`] is true over them.
+pub fn compare(
+    baseline: &BTreeMap<String, Group>,
+    current: &BTreeMap<String, Group>,
+    opts: &CheckOptions,
+) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for (gname, base_results) in baseline {
+        match current.get(gname) {
+            None => {
+                // The whole group vanished from the run.
+                for name in base_results.keys() {
+                    out.push(Comparison {
+                        group: gname.clone(),
+                        name: name.clone(),
+                        status: Status::Missing,
+                    });
+                }
+            }
+            Some(cur_results) => {
+                for (name, base_row) in base_results {
+                    let status = match cur_results.get(name) {
+                        None => Status::Missing,
+                        Some(cur_row) => compare_row(base_row, cur_row, opts),
+                    };
+                    out.push(Comparison {
+                        group: gname.clone(),
+                        name: name.clone(),
+                        status,
+                    });
+                }
+            }
+        }
+    }
+    // Benches with no baseline yet: visible, but not failures.
+    for (gname, cur_results) in current {
+        for name in cur_results.keys() {
+            let known = baseline.get(gname).is_some_and(|g| g.contains_key(name));
+            if !known {
+                out.push(Comparison {
+                    group: gname.clone(),
+                    name: name.clone(),
+                    status: Status::NewBench,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True if any comparison should fail the gate.
+pub fn has_failures(comparisons: &[Comparison]) -> bool {
+    comparisons
+        .iter()
+        .any(|c| matches!(c.status, Status::Regressed { .. } | Status::Missing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(pairs: &[(&str, f64)]) -> ResultRow {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    fn groups(entries: &[(&str, &str, ResultRow)]) -> BTreeMap<String, Group> {
+        let mut out: BTreeMap<String, Group> = BTreeMap::new();
+        for (g, n, r) in entries {
+            out.entry(g.to_string())
+                .or_default()
+                .insert(n.to_string(), r.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn sim_ns_outranks_wall_metrics_and_gates_tightly() {
+        let base = groups(&[("g", "a", row(&[("sim_ns", 100.0), ("mean_ns", 10.0)]))]);
+        // mean_ns got 100x worse, but sim_ns (the headline) is within 20%.
+        let cur = groups(&[("g", "a", row(&[("sim_ns", 115.0), ("mean_ns", 1000.0)]))]);
+        let cs = compare(&base, &cur, &CheckOptions::default());
+        assert!(
+            matches!(
+                cs[0].status,
+                Status::Ok {
+                    metric: Metric::SimNs,
+                    ..
+                }
+            ),
+            "{:?}",
+            cs
+        );
+        // But a 25% sim_ns regression fails.
+        let cur = groups(&[("g", "a", row(&[("sim_ns", 125.0), ("mean_ns", 10.0)]))]);
+        let cs = compare(&base, &cur, &CheckOptions::default());
+        assert!(has_failures(&cs), "{:?}", cs);
+    }
+
+    #[test]
+    fn wall_clock_gets_the_coarse_tolerance() {
+        let base = groups(&[("g", "a", row(&[("units_per_s", 1000.0)]))]);
+        // Half the throughput: noisy but under the 200% allowance.
+        let cur = groups(&[("g", "a", row(&[("units_per_s", 500.0)]))]);
+        assert!(!has_failures(&compare(
+            &base,
+            &cur,
+            &CheckOptions::default()
+        )));
+        // A 100x cliff fails even with the coarse tolerance.
+        let cur = groups(&[("g", "a", row(&[("units_per_s", 10.0)]))]);
+        assert!(has_failures(&compare(
+            &base,
+            &cur,
+            &CheckOptions::default()
+        )));
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let base = groups(&[("g", "a", row(&[("sim_ns", 100.0)]))]);
+        let cur = groups(&[("g", "a", row(&[("sim_ns", 1.0)]))]);
+        let cs = compare(&base, &cur, &CheckOptions::default());
+        assert!(!has_failures(&cs));
+        let Status::Ok { regression, .. } = cs[0].status else {
+            panic!("{:?}", cs)
+        };
+        assert!(regression < 0.0, "improvement must be negative regression");
+    }
+
+    #[test]
+    fn missing_result_or_group_fails() {
+        let base = groups(&[
+            ("g", "a", row(&[("mean_ns", 10.0)])),
+            ("h", "b", row(&[("mean_ns", 10.0)])),
+        ]);
+        let cur = groups(&[("g", "other", row(&[("mean_ns", 10.0)]))]);
+        let cs = compare(&base, &cur, &CheckOptions::default());
+        assert!(has_failures(&cs));
+        let missing: Vec<_> = cs
+            .iter()
+            .filter(|c| c.status == Status::Missing)
+            .map(|c| format!("{}/{}", c.group, c.name))
+            .collect();
+        assert_eq!(missing, ["g/a", "h/b"]);
+    }
+
+    #[test]
+    fn new_benches_pass_but_are_reported() {
+        let base = BTreeMap::new();
+        let cur = groups(&[("g", "a", row(&[("mean_ns", 10.0)]))]);
+        let cs = compare(&base, &cur, &CheckOptions::default());
+        assert!(!has_failures(&cs));
+        assert_eq!(cs[0].status, Status::NewBench);
+    }
+
+    #[test]
+    fn zero_sim_ns_baseline_means_stay_zero() {
+        let base = groups(&[("g", "a", row(&[("sim_ns", 0.0), ("mean_ns", 10.0)]))]);
+        let same = groups(&[("g", "a", row(&[("sim_ns", 0.0), ("mean_ns", 99.0)]))]);
+        assert!(!has_failures(&compare(
+            &base,
+            &same,
+            &CheckOptions::default()
+        )));
+        // Disk I/O appearing on a path that did none is always a failure.
+        let worse = groups(&[("g", "a", row(&[("sim_ns", 1.0), ("mean_ns", 10.0)]))]);
+        assert!(has_failures(&compare(
+            &base,
+            &worse,
+            &CheckOptions::default()
+        )));
+    }
+
+    #[test]
+    fn parses_real_bench_output() {
+        let text = r#"{"group": "serve", "smoke": true, "results": [
+            {"name": "t1", "iters_per_sample": 1, "samples": 1,
+             "mean_ns": 5000.0, "min_ns": 5000.0, "max_ns": 5000.0,
+             "throughput_mb_per_s": null, "units_per_iter": 1024,
+             "units_per_s": 204800.0, "sim_ns": null}]}"#;
+        let (group, results) = parse_group(text).unwrap();
+        assert_eq!(group, "serve");
+        assert_eq!(headline(&results["t1"]), Some(Metric::UnitsPerS));
+    }
+}

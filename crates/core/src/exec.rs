@@ -73,6 +73,32 @@ impl WorkerPool {
         W: Fn(&mut A, &T) + Sync,
         M: Fn(&mut A, A),
     {
+        let chunk = (items.len() / (self.threads * CHUNKS_PER_WORKER)).clamp(1, MAX_CHUNK);
+        self.shard_chunked(items, chunk, work, merge)
+    }
+
+    /// Like [`Self::shard`], but workers claim exactly one item at a time.
+    ///
+    /// For coarse-grained, long-running items — whole client sessions, full
+    /// campaign cells — where one slow item per claim is the unit of load
+    /// imbalance and cursor traffic is negligible next to item cost.
+    pub fn shard_fine<T, A, W, M>(&self, items: &[T], work: W, merge: M) -> A
+    where
+        T: Sync,
+        A: Default + Send,
+        W: Fn(&mut A, &T) + Sync,
+        M: Fn(&mut A, A),
+    {
+        self.shard_chunked(items, 1, work, merge)
+    }
+
+    fn shard_chunked<T, A, W, M>(&self, items: &[T], chunk: usize, work: W, merge: M) -> A
+    where
+        T: Sync,
+        A: Default + Send,
+        W: Fn(&mut A, &T) + Sync,
+        M: Fn(&mut A, A),
+    {
         if self.threads == 1 || items.len() <= 1 {
             let mut acc = A::default();
             for item in items {
@@ -80,7 +106,6 @@ impl WorkerPool {
             }
             return acc;
         }
-        let chunk = (items.len() / (self.threads * CHUNKS_PER_WORKER)).clamp(1, MAX_CHUNK);
         let cursor = AtomicUsize::new(0);
         let shards: Vec<A> = thread::scope(|s| {
             let handles: Vec<_> = (0..self.threads)
@@ -163,6 +188,26 @@ mod tests {
             let pool = WorkerPool::new(threads);
             let sum: u64 = pool.shard(&items, |acc, &i| *acc += i, |out, shard| *out += shard);
             assert_eq!(sum, expect);
+        }
+    }
+
+    #[test]
+    fn shard_fine_visits_every_item_exactly_once() {
+        let items: Vec<u64> = (0..2_000).collect();
+        for threads in [1, 2, 5, 8] {
+            let pool = WorkerPool::new(threads);
+            let seen: BTreeSet<u64> = pool.shard_fine(
+                &items,
+                |acc: &mut BTreeSet<u64>, &i| {
+                    assert!(acc.insert(i), "item folded twice within a shard");
+                },
+                |out, shard| {
+                    for i in shard {
+                        assert!(out.insert(i), "item claimed by two shards");
+                    }
+                },
+            );
+            assert_eq!(seen.len(), items.len(), "threads={threads}");
         }
     }
 

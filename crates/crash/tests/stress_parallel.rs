@@ -1,0 +1,53 @@
+//! Stress lane (`cargo test -- --ignored`, CI's scheduled/opt-in job):
+//! the crash-enumeration campaign's parallel==sequential property at
+//! elevated thread counts, across every workload and two file systems.
+
+use iron_crash::{run_crash_campaign, CrashCampaignOptions, EnumOptions, WORKLOADS};
+use iron_fingerprint::{Ext3Adapter, FsUnderTest, JfsAdapter};
+
+fn stress_threads() -> usize {
+    std::env::var("IRON_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+fn assert_width_invariant(fs: &dyn FsUnderTest) {
+    let threads = stress_threads();
+    for (i, w) in WORKLOADS.iter().enumerate() {
+        let sequential = run_crash_campaign(
+            fs,
+            &WORKLOADS[i],
+            &CrashCampaignOptions {
+                enumeration: EnumOptions::default(),
+                threads: 1,
+            },
+        );
+        let parallel = run_crash_campaign(
+            fs,
+            &WORKLOADS[i],
+            &CrashCampaignOptions {
+                enumeration: EnumOptions::default(),
+                threads,
+            },
+        );
+        assert_eq!(
+            sequential, parallel,
+            "{}: crash report diverged at t={threads}",
+            w.name
+        );
+        assert!(sequential.images_checked > 0, "{}: no images", w.name);
+    }
+}
+
+#[test]
+#[ignore = "stress lane; run with --ignored (IRON_TEST_THREADS)"]
+fn ext3_crash_reports_are_identical_at_elevated_threads() {
+    assert_width_invariant(&Ext3Adapter::stock());
+}
+
+#[test]
+#[ignore = "stress lane; run with --ignored (IRON_TEST_THREADS)"]
+fn jfs_crash_reports_are_identical_at_elevated_threads() {
+    assert_width_invariant(&JfsAdapter);
+}

@@ -1,0 +1,100 @@
+//! Serving-layer differential on ext3: a concurrent serve run must equal
+//! its serial replay in commit order — identical responses, identical
+//! namespace, and a bit-identical unmounted disk image — at 1/2/4/8
+//! worker threads, on both a bare MemDisk and a full cached stack.
+
+use iron_blockdev::{BufferCache, CachePolicy, MemDisk, StackBuilder};
+use iron_ext3::{Ext3Fs, Ext3Options, Ext3Params};
+use iron_serve::{assert_serial_equivalence, generate, memdisk_image, prepare, WorkloadSpec};
+use iron_vfs::{FsEnv, Vfs};
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn mkfs_disk() -> MemDisk {
+    let mut md = MemDisk::for_tests(4096);
+    Ext3Fs::<MemDisk>::mkfs(&mut md, Ext3Params::small()).unwrap();
+    md
+}
+
+fn mount_prepared(spec: &WorkloadSpec) -> Vfs<Ext3Fs<MemDisk>> {
+    let fs = Ext3Fs::mount(mkfs_disk(), FsEnv::new(), Ext3Options::default()).unwrap();
+    let mut v = Vfs::new(fs);
+    prepare(&mut v, spec);
+    v
+}
+
+fn mount_prepared_cached(spec: &WorkloadSpec) -> Vfs<Ext3Fs<BufferCache<MemDisk>>> {
+    let dev = StackBuilder::new(mkfs_disk())
+        .with_cache(CachePolicy::write_back(64))
+        .build();
+    let fs = Ext3Fs::mount(dev, FsEnv::new(), Ext3Options::default()).unwrap();
+    let mut v = Vfs::new(fs);
+    prepare(&mut v, spec);
+    v
+}
+
+#[test]
+fn ext3_serve_matches_serial_replay_bit_identically() {
+    let spec = WorkloadSpec::default();
+    let sessions = generate(&spec);
+    assert_serial_equivalence(
+        || mount_prepared(&spec),
+        |v| Some(memdisk_image(&v.into_fs().into_device())),
+        &sessions,
+        &WIDTHS,
+    );
+}
+
+#[test]
+fn ext3_over_writeback_cache_serve_matches_serial_replay() {
+    // The full stack: serve → VFS → ext3 → write-back cache → MemDisk.
+    // Unmount destages everything, so the final raw medium must still be
+    // bit-identical to the serial replay's.
+    let spec = WorkloadSpec {
+        sessions: 6,
+        requests_per_session: 24,
+        ..Default::default()
+    };
+    let sessions = generate(&spec);
+    assert_serial_equivalence(
+        || mount_prepared_cached(&spec),
+        |v| {
+            let cache = v.into_fs().into_device();
+            assert_eq!(cache.dirty_blocks(), 0, "unmount must drain the cache");
+            Some(memdisk_image(&cache.into_inner()))
+        },
+        &sessions,
+        &WIDTHS,
+    );
+}
+
+/// Stress lane (`cargo test -- --ignored`, CI's scheduled/opt-in job):
+/// the same oracle at elevated thread and session counts, tunable via
+/// `IRON_TEST_THREADS` / `IRON_STRESS_ITERS`.
+#[test]
+#[ignore = "stress lane; run with --ignored (IRON_TEST_THREADS, IRON_STRESS_ITERS)"]
+fn ext3_serve_stress_differential() {
+    let threads: usize = std::env::var("IRON_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let iters: usize = std::env::var("IRON_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    for round in 0..iters {
+        let spec = WorkloadSpec {
+            sessions: 2 * threads,
+            requests_per_session: 64,
+            seed: 0x57E5_5EED ^ (round as u64) << 32,
+            ..Default::default()
+        };
+        let sessions = generate(&spec);
+        assert_serial_equivalence(
+            || mount_prepared(&spec),
+            |v| Some(memdisk_image(&v.into_fs().into_device())),
+            &sessions,
+            &[1, threads],
+        );
+    }
+}

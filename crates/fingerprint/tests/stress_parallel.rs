@@ -1,0 +1,41 @@
+//! Stress lane (`cargo test -- --ignored`, CI's scheduled/opt-in job):
+//! the fingerprint campaign's parallel==sequential property at elevated
+//! thread counts. The default tier proves it at small widths; this lane
+//! re-proves it at `IRON_TEST_THREADS` over the full Figure-2 matrix.
+
+use iron_fingerprint::{fingerprint_fs, CampaignOptions, Ext3Adapter, ReiserAdapter};
+
+fn stress_threads() -> usize {
+    std::env::var("IRON_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+#[test]
+#[ignore = "stress lane; run with --ignored (IRON_TEST_THREADS)"]
+fn ext3_full_matrix_is_identical_at_elevated_threads() {
+    let sequential = fingerprint_fs(
+        &Ext3Adapter::stock(),
+        &CampaignOptions::default().with_threads(1),
+    );
+    let parallel = fingerprint_fs(
+        &Ext3Adapter::stock(),
+        &CampaignOptions::default().with_threads(stress_threads()),
+    );
+    assert_eq!(sequential.cells, parallel.cells, "matrix diverged");
+    assert_eq!(sequential.relevant, parallel.relevant);
+    assert!(sequential.relevant > 0, "the campaign must fire faults");
+}
+
+#[test]
+#[ignore = "stress lane; run with --ignored (IRON_TEST_THREADS)"]
+fn reiser_full_matrix_is_identical_at_elevated_threads() {
+    let sequential = fingerprint_fs(&ReiserAdapter, &CampaignOptions::default().with_threads(1));
+    let parallel = fingerprint_fs(
+        &ReiserAdapter,
+        &CampaignOptions::default().with_threads(stress_threads()),
+    );
+    assert_eq!(sequential.cells, parallel.cells, "matrix diverged");
+    assert_eq!(sequential.relevant, parallel.relevant);
+}

@@ -1,0 +1,48 @@
+//! Stress lane (`cargo test -- --ignored`, CI's scheduled/opt-in job):
+//! the fsck engine's parallel==sequential property at elevated thread
+//! counts over many damaged images. The default tier
+//! (`differential.rs`) proves it at widths 2 and 4; this lane re-proves
+//! it at `IRON_TEST_THREADS` across `IRON_STRESS_ITERS` seeds.
+
+mod common;
+
+use common::{build_image, corrupt_block, victims, Lcg};
+use iron_ext3::fsck::{check, Ext3Image};
+use iron_fsck::FsckEngine;
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+#[ignore = "stress lane; run with --ignored (IRON_TEST_THREADS, IRON_STRESS_ITERS)"]
+fn fsck_matches_oracle_at_elevated_threads() {
+    let threads = env_or("IRON_TEST_THREADS", 16);
+    let iters = env_or("IRON_STRESS_ITERS", 24);
+    for round in 0..iters as u64 {
+        let (mut dev, layout) = build_image(12, 5_000);
+        let classes = victims(&dev, &layout);
+        let mut rng = Lcg(round.wrapping_mul(0x9E37_79B9) ^ 0x57E5);
+        for _ in 0..1 + round % 5 {
+            let (_, addrs) = &classes[rng.next() as usize % classes.len()];
+            if addrs.is_empty() {
+                continue;
+            }
+            let addr = addrs[rng.next() as usize % addrs.len()];
+            corrupt_block(&mut dev, addr, rng.next(), rng.next());
+        }
+        let oracle = check(&dev, &layout);
+        let img = Ext3Image::new(dev, layout);
+        let report = FsckEngine::with_threads(threads).check(&img);
+        assert!(
+            report.same_issues(&oracle.issues),
+            "round {round}: t={threads} diverged from sequential oracle\n  \
+             engine: {:?}\n  oracle: {:?}",
+            report.issues,
+            oracle.issues
+        );
+    }
+}

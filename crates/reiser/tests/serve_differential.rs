@@ -1,0 +1,30 @@
+//! Serving-layer differential on ReiserFS: tail packing and balanced-tree
+//! rebalancing make its block layout especially sensitive to operation
+//! order, so the bit-identical-image oracle is a strong check that
+//! commit-order replay reproduces a concurrent run exactly.
+
+use iron_blockdev::MemDisk;
+use iron_reiser::{ReiserFs, ReiserOptions, ReiserParams};
+use iron_serve::{assert_serial_equivalence, generate, memdisk_image, prepare, WorkloadSpec};
+use iron_vfs::{FsEnv, Vfs};
+
+fn mount_prepared(spec: &WorkloadSpec) -> Vfs<ReiserFs<MemDisk>> {
+    let mut md = MemDisk::for_tests(4096);
+    ReiserFs::<MemDisk>::mkfs(&mut md, ReiserParams::small()).unwrap();
+    let fs = ReiserFs::mount(md, FsEnv::new(), ReiserOptions::default()).unwrap();
+    let mut v = Vfs::new(fs);
+    prepare(&mut v, spec);
+    v
+}
+
+#[test]
+fn reiser_serve_matches_serial_replay_bit_identically() {
+    let spec = WorkloadSpec::default();
+    let sessions = generate(&spec);
+    assert_serial_equivalence(
+        || mount_prepared(&spec),
+        |v| Some(memdisk_image(&v.into_fs().into_device())),
+        &sessions,
+        &[1, 2, 4, 8],
+    );
+}

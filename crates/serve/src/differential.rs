@@ -1,0 +1,135 @@
+//! The differential oracle: a concurrent serve run must equal its own
+//! serial replay — identical per-request responses, identical final
+//! file-system contents, and (where the mount sits on a raw medium) a
+//! bit-identical disk image.
+//!
+//! This is the serving layer's analogue of the workspace's earlier
+//! parallel==sequential proofs (pFSCK-style fsck shards, campaign cells):
+//! parallelism must be purely a wall-clock knob.
+
+use iron_blockdev::{BlockDevice, MemDisk, RawAccess};
+use iron_core::BlockAddr;
+use iron_vfs::{FileType, SpecificFs, Vfs, VfsResult};
+
+use crate::engine::{replay_serial, serve, ServeOptions, Session};
+use crate::proto::digest;
+
+/// Flatten a `MemDisk`'s full medium into bytes for equality checks.
+pub fn memdisk_image(md: &MemDisk) -> Vec<u8> {
+    let blocks = md.num_blocks();
+    let mut out = Vec::with_capacity(blocks as usize * iron_core::BLOCK_SIZE);
+    for a in 0..blocks {
+        out.extend_from_slice(&*md.peek(BlockAddr(a)));
+    }
+    out
+}
+
+/// A semantic fingerprint of the mounted namespace: every path with its
+/// type, size, link count, and content digest, in sorted order. Works for
+/// any [`SpecificFs`] (including ones with no raw medium, like `RamFs`),
+/// so the oracle can compare final states even where no disk image
+/// exists.
+pub fn fs_fingerprint<F: SpecificFs>(vfs: &mut Vfs<F>) -> Vec<String> {
+    fn walk<F: SpecificFs>(vfs: &mut Vfs<F>, path: &str, out: &mut Vec<String>) -> VfsResult<()> {
+        let entries = vfs.readdir(path)?;
+        for e in entries {
+            if e.name == "." || e.name == ".." {
+                continue;
+            }
+            let child = if path == "/" {
+                format!("/{}", e.name)
+            } else {
+                format!("{path}/{}", e.name)
+            };
+            let attr = vfs.lstat(&child)?;
+            match attr.ftype {
+                FileType::Directory => {
+                    out.push(format!("{child} dir nlink={}", attr.nlink));
+                    walk(vfs, &child, out)?;
+                }
+                FileType::Regular => {
+                    let data = vfs.read_file(&child)?;
+                    out.push(format!(
+                        "{child} file size={} nlink={} digest={:016x}",
+                        attr.size,
+                        attr.nlink,
+                        digest(&data)
+                    ));
+                }
+                FileType::Symlink => {
+                    let target = vfs.readlink(&child)?;
+                    out.push(format!("{child} symlink -> {target}"));
+                }
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(vfs, "/", &mut out).expect("fingerprint walk");
+    out.sort();
+    out
+}
+
+fn assert_images_equal(concurrent: &Option<Vec<u8>>, serial: &Option<Vec<u8>>, threads: usize) {
+    match (concurrent, serial) {
+        (Some(c), Some(s)) => {
+            assert_eq!(c.len(), s.len(), "t={threads}: image sizes differ");
+            if let Some(pos) = c.iter().zip(s.iter()).position(|(a, b)| a != b) {
+                panic!(
+                    "t={threads}: disk image diverged from serial replay at byte {pos} \
+                     (block {}): concurrent={:#04x} serial={:#04x}",
+                    pos / iron_core::BLOCK_SIZE,
+                    c[pos],
+                    s[pos]
+                );
+            }
+        }
+        (None, None) => {}
+        _ => panic!("t={threads}: one run produced an image and the other did not"),
+    }
+}
+
+/// Run the full differential oracle at every width in `threads`.
+///
+/// `mk` builds a freshly mounted, identically prepared file system;
+/// `extract` consumes the unmounted wrapper and returns the raw medium
+/// bytes (or `None` for media-less file systems). For each width: serve
+/// concurrently, replay the commit log serially on a second identical
+/// mount, and assert responses, namespace fingerprints, and images all
+/// match.
+pub fn assert_serial_equivalence<F, Mk, Img>(
+    mk: Mk,
+    extract: Img,
+    sessions: &[Session],
+    threads: &[usize],
+) where
+    F: SpecificFs + Send,
+    Mk: Fn() -> Vfs<F>,
+    Img: Fn(Vfs<F>) -> Option<Vec<u8>>,
+{
+    for &t in threads {
+        let opts = ServeOptions::default().with_threads(t);
+
+        let mut concurrent = mk();
+        let report = serve(&mut concurrent, sessions, &opts);
+        let fp_concurrent = fs_fingerprint(&mut concurrent);
+        concurrent.umount().expect("concurrent unmount");
+        let img_concurrent = extract(concurrent);
+
+        let mut serial = mk();
+        let replayed = replay_serial(&mut serial, sessions, &report.commit_log);
+        let fp_serial = fs_fingerprint(&mut serial);
+        serial.umount().expect("serial unmount");
+        let img_serial = extract(serial);
+
+        assert_eq!(
+            report.responses, replayed,
+            "t={t}: concurrent responses != serial replay in commit order"
+        );
+        assert_eq!(
+            fp_concurrent, fp_serial,
+            "t={t}: final namespace diverged from serial replay"
+        );
+        assert_images_equal(&img_concurrent, &img_serial, t);
+    }
+}

@@ -1,0 +1,211 @@
+//! The in-tree request/response protocol.
+//!
+//! Modeled on the service surface of a master/chunkserver file service
+//! (upload / get / append / delete RPCs) flattened onto one VFS: every
+//! request names its targets by **absolute path** and carries no session
+//! state — NFSv3-style statelessness — so any request can be replayed in
+//! isolation and a commit-ordered log of requests is a complete execution
+//! trace. Write payloads travel as a `(seed, len)` pair and are expanded
+//! by the serving worker (the marshalling cost stays on the client-facing
+//! thread, outside the file-system critical section); read replies carry a
+//! digest rather than the data so traces stay small while remaining
+//! sensitive to every byte.
+//!
+//! Symlinks are deliberately absent: the lock manager keys on lexical
+//! paths ([`iron_vfs::paths`]), and a symlink would let a request touch
+//! paths outside its lexical lock set.
+
+use iron_vfs::{InodeAttr, VfsError};
+
+/// One client request. Paths are absolute; see the module docs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Resolve a path and return its inode (an NFS-style lookup handle).
+    Open {
+        /// Absolute path to resolve.
+        path: String,
+    },
+    /// Create a regular file.
+    Create {
+        /// Absolute path of the file to create.
+        path: String,
+        /// Permission bits.
+        mode: u32,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Absolute path of the directory to create.
+        path: String,
+        /// Permission bits.
+        mode: u32,
+    },
+    /// Remove a file link.
+    Unlink {
+        /// Absolute path of the link to remove.
+        path: String,
+    },
+    /// Remove an empty directory.
+    Rmdir {
+        /// Absolute path of the directory to remove.
+        path: String,
+    },
+    /// Rename (replacing any existing destination).
+    Rename {
+        /// Source path.
+        from: String,
+        /// Destination path.
+        to: String,
+    },
+    /// Positional read.
+    Read {
+        /// Absolute path of the file.
+        path: String,
+        /// Byte offset.
+        off: u64,
+        /// Bytes to read.
+        len: usize,
+    },
+    /// Positional write of `len` bytes expanded from `seed` (see
+    /// [`payload`]).
+    Write {
+        /// Absolute path of the file.
+        path: String,
+        /// Byte offset.
+        off: u64,
+        /// Payload length in bytes.
+        len: usize,
+        /// Payload generator seed.
+        seed: u64,
+    },
+    /// List a directory.
+    Readdir {
+        /// Absolute path of the directory.
+        path: String,
+    },
+    /// `stat` a path (following symlink-free resolution).
+    Stat {
+        /// Absolute path.
+        path: String,
+    },
+    /// Flush one file to stable storage.
+    Fsync {
+        /// Absolute path of the file.
+        path: String,
+    },
+    /// Flush the whole file system.
+    Sync,
+}
+
+impl Request {
+    /// Short operation name, for labels and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Open { .. } => "open",
+            Request::Create { .. } => "create",
+            Request::Mkdir { .. } => "mkdir",
+            Request::Unlink { .. } => "unlink",
+            Request::Rmdir { .. } => "rmdir",
+            Request::Rename { .. } => "rename",
+            Request::Read { .. } => "read",
+            Request::Write { .. } => "write",
+            Request::Readdir { .. } => "readdir",
+            Request::Stat { .. } => "stat",
+            Request::Fsync { .. } => "fsync",
+            Request::Sync => "sync",
+        }
+    }
+}
+
+/// The success half of a reply.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Reply {
+    /// A resolved handle (`Open`, `Create`, `Mkdir`).
+    Handle {
+        /// Inode number of the target.
+        ino: u64,
+    },
+    /// Read data, summarized (`Read`).
+    Data {
+        /// Bytes actually read.
+        len: usize,
+        /// FNV-1a digest of the data (see [`digest`]).
+        digest: u64,
+    },
+    /// Bytes accepted (`Write`).
+    Written {
+        /// Bytes written.
+        n: usize,
+    },
+    /// Directory listing, entry names in the file system's order
+    /// (`Readdir`).
+    Entries(Vec<String>),
+    /// Full attributes (`Stat`).
+    Attr(InodeAttr),
+    /// Success with no payload (`Unlink`, `Rmdir`, `Rename`, `Fsync`,
+    /// `Sync`).
+    Unit,
+}
+
+/// What a request returns: a [`Reply`] or the errno/panic the VFS raised.
+pub type Response = Result<Reply, VfsError>;
+
+/// Expand a `(seed, len)` write descriptor into its payload bytes.
+///
+/// A splitmix64 stream: cheap, deterministic, and with enough entropy that
+/// torn or misplaced writes change the [`digest`] of any read that
+/// observes them.
+pub fn payload(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let bytes = z.to_le_bytes();
+        let take = bytes.len().min(len - out.len());
+        out.extend_from_slice(&bytes[..take]);
+    }
+    out
+}
+
+/// FNV-1a (64-bit) over a byte slice — the digest read replies carry.
+pub fn digest(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_is_deterministic_and_length_exact() {
+        for len in [0usize, 1, 7, 8, 9, 4096] {
+            let a = payload(42, len);
+            let b = payload(42, len);
+            assert_eq!(a.len(), len);
+            assert_eq!(a, b);
+        }
+        assert_ne!(payload(1, 64), payload(2, 64), "seeds must differ");
+    }
+
+    #[test]
+    fn digest_is_byte_sensitive() {
+        let mut data = payload(7, 256);
+        let d0 = digest(&data);
+        data[100] ^= 1;
+        assert_ne!(d0, digest(&data));
+    }
+
+    #[test]
+    fn request_names_cover_every_variant() {
+        assert_eq!(Request::Sync.name(), "sync");
+        assert_eq!(Request::Open { path: "/x".into() }.name(), "open");
+    }
+}

@@ -1,0 +1,96 @@
+//! The serving layer's headline property, on `RamFs`: a concurrent run
+//! at any thread count is indistinguishable from its own serial replay
+//! in commit order — identical per-request responses and an identical
+//! final namespace.
+//!
+//! The same property runs against every on-disk model (with the
+//! bit-identical-image oracle added) in each FS crate's
+//! `serve_differential.rs`.
+
+use iron_serve::{
+    assert_serial_equivalence, generate, prepare, serve, validate_commit_log, ServeOptions,
+    WorkloadSpec,
+};
+use iron_vfs::ramfs::RamFs;
+use iron_vfs::Vfs;
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn ram_equivalence(spec: WorkloadSpec) {
+    let sessions = generate(&spec);
+    assert_serial_equivalence(
+        || {
+            let mut v = Vfs::new(RamFs::new());
+            prepare(&mut v, &spec);
+            v
+        },
+        |_v| None, // RamFs has no raw medium; the namespace fingerprint is the oracle
+        &sessions,
+        &WIDTHS,
+    );
+}
+
+#[test]
+fn default_workload_matches_serial_replay_at_all_widths() {
+    ram_equivalence(WorkloadSpec::default());
+}
+
+#[test]
+fn conflict_heavy_workload_matches_serial_replay() {
+    // One shared file and one directory: nearly every request conflicts.
+    ram_equivalence(WorkloadSpec {
+        sessions: 8,
+        requests_per_session: 48,
+        dirs: 1,
+        shared_files: 1,
+        ..Default::default()
+    });
+}
+
+#[test]
+fn wide_workload_matches_serial_replay() {
+    // More sessions than workers at every width: workers drain several
+    // sessions each, so claim order (not just interleaving) varies.
+    ram_equivalence(WorkloadSpec {
+        sessions: 24,
+        requests_per_session: 20,
+        seed: 0xD15C_0BA1,
+        ..Default::default()
+    });
+}
+
+#[test]
+fn commit_log_is_a_valid_total_order_at_every_width() {
+    let spec = WorkloadSpec::default();
+    let sessions = generate(&spec);
+    for &t in &WIDTHS {
+        let mut v = Vfs::new(RamFs::new());
+        prepare(&mut v, &spec);
+        let report = serve(&mut v, &sessions, &ServeOptions::default().with_threads(t));
+        validate_commit_log(&sessions, &report.commit_log).unwrap_or_else(|e| panic!("t={t}: {e}"));
+        assert_eq!(
+            report.total_ops(),
+            spec.sessions * spec.requests_per_session
+        );
+    }
+}
+
+#[test]
+fn auto_thread_count_also_holds() {
+    let spec = WorkloadSpec {
+        sessions: 6,
+        requests_per_session: 16,
+        ..Default::default()
+    };
+    let sessions = generate(&spec);
+    assert_serial_equivalence(
+        || {
+            let mut v = Vfs::new(RamFs::new());
+            prepare(&mut v, &spec);
+            v
+        },
+        |_v| None,
+        &sessions,
+        &[0], // 0 = one worker per hardware thread
+    );
+}

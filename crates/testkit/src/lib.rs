@@ -7,7 +7,7 @@
 //! choice is replayable from a seed. This crate keeps the whole
 //! workspace hermetic: no `rand`, no `proptest`, no `criterion`.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`rng`] — a seedable SplitMix64/xoshiro256** PRNG ([`Rng`]);
 //! * [`gen`] + [`prop`] — a minimal property-testing harness: value
@@ -15,7 +15,9 @@
 //!   failing case's seed, and a simple halving shrinker ([`Shrink`]);
 //! * [`bench`] — warmup + timed iterations over wall clock (and,
 //!   optionally, the simulated disk clock), emitting machine-readable
-//!   `BENCH_<group>.json`.
+//!   `BENCH_<group>.json`;
+//! * [`json`] — a serde-free JSON reader so the bench-regression gate
+//!   can parse those files back.
 //!
 //! ## Reproducing a property-test failure
 //!
@@ -35,6 +37,7 @@
 
 pub mod bench;
 pub mod gen;
+pub mod json;
 pub mod prop;
 pub mod rng;
 mod shrink;

@@ -26,6 +26,7 @@
 
 pub mod env;
 pub mod fs;
+pub mod paths;
 pub mod ramfs;
 pub mod types;
 pub mod vfs;

@@ -19,6 +19,9 @@
 //!   parity, transactional checksums, scrubbing);
 //! * [`fingerprint`] — the failure-policy fingerprinting framework
 //!   (workloads, campaigns, inference, Figure 2/3 rendering);
+//! * [`serve`] — the concurrent multi-client serving layer (request
+//!   protocol, sharded path-lock manager, commit-order serial-replay
+//!   oracle);
 //! * [`workloads`] — the Table 6 macro-benchmarks and space-overhead
 //!   analysis.
 //!
@@ -55,6 +58,7 @@ pub use iron_ixt3 as ixt3;
 pub use iron_jfs as jfs;
 pub use iron_ntfs as ntfs;
 pub use iron_reiser as reiser;
+pub use iron_serve as serve;
 pub use iron_vfs as vfs;
 pub use iron_workloads as workloads;
 
@@ -102,5 +106,10 @@ pub mod prelude {
     pub use iron_fingerprint::{
         fingerprint_fs, CampaignDevice, CampaignOptions, Ext3Adapter, FaultMode, FsUnderTest,
         JfsAdapter, NtfsAdapter, PolicyMatrix, ReiserAdapter, Workload,
+    };
+
+    pub use iron_serve::{
+        generate, prepare, replay_serial, serve, LockManager, Reply, Request, ServeOptions,
+        ServeReport, Session, WorkloadSpec,
     };
 }
