@@ -1,0 +1,100 @@
+//! Replicated-volume cost model: what does mirroring a volume across N
+//! mechanically-timed replicas cost on writes, what do the read policies
+//! cost per policy, and how fast does peer repair heal a divergent
+//! replica. Emits `BENCH_cluster.json`; run with `--smoke` for CI.
+//!
+//! Simulated time of the volume is the *slowest replica's* clock — the
+//! replicas are independent spindles serviced in parallel, so a fan-out
+//! write completes when the last copy lands. Each replica gets its own
+//! fresh [`SimClock`] via `MemDisk::snapshot`, so `max(now_ns)` over the
+//! replicas is exactly that completion time.
+
+use iron_testkit::{black_box, BenchGroup};
+
+use iron_blockdev::{BlockDevice, DiskGeometry, MemDisk, RawAccess};
+use iron_cluster::{ReadPolicy, ReplicatedDisk};
+use iron_core::{Block, BlockAddr, SimClock};
+
+const DISK_BLOCKS: u64 = 4096;
+const SPREAD: u64 = 16; // stride defeats pure streaming transfers
+const TOUCHED: u64 = 512;
+const DIVERGENT: u64 = 64;
+
+fn timed_golden() -> MemDisk {
+    MemDisk::new(DISK_BLOCKS, DiskGeometry::ata_7200rpm(), SimClock::new())
+}
+
+fn volume(n: usize, policy: ReadPolicy) -> ReplicatedDisk<MemDisk> {
+    // snapshot() keeps the mechanical geometry and hands each replica a
+    // fresh zeroed clock.
+    ReplicatedDisk::from_golden(&timed_golden(), n, policy)
+}
+
+/// Completion time: the slowest replica's simulated clock.
+fn sim_ns(vol: &ReplicatedDisk<MemDisk>) -> u64 {
+    (0..vol.num_replicas())
+        .map(|i| vol.replica(i).clock().now_ns())
+        .max()
+        .unwrap_or(0)
+}
+
+fn main() {
+    let mut g = BenchGroup::from_env("cluster");
+
+    // Fan-out write throughput vs replica count: the write amplification
+    // is N-fold in I/O but the spindles run in parallel, so completion
+    // time should stay near the single-disk cost.
+    g.throughput_units(Some(TOUCHED));
+    for n in [1usize, 2, 3] {
+        g.bench_with_sim(&format!("write_scattered_n{n}"), move || {
+            let mut vol = volume(n, ReadPolicy::Primary);
+            for i in 0..TOUCHED {
+                vol.write(
+                    BlockAddr((i * SPREAD) % DISK_BLOCKS),
+                    &Block::filled(i as u8),
+                )
+                .unwrap();
+            }
+            vol.flush().unwrap();
+            let ns = sim_ns(&vol);
+            (black_box(vol.stats().snapshot().writes), ns)
+        });
+    }
+
+    // Read cost per policy on a 3-replica volume: primary touches one
+    // spindle, round-robin spreads seeks across three, quorum pays for
+    // every replica on every read — the price of arbitration.
+    for (name, policy) in [
+        ("read_primary_n3", ReadPolicy::Primary),
+        ("read_roundrobin_n3", ReadPolicy::RoundRobin),
+        ("read_quorum_n3", ReadPolicy::Quorum),
+    ] {
+        g.bench_with_sim(name, move || {
+            let mut vol = volume(3, policy);
+            for i in 0..TOUCHED {
+                black_box(vol.read(BlockAddr((i * SPREAD) % DISK_BLOCKS)).unwrap());
+            }
+            (black_box(vol.stats().snapshot().reads), sim_ns(&vol))
+        });
+    }
+
+    // Repair rate: a full-volume scrub healing DIVERGENT poked blocks on
+    // one replica of three. Units are scanned blocks — the scrub walks
+    // the whole volume — so this is repair-scan blocks/sec with healing
+    // work included.
+    g.throughput_units(Some(DISK_BLOCKS));
+    g.bench_with_sim("scrub_repair_n3", || {
+        let mut vol = volume(3, ReadPolicy::Quorum);
+        for i in 0..DIVERGENT {
+            vol.replica_mut(1)
+                .poke(BlockAddr((i * 61) % DISK_BLOCKS), &Block::filled(0xBD));
+        }
+        let report = vol.scrub_repair();
+        assert_eq!(report.scanned, DISK_BLOCKS);
+        assert!(report.all_healed(), "{report:?}");
+        assert!(vol.replicas_identical());
+        (black_box(report.healed), sim_ns(&vol))
+    });
+
+    g.finish();
+}

@@ -1,0 +1,88 @@
+//! Serving-layer differential over a replicated volume: a concurrent
+//! serve run against ext3 on a 3-replica quorum volume must equal its
+//! serial replay in commit order — identical responses, identical
+//! namespace, and a bit-identical raw medium on *every* replica — plus a
+//! stress-lane variant at elevated thread counts (`IRON_STRESS=1` job:
+//! `cargo test -- --ignored`, tuned by `IRON_TEST_THREADS` /
+//! `IRON_STRESS_ITERS`).
+
+use iron_blockdev::MemDisk;
+use iron_cluster::{ReadPolicy, ReplicatedDisk};
+use iron_ext3::{Ext3Fs, Ext3Options, Ext3Params};
+use iron_serve::{assert_serial_equivalence, generate, memdisk_image, prepare, WorkloadSpec};
+use iron_vfs::{FsEnv, Vfs};
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn mkfs_disk() -> MemDisk {
+    let mut md = MemDisk::for_tests(4096);
+    Ext3Fs::<MemDisk>::mkfs(&mut md, Ext3Params::small()).unwrap();
+    md
+}
+
+fn mount_prepared(spec: &WorkloadSpec, n: usize) -> Vfs<Ext3Fs<ReplicatedDisk<MemDisk>>> {
+    let vol = ReplicatedDisk::from_golden(&mkfs_disk(), n, ReadPolicy::Quorum);
+    let fs = Ext3Fs::mount(vol, FsEnv::new(), Ext3Options::default()).unwrap();
+    let mut v = Vfs::new(fs);
+    prepare(&mut v, spec);
+    v
+}
+
+/// The oracle: all replicas converged and healthy, and replica 0's image
+/// is the run's fingerprint (so concurrent runs must match serial runs
+/// bit for bit on the medium, exactly as on a bare disk).
+fn cluster_image(v: Vfs<Ext3Fs<ReplicatedDisk<MemDisk>>>) -> Option<Vec<u8>> {
+    let vol = v.into_fs().into_device();
+    let s = vol.stats().snapshot();
+    assert_eq!(s.divergences, 0, "healthy serve run must never diverge");
+    assert_eq!(s.degraded_writes, 0);
+    assert!(
+        vol.replicas_identical(),
+        "replicas must converge at unmount"
+    );
+    Some(memdisk_image(vol.replica(0)))
+}
+
+#[test]
+fn ext3_on_three_replica_volume_matches_serial_replay() {
+    let spec = WorkloadSpec {
+        sessions: 6,
+        requests_per_session: 24,
+        ..Default::default()
+    };
+    let sessions = generate(&spec);
+    assert_serial_equivalence(
+        || mount_prepared(&spec, 3),
+        cluster_image,
+        &sessions,
+        &WIDTHS,
+    );
+}
+
+#[test]
+#[ignore = "stress lane; run with --ignored (IRON_TEST_THREADS, IRON_STRESS_ITERS)"]
+fn ext3_cluster_serve_stress_differential() {
+    let threads: usize = std::env::var("IRON_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let iters: usize = std::env::var("IRON_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    for round in 0..iters {
+        let spec = WorkloadSpec {
+            sessions: 2 * threads,
+            requests_per_session: 64,
+            seed: 0xC1_05E7 ^ (round as u64) << 32,
+            ..Default::default()
+        };
+        let sessions = generate(&spec);
+        assert_serial_equivalence(
+            || mount_prepared(&spec, 3),
+            cluster_image,
+            &sessions,
+            &[1, threads],
+        );
+    }
+}

@@ -1,9 +1,13 @@
 //! Fault plans: what to fail, when, and how.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use iron_core::model::Locality;
 use iron_core::{BlockAddr, BlockTag, FaultKind, IoKind, Transience};
+
+/// Process-wide plan-identity counter (see [`FaultId`]).
+static NEXT_PLAN_ID: AtomicU64 = AtomicU64::new(1);
 
 /// What a fault is aimed at.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -60,8 +64,21 @@ impl FaultSpec {
 }
 
 /// Handle naming an injected fault.
+///
+/// Ids are *plan-scoped*: the handle records which [`FaultPlan`] issued it,
+/// so two plans hosting identical specs (e.g. one per replica of a
+/// mirrored volume) hand out ids that never compare equal and cannot be
+/// used interchangeably. Before this, `FaultId` was a bare per-plan index —
+/// replica 0's fault #0 aliased replica 1's fault #0, and a harness that
+/// mixed controllers up would silently arm/inspect the wrong replica.
+/// Controller operations now panic on a foreign plan's id instead.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct FaultId(pub usize);
+pub struct FaultId {
+    /// The issuing plan's unique identity.
+    plan: u64,
+    /// Index within that plan.
+    idx: usize,
+}
 
 #[derive(Debug)]
 struct FaultEntry {
@@ -86,9 +103,22 @@ struct PlanState {
 ///
 /// Cloning shares state: the test harness keeps one handle (via
 /// [`FaultController`]) while the device under the file system keeps another.
-#[derive(Clone, Debug, Default)]
+/// Every plan carries a process-unique identity, stamped into each
+/// [`FaultId`] it issues, so ids stay per-plan-addressable across the
+/// replicas of a multi-device volume.
+#[derive(Clone, Debug)]
 pub struct FaultPlan {
+    id: u64,
     state: Arc<Mutex<PlanState>>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            id: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed),
+            state: Arc::new(Mutex::new(PlanState::default())),
+        }
+    }
 }
 
 impl FaultPlan {
@@ -174,6 +204,22 @@ pub struct FaultController {
 }
 
 impl FaultController {
+    /// Reject ids issued by a different plan. A stale index into *this*
+    /// plan (after [`Self::clear`]) is tolerated — the lookups below
+    /// simply find nothing — but a foreign id is a harness bug: on a
+    /// replicated volume it means the caller is about to arm or inspect
+    /// the wrong replica's fault.
+    fn check_owner(&self, id: FaultId) -> usize {
+        assert_eq!(
+            id.plan, self.plan.id,
+            "FaultId issued by plan {} used on plan {}: fault ids are \
+             plan-scoped (one plan per replica); use the controller of the \
+             replica that injected the fault",
+            id.plan, self.plan.id
+        );
+        id.idx
+    }
+
     /// Inject a fault; it is armed immediately.
     pub fn inject(&self, spec: FaultSpec) -> FaultId {
         let mut st = self.plan.state.lock().unwrap();
@@ -184,12 +230,16 @@ impl FaultController {
             tag_seen: 0,
             anchor: None,
         });
-        FaultId(st.faults.len() - 1)
+        FaultId {
+            plan: self.plan.id,
+            idx: st.faults.len() - 1,
+        }
     }
 
     /// Disarm a fault (it stays in the plan for inspection).
     pub fn disarm(&self, id: FaultId) {
-        if let Some(e) = self.plan.state.lock().unwrap().faults.get_mut(id.0) {
+        let idx = self.check_owner(id);
+        if let Some(e) = self.plan.state.lock().unwrap().faults.get_mut(idx) {
             e.armed = false;
         }
     }
@@ -200,7 +250,8 @@ impl FaultController {
     /// the measured phase — disarmed faults see no accesses, so `TagNth`
     /// counting effectively restarts at re-arm time.
     pub fn arm(&self, id: FaultId) {
-        if let Some(e) = self.plan.state.lock().unwrap().faults.get_mut(id.0) {
+        let idx = self.check_owner(id);
+        if let Some(e) = self.plan.state.lock().unwrap().faults.get_mut(idx) {
             e.armed = true;
         }
     }
@@ -214,12 +265,13 @@ impl FaultController {
 
     /// How many times the fault has fired.
     pub fn fire_count(&self, id: FaultId) -> u32 {
+        let idx = self.check_owner(id);
         self.plan
             .state
             .lock()
             .unwrap()
             .faults
-            .get(id.0)
+            .get(idx)
             .map_or(0, |e| e.fired)
     }
 
@@ -230,12 +282,13 @@ impl FaultController {
 
     /// The address the fault first fired on, if it has fired.
     pub fn anchor(&self, id: FaultId) -> Option<BlockAddr> {
+        let idx = self.check_owner(id);
         self.plan
             .state
             .lock()
             .unwrap()
             .faults
-            .get(id.0)
+            .get(idx)
             .and_then(|e| e.anchor)
     }
 }
@@ -430,5 +483,43 @@ mod tests {
         ctl.disarm(id);
         assert_eq!(ctl.fire_count(id), 1);
         assert_eq!(ctl.anchor(id), Some(BlockAddr(7)));
+    }
+
+    /// Multi-device regression: two plans hosting *identical* specs (one
+    /// per replica of a mirrored volume) must hand out distinct, non-
+    /// interchangeable ids. The old bare-index `FaultId` aliased them:
+    /// replica 0's fault #0 compared equal to replica 1's fault #0, so a
+    /// campaign inspecting "the" id could read the wrong replica's
+    /// counters without noticing.
+    #[test]
+    fn fault_ids_are_plan_scoped_across_replicas() {
+        let spec = FaultSpec::sticky(FaultKind::ReadError, FaultTarget::Tag(BlockTag("inode")));
+        let plan_a = FaultPlan::new();
+        let plan_b = FaultPlan::new();
+        let ctl_a = plan_a.controller();
+        let ctl_b = plan_b.controller();
+        let id_a = ctl_a.inject(spec);
+        let id_b = ctl_b.inject(spec);
+        assert_ne!(id_a, id_b, "identical specs on two plans must not alias");
+
+        // Fire replica B's fault only; replica A's counters stay zero and
+        // each id reads its own plan's entry.
+        assert!(plan_b
+            .check(IoKind::Read, BlockAddr(9), BlockTag("inode"))
+            .is_some());
+        assert!(ctl_b.fired(id_b));
+        assert!(!ctl_a.fired(id_a));
+    }
+
+    #[test]
+    #[should_panic(expected = "plan-scoped")]
+    fn foreign_fault_id_is_rejected() {
+        let spec = FaultSpec::sticky(FaultKind::ReadError, FaultTarget::Addr(BlockAddr(1)));
+        let plan_a = FaultPlan::new();
+        let plan_b = FaultPlan::new();
+        let id_a = plan_a.controller().inject(spec);
+        // Arm through the wrong replica's controller: must panic, not
+        // silently poke entry #0 of plan B.
+        plan_b.controller().arm(id_a);
     }
 }

@@ -1,0 +1,689 @@
+//! The cross-replica fault campaign: the Figure 2 policy matrix gains a
+//! **replica-fault topology** axis.
+//!
+//! The paper's campaign asks *"how does the file system react when its
+//! one disk fails?"*. Stacking the same type-aware fault injector under
+//! each replica of an [`iron_cluster::ReplicatedDisk`] asks the
+//! storage-system question instead: *which single-disk reactions
+//! disappear once a quorum of peers can arbitrate, and which fault
+//! topologies still defeat the cluster?* Each campaign cell becomes
+//! (topology × fault mode × block type × workload): the fault is injected
+//! on a chosen subset of replicas — primary only, a quorum minority, a
+//! quorum majority, transient — and the run records both the file
+//! system's policy reaction (same [`infer`] vocabulary as Figure 2) and
+//! the cluster-tier outcome: did quorum arbitration detect the
+//! divergence, was the fault masked from the file system entirely, and
+//! did peer repair converge the replicas afterwards?
+
+use std::collections::HashMap;
+
+use iron_blockdev::{BufferCache, MemDisk, StackBuilder};
+use iron_cluster::{mirror_with, ReadPolicy, ReplicatedDisk};
+use iron_core::exec::WorkerPool;
+use iron_core::policy::PolicyCell;
+use iron_core::BlockTag;
+use iron_ext3::{Ext3Fs, Ext3Options};
+use iron_faultinject::{FaultPlan, FaultSpec, FaultTarget, FaultyDisk};
+use iron_vfs::{FsEnv, SpecificFs, Vfs, VfsError, VfsResult};
+
+use crate::adapters::Ext3Adapter;
+use crate::campaign::FaultMode;
+use crate::observe::{infer, Observation};
+use crate::workloads::{run, Workload, WorkloadOutput};
+
+/// The device stack every cluster-campaign cell mounts over: a
+/// write-through cache above a quorum-read replicated volume whose
+/// replicas each carry their *own* fault layer over their own golden
+/// snapshot — the per-replica analogue of the single-disk
+/// [`crate::adapters::CampaignDevice`].
+pub type ClusterCampaignDevice = BufferCache<ReplicatedDisk<FaultyDisk<MemDisk>>>;
+
+/// A file system packaged for the cluster campaign.
+///
+/// Unlike [`crate::adapters::FsUnderTest`] this trait keeps the concrete
+/// file-system type: after the workload the cell *unmounts and takes the
+/// device back* to run peer repair and the convergence oracle, which a
+/// `Box<dyn SpecificFs>` cannot return.
+pub trait ClusterFsUnderTest: Sync {
+    /// The mounted file-system type.
+    type Fs: SpecificFs;
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Block-type rows.
+    fn rows(&self) -> Vec<BlockTag>;
+
+    /// Golden single-disk image (replicated by the campaign).
+    fn golden(&self, dirty_journal: bool) -> MemDisk;
+
+    /// Mount over the replicated stack.
+    fn mount(&self, dev: ClusterCampaignDevice, env: FsEnv) -> VfsResult<Self::Fs>;
+
+    /// Recover the device from a mounted instance.
+    fn device(&self, fs: Self::Fs) -> ClusterCampaignDevice;
+}
+
+/// ext3/ixt3 packaged for the cluster campaign (delegates formatting,
+/// rows, and options to the single-disk [`Ext3Adapter`]).
+pub struct Ext3ClusterAdapter {
+    /// The single-disk adapter providing golden images, rows, and mount
+    /// options.
+    pub inner: Ext3Adapter,
+}
+
+impl Ext3ClusterAdapter {
+    /// Stock ext3 on a replicated volume.
+    pub fn stock() -> Self {
+        Ext3ClusterAdapter {
+            inner: Ext3Adapter::stock(),
+        }
+    }
+
+    /// Full ixt3 on a replicated volume.
+    pub fn ixt3() -> Self {
+        Ext3ClusterAdapter {
+            inner: Ext3Adapter::ixt3(),
+        }
+    }
+
+    fn options(&self) -> Ext3Options {
+        Ext3Options {
+            legacy_journal_bugs: self.inner.legacy_journal_bugs,
+            ..Ext3Options::with_iron(self.inner.iron)
+        }
+    }
+}
+
+impl ClusterFsUnderTest for Ext3ClusterAdapter {
+    type Fs = Ext3Fs<ClusterCampaignDevice>;
+
+    fn name(&self) -> &'static str {
+        use crate::adapters::FsUnderTest;
+        self.inner.name()
+    }
+
+    fn rows(&self) -> Vec<BlockTag> {
+        use crate::adapters::FsUnderTest;
+        self.inner.rows()
+    }
+
+    fn golden(&self, dirty_journal: bool) -> MemDisk {
+        use crate::adapters::FsUnderTest;
+        self.inner.golden(dirty_journal)
+    }
+
+    fn mount(&self, dev: ClusterCampaignDevice, env: FsEnv) -> VfsResult<Self::Fs> {
+        Ext3Fs::mount(dev, env, self.options())
+    }
+
+    fn device(&self, fs: Self::Fs) -> ClusterCampaignDevice {
+        fs.into_device()
+    }
+}
+
+/// One point on the campaign's replica-fault axis: how many replicas the
+/// volume has and which of them carry the injected fault.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ReplicaTopology {
+    /// Display name.
+    pub name: &'static str,
+    /// Replica count.
+    pub replicas: usize,
+    /// Replica indices carrying the fault.
+    pub faulted: &'static [usize],
+    /// Override the mode's transience: the fault clears after one firing
+    /// (models a transient per-replica hiccup rather than a bad medium).
+    pub transient: bool,
+}
+
+impl ReplicaTopology {
+    /// The standard axis: the single-disk baseline, a fault on the
+    /// primary of three, on a quorum minority, on a quorum majority, and
+    /// a transient primary fault.
+    pub const ALL: [ReplicaTopology; 5] = [
+        ReplicaTopology {
+            name: "single",
+            replicas: 1,
+            faulted: &[0],
+            transient: false,
+        },
+        ReplicaTopology {
+            name: "primary-of-3",
+            replicas: 3,
+            faulted: &[0],
+            transient: false,
+        },
+        ReplicaTopology {
+            name: "minority-of-3",
+            replicas: 3,
+            faulted: &[2],
+            transient: false,
+        },
+        ReplicaTopology {
+            name: "majority-of-3",
+            replicas: 3,
+            faulted: &[0, 1],
+            transient: false,
+        },
+        ReplicaTopology {
+            name: "transient-primary",
+            replicas: 3,
+            faulted: &[0],
+            transient: true,
+        },
+    ];
+
+    /// True if the healthy replicas still form a content majority — the
+    /// topologies where quorum arbitration is *expected* to win.
+    pub fn minority_faulted(&self) -> bool {
+        2 * (self.replicas - self.faulted.len()) > self.replicas
+    }
+}
+
+/// One cluster-campaign cell: the file system's policy reaction plus the
+/// cluster-tier verdict.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ClusterCell {
+    /// The fault fired on at least one faulted replica.
+    pub fired: bool,
+    /// The single-disk policy inference for this run (what the *file
+    /// system* was observed doing) — `None` when its observable output
+    /// was indistinguishable from the fault-free reference.
+    pub fs_cell: Option<PolicyCell>,
+    /// The workload's observable output matched the fault-free reference:
+    /// the cluster masked the fault completely.
+    pub masked: bool,
+    /// Mount failed under this fault.
+    pub mount_failed: bool,
+    /// Divergences the quorum read path detected during the run.
+    pub divergences: u64,
+    /// Replica copies healed by post-run peer repair.
+    pub healed: u64,
+    /// Replica copies peer repair could not heal (no majority).
+    pub unrecoverable: u64,
+    /// All replica media bit-identical after repair. `None` when the
+    /// mount failed (the device is consumed, no repair pass runs).
+    pub converged: Option<bool>,
+}
+
+/// Options for a cluster campaign.
+#[derive(Clone, Debug)]
+pub struct ClusterCampaignOptions {
+    /// Replica-fault topologies (the new axis).
+    pub topologies: Vec<ReplicaTopology>,
+    /// Fault modes.
+    pub modes: Vec<FaultMode>,
+    /// Workload columns.
+    pub workloads: Vec<Workload>,
+    /// Row filter (empty = all rows).
+    pub rows: Vec<BlockTag>,
+    /// Worker threads (0 = one per hardware thread). Bit-identical at any
+    /// width.
+    pub threads: usize,
+}
+
+impl Default for ClusterCampaignOptions {
+    fn default() -> Self {
+        ClusterCampaignOptions {
+            topologies: ReplicaTopology::ALL.to_vec(),
+            modes: FaultMode::ALL.to_vec(),
+            workloads: Workload::COLUMNS.to_vec(),
+            rows: Vec::new(),
+            threads: 0,
+        }
+    }
+}
+
+/// The 4-axis matrix: `cells[(topology, mode, row, col)]`.
+pub struct ClusterMatrix {
+    /// File-system name.
+    pub fs_name: &'static str,
+    /// Topology axis.
+    pub topologies: Vec<ReplicaTopology>,
+    /// Row tags.
+    pub rows: Vec<BlockTag>,
+    /// Column workloads.
+    pub cols: Vec<Workload>,
+    /// Fault modes.
+    pub modes: Vec<FaultMode>,
+    /// `None` = the fault never fired (gray).
+    pub cells: HashMap<(usize, usize, usize, usize), Option<ClusterCell>>,
+    /// Cells where the fault fired.
+    pub relevant: usize,
+}
+
+impl ClusterMatrix {
+    /// The cell at (topology, mode, row, col) indices.
+    pub fn cell(&self, topo: usize, mode: usize, row: usize, col: usize) -> Option<&ClusterCell> {
+        self.cells
+            .get(&(topo, mode, row, col))
+            .and_then(|c| c.as_ref())
+    }
+
+    /// Per-topology roll-up lines for reports: relevant / masked /
+    /// converged / unrecoverable counts.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (ti, t) in self.topologies.iter().enumerate() {
+            let mut relevant = 0usize;
+            let mut masked = 0usize;
+            let mut converged = 0usize;
+            let mut unrecoverable = 0usize;
+            for (&(cti, ..), cell) in &self.cells {
+                if cti != ti {
+                    continue;
+                }
+                if let Some(c) = cell {
+                    relevant += 1;
+                    masked += usize::from(c.masked);
+                    converged += usize::from(c.converged == Some(true));
+                    unrecoverable += usize::from(c.unrecoverable > 0);
+                }
+            }
+            out.push_str(&format!(
+                "{:>18} (n={}): relevant={relevant} masked={masked} \
+                 converged={converged} unrecoverable={unrecoverable}\n",
+                t.name, t.replicas,
+            ));
+        }
+        out
+    }
+}
+
+/// One cell's raw artifacts, before inference.
+struct ClusterRun {
+    output: WorkloadOutput,
+    mount_error: Option<VfsError>,
+    env: FsEnv,
+    fired: bool,
+    anchor: Option<iron_core::BlockAddr>,
+    klog: Vec<iron_core::klog::LogEntry>,
+    trace: Vec<iron_blockdev::IoEvent>,
+    divergences: u64,
+    healed: u64,
+    unrecoverable: u64,
+    converged: Option<bool>,
+}
+
+fn run_one_cluster<A: ClusterFsUnderTest>(
+    adapter: &A,
+    golden: &MemDisk,
+    topo: &ReplicaTopology,
+    w: Workload,
+    fault: Option<(FaultMode, BlockTag)>,
+) -> ClusterRun {
+    // One plan per replica: FaultIds are plan-scoped, so each faulted
+    // replica gets its own injection with independent TagNth counting.
+    let plans: Vec<FaultPlan> = (0..topo.replicas).map(|_| FaultPlan::new()).collect();
+    let special = w.is_special();
+    let mut ids = Vec::new();
+    if let Some((mode, tag)) = fault {
+        for &ri in topo.faulted {
+            let spec = if topo.transient {
+                FaultSpec::transient(mode.kind(), FaultTarget::TagNth { tag, nth: 0 }, 1)
+            } else {
+                mode.spec(tag)
+            };
+            let ctl = plans[ri].controller();
+            let id = ctl.inject(spec);
+            // Same discipline as the single-disk campaign: plain
+            // workloads arm the fault only after mount.
+            if !special {
+                ctl.disarm(id);
+            }
+            ids.push((ri, id));
+        }
+    }
+
+    let vol = mirror_with(golden, topo.replicas, ReadPolicy::Quorum, |md, i| {
+        FaultyDisk::with_plan(md, plans[i].clone())
+    });
+    let cluster_stats = vol.stats();
+    // Observe I/O from the first faulted replica's vantage point (it is
+    // the one whose fault anchors the cell).
+    let observed = topo.faulted.first().copied().unwrap_or(0);
+    let trace = vol.replica(observed).trace();
+    let dev: ClusterCampaignDevice = StackBuilder::new(vol).write_through().build();
+
+    let env = FsEnv::new();
+    let mut cell = ClusterRun {
+        output: WorkloadOutput::default(),
+        mount_error: None,
+        env: env.clone(),
+        fired: false,
+        anchor: None,
+        klog: Vec::new(),
+        trace: Vec::new(),
+        divergences: 0,
+        healed: 0,
+        unrecoverable: 0,
+        converged: None,
+    };
+
+    match adapter.mount(dev, env) {
+        Ok(fs) => {
+            let mut v = Vfs::new(fs);
+            cell.output.steps.push("mount:ok".into());
+            for &(ri, id) in &ids {
+                if !special {
+                    plans[ri].controller().arm(id);
+                }
+            }
+            let out = run(w, &mut v, Some(&trace));
+            cell.output.steps.extend(out.steps);
+            cell.output.step_trace_marks = out.step_trace_marks;
+            // Read fired/anchor now — clear() below wipes the entries.
+            for &(ri, id) in &ids {
+                let ctl = plans[ri].controller();
+                cell.fired |= ctl.fired(id);
+                if cell.anchor.is_none() {
+                    cell.anchor = ctl.anchor(id);
+                }
+            }
+
+            // Post-run cluster phase: take the device back, drop the
+            // fault layers' state, and let the peers repair. Unmount
+            // errors under an armed write fault are themselves part of
+            // the FS observation, not the cluster verdict — ignore them.
+            let _ = v.umount();
+            let cache = adapter.device(v.into_fs());
+            let mut vol = cache.into_inner();
+            for p in &plans {
+                p.controller().clear();
+            }
+            let fg = vol.repair_pending();
+            let bg = vol.scrub_repair();
+            cell.healed = fg.healed + bg.healed;
+            cell.unrecoverable = fg.unrecoverable + bg.unrecoverable;
+            cell.converged = Some(vol.replicas_identical());
+        }
+        Err(e) => {
+            cell.output.steps.push(match &e {
+                VfsError::Errno(errno) => format!("mount:err:{errno:?}"),
+                VfsError::KernelPanic(_) => "mount:PANIC".into(),
+            });
+            cell.mount_error = Some(e);
+            for &(ri, id) in &ids {
+                let ctl = plans[ri].controller();
+                cell.fired |= ctl.fired(id);
+                if cell.anchor.is_none() {
+                    cell.anchor = ctl.anchor(id);
+                }
+            }
+        }
+    }
+
+    cell.divergences = cluster_stats.snapshot().divergences;
+    cell.klog = cell.env.klog.entries();
+    cell.trace = trace.events();
+    cell
+}
+
+/// Run the cluster campaign: the full (topology × mode × row × workload)
+/// cross product, sharded over [`WorkerPool`] with keyed merge — the
+/// matrix is bit-identical at any thread count.
+pub fn fingerprint_cluster<A: ClusterFsUnderTest>(
+    adapter: &A,
+    opts: &ClusterCampaignOptions,
+) -> ClusterMatrix {
+    let all_rows = adapter.rows();
+    let rows: Vec<BlockTag> = if opts.rows.is_empty() {
+        all_rows
+    } else {
+        all_rows
+            .into_iter()
+            .filter(|t| opts.rows.contains(t))
+            .collect()
+    };
+    let cols = opts.workloads.clone();
+    let modes = opts.modes.clone();
+    let topologies = opts.topologies.clone();
+    let pool = if opts.threads == 0 {
+        WorkerPool::auto()
+    } else {
+        WorkerPool::new(opts.threads)
+    };
+
+    let golden_clean = adapter.golden(false);
+    let golden_dirty = adapter.golden(true);
+    let golden_for = |w: Workload| {
+        if w == Workload::Recovery {
+            &golden_dirty
+        } else {
+            &golden_clean
+        }
+    };
+
+    // Fault-free references at n=1: the differential tier proves a
+    // healthy ReplicatedDisk(n) is bit-identical to a bare disk, so one
+    // reference per workload serves every topology.
+    let reference_topo = ReplicaTopology {
+        name: "reference",
+        replicas: 1,
+        faulted: &[],
+        transient: false,
+    };
+    let ref_jobs: Vec<iron_core::exec::Job<'_, (Workload, WorkloadOutput)>> = cols
+        .iter()
+        .map(|&w| {
+            let golden_clean = &golden_clean;
+            let golden_dirty = &golden_dirty;
+            let reference_topo = &reference_topo;
+            Box::new(move || {
+                let golden = if w == Workload::Recovery {
+                    golden_dirty
+                } else {
+                    golden_clean
+                };
+                (
+                    w,
+                    run_one_cluster(adapter, golden, reference_topo, w, None).output,
+                )
+            }) as iron_core::exec::Job<'_, _>
+        })
+        .collect();
+    let references: HashMap<Workload, WorkloadOutput> =
+        pool.run_jobs(ref_jobs).into_iter().collect();
+
+    type Key = (usize, usize, usize, usize);
+    let mut todo: Vec<(Key, ReplicaTopology, FaultMode, BlockTag, Workload)> = Vec::new();
+    for (ti, &topo) in topologies.iter().enumerate() {
+        for (mi, &mode) in modes.iter().enumerate() {
+            for (ri, &tag) in rows.iter().enumerate() {
+                for (ci, &w) in cols.iter().enumerate() {
+                    todo.push(((ti, mi, ri, ci), topo, mode, tag, w));
+                }
+            }
+        }
+    }
+
+    let done: Vec<(Key, Option<ClusterCell>)> = pool.shard(
+        &todo,
+        |acc: &mut Vec<(Key, Option<ClusterCell>)>, &(key, topo, mode, tag, w)| {
+            let r = run_one_cluster(adapter, golden_for(w), &topo, w, Some((mode, tag)));
+            let cell = if r.fired {
+                let reference = references[&w].clone();
+                let masked = r.mount_error.is_none() && r.output == reference;
+                let obs = Observation {
+                    mode,
+                    fired: r.fired,
+                    anchor: r.anchor,
+                    reference,
+                    faulty: r.output,
+                    mount_error: r.mount_error,
+                    final_state: r.env.state(),
+                    klog: r.klog,
+                    trace: r.trace,
+                };
+                Some(ClusterCell {
+                    fired: true,
+                    fs_cell: infer(&obs),
+                    masked,
+                    mount_failed: obs.mount_error.is_some(),
+                    divergences: r.divergences,
+                    healed: r.healed,
+                    unrecoverable: r.unrecoverable,
+                    converged: r.converged,
+                })
+            } else {
+                None
+            };
+            acc.push((key, cell));
+        },
+        |out, shard| out.extend(shard),
+    );
+
+    let mut matrix = ClusterMatrix {
+        fs_name: adapter.name(),
+        topologies,
+        rows,
+        cols,
+        modes,
+        cells: HashMap::new(),
+        relevant: 0,
+    };
+    for (key, cell) in done {
+        if cell.is_some() {
+            matrix.relevant += 1;
+        }
+        matrix.cells.insert(key, cell);
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini(
+        topo: ReplicaTopology,
+        mode: FaultMode,
+        row: &'static str,
+        w: Workload,
+    ) -> ClusterMatrix {
+        fingerprint_cluster(
+            &Ext3ClusterAdapter::stock(),
+            &ClusterCampaignOptions {
+                topologies: vec![topo],
+                modes: vec![mode],
+                workloads: vec![w],
+                rows: vec![BlockTag(row)],
+                ..ClusterCampaignOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn quorum_masks_single_replica_corruption() {
+        // The headline cluster result: sticky corruption on one replica
+        // of three is invisible to stock ext3 — the topology axis turns a
+        // silent-data-corruption cell into a masked cell.
+        let m = mini(
+            ReplicaTopology::ALL[1], // primary-of-3
+            FaultMode::Corruption,
+            "data",
+            Workload::Read,
+        );
+        let cell = m.cell(0, 0, 0, 0).expect("fault fires");
+        assert!(cell.fired);
+        assert!(
+            cell.masked,
+            "quorum must mask the corrupt replica: {cell:?}"
+        );
+        assert!(!cell.mount_failed);
+        assert!(cell.divergences >= 1, "arbitration must detect: {cell:?}");
+        assert_eq!(cell.converged, Some(true), "peers must reconverge");
+        assert_eq!(cell.unrecoverable, 0);
+    }
+
+    #[test]
+    fn same_corruption_is_not_masked_on_a_single_replica() {
+        // The identical fault on the 1-replica topology: the quorum of
+        // one passes the corruption straight through, and stock ext3
+        // serves corrupt data (the paper's Figure 2 cell).
+        let m = mini(
+            ReplicaTopology::ALL[0], // single
+            FaultMode::Corruption,
+            "data",
+            Workload::Read,
+        );
+        let cell = m.cell(0, 0, 0, 0).expect("fault fires");
+        assert!(cell.fired);
+        assert!(!cell.masked, "no peer can mask on n=1: {cell:?}");
+        assert_eq!(cell.divergences, 0, "a quorum of one cannot even detect");
+    }
+
+    #[test]
+    fn majority_fault_defeats_quorum_arbitration() {
+        // Zeroed corruption on two of three replicas: the corrupt copies
+        // agree with each other, outvote the good one, and the cluster
+        // tier cannot mask — the FS-visible outcome is the single-disk
+        // one again.
+        let m = mini(
+            ReplicaTopology::ALL[3], // majority-of-3
+            FaultMode::ZeroCorruption,
+            "data",
+            Workload::Read,
+        );
+        let cell = m.cell(0, 0, 0, 0).expect("fault fires");
+        assert!(cell.fired);
+        assert!(
+            !cell.masked,
+            "two agreeing corrupt replicas outvote the good one: {cell:?}"
+        );
+    }
+
+    #[test]
+    fn transient_replica_fault_masks_and_converges() {
+        let m = mini(
+            ReplicaTopology::ALL[4], // transient-primary
+            FaultMode::Corruption,
+            "data",
+            Workload::Read,
+        );
+        let cell = m.cell(0, 0, 0, 0).expect("fault fires");
+        assert!(cell.masked, "one transient hiccup must be masked: {cell:?}");
+        assert_eq!(cell.converged, Some(true));
+        assert_eq!(cell.unrecoverable, 0);
+    }
+
+    #[test]
+    fn matrices_are_deterministic_across_thread_counts() {
+        let opts = ClusterCampaignOptions {
+            topologies: vec![ReplicaTopology::ALL[1], ReplicaTopology::ALL[3]],
+            modes: vec![FaultMode::ReadError, FaultMode::Corruption],
+            workloads: vec![Workload::Read],
+            rows: vec![BlockTag("data"), BlockTag("inode")],
+            threads: 1,
+        };
+        let a = fingerprint_cluster(&Ext3ClusterAdapter::stock(), &opts);
+        let b = fingerprint_cluster(
+            &Ext3ClusterAdapter::stock(),
+            &ClusterCampaignOptions { threads: 4, ..opts },
+        );
+        assert_eq!(a.cells, b.cells, "matrix must not depend on scheduling");
+        assert_eq!(a.relevant, b.relevant);
+        assert!(a.relevant > 0);
+        assert!(!a.summary().is_empty());
+    }
+
+    #[test]
+    fn read_error_on_minority_is_masked_by_failover_to_peers() {
+        // A sticky read error on one replica: quorum still has two good
+        // copies; stock ext3 — which would RPropagate on a single disk —
+        // sees nothing at all.
+        let m = mini(
+            ReplicaTopology::ALL[2], // minority-of-3
+            FaultMode::ReadError,
+            "data",
+            Workload::Read,
+        );
+        let cell = m.cell(0, 0, 0, 0).expect("fault fires");
+        assert!(
+            cell.masked,
+            "read errors lose to a healthy majority: {cell:?}"
+        );
+        assert_eq!(cell.converged, Some(true));
+    }
+}

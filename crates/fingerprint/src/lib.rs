@@ -24,12 +24,17 @@
 //! [`render`] draws Figure 2/3-style matrices; [`summary`] aggregates
 //! Table 5; [`greybox`] re-derives ext3 block types by walking the image —
 //! independently of the tags — and the test suite asserts the two agree.
+//! [`cluster`] lifts the campaign above a replicated multi-disk volume
+//! (`iron-cluster`), adding a replica-fault topology axis: which
+//! single-disk policy cells vanish under quorum arbitration, and which
+//! fault topologies still defeat the cluster.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adapters;
 pub mod campaign;
+pub mod cluster;
 pub mod greybox;
 pub mod observe;
 pub mod render;
@@ -41,4 +46,8 @@ pub use adapters::{
     ReiserAdapter,
 };
 pub use campaign::{fingerprint_fs, CampaignOptions, FaultMode, PolicyMatrix};
+pub use cluster::{
+    fingerprint_cluster, ClusterCampaignDevice, ClusterCampaignOptions, ClusterCell,
+    ClusterFsUnderTest, ClusterMatrix, Ext3ClusterAdapter, ReplicaTopology,
+};
 pub use workloads::{Workload, WorkloadOutput};

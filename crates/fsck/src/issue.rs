@@ -75,6 +75,18 @@ pub enum FsckIssue {
         /// The inode.
         ino: u64,
     },
+    /// One replica of a mirrored volume disagrees with its quorum peers at
+    /// a block (`DRedundancy` detection at the cluster tier). The block
+    /// has a known-good copy on the peers, so the planned recovery is
+    /// `RRedundancy` — rewrite the divergent replica from the majority —
+    /// executed by `iron-cluster`'s repair engine rather than a
+    /// single-image [`crate::RepairFix`].
+    ReplicaDivergence {
+        /// The divergent block.
+        addr: u64,
+        /// The replica (0-based) that disagrees with the quorum.
+        replica: usize,
+    },
 }
 
 /// The result of a consistency check: issues plus observability counters.

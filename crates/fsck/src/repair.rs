@@ -160,6 +160,12 @@ fn plan_one(issue: &FsckIssue) -> PlannedAction {
             fix: Some(RepairFix::SyncInodeMark { ino }),
             note: "resolve the bitmap toward the inode table",
         },
+        FsckIssue::ReplicaDivergence { .. } => PlannedAction {
+            issue,
+            recovery: RecoveryLevel::RRedundancy,
+            fix: None,
+            note: "rewrite the divergent replica from its quorum peers (cluster tier)",
+        },
     }
 }
 
@@ -314,6 +320,10 @@ mod tests {
             FsckIssue::BlockDoublyUsed { addr: 12 },
             FsckIssue::OrphanInode { ino: 8 },
             FsckIssue::InodeBitmapMismatch { ino: 9 },
+            FsckIssue::ReplicaDivergence {
+                addr: 13,
+                replica: 1,
+            },
         ];
         let plan = RepairPlan::new(&issues);
         let levels: Vec<_> = plan.actions.iter().map(|a| a.recovery).collect();
@@ -330,11 +340,12 @@ mod tests {
                 RecoveryLevel::RRemap,
                 RecoveryLevel::RRepair,
                 RecoveryLevel::RRepair,
+                RecoveryLevel::RRedundancy,
             ]
         );
         assert_eq!(plan.fixable(), 6);
-        assert_eq!(plan.deferred(), 4);
-        assert_eq!(plan.deferred_issues().len(), 4);
+        assert_eq!(plan.deferred(), 5);
+        assert_eq!(plan.deferred_issues().len(), 5);
         // Geometry fixes carry the trusted value, not the stored one.
         assert_eq!(
             plan.actions[1].fix,

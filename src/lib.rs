@@ -22,6 +22,9 @@
 //! * [`serve`] — the concurrent multi-client serving layer (request
 //!   protocol, sharded path-lock manager, commit-order serial-replay
 //!   oracle);
+//! * [`cluster`] — replicated multi-disk volumes above the block layer
+//!   (write fan-out, primary/round-robin/quorum read policies,
+//!   peer-driven repair of divergent replicas);
 //! * [`workloads`] — the Table 6 macro-benchmarks and space-overhead
 //!   analysis.
 //!
@@ -48,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub use iron_blockdev as blockdev;
+pub use iron_cluster as cluster;
 pub use iron_core as core;
 pub use iron_crash as crash;
 pub use iron_ext3 as ext3;
@@ -102,6 +106,8 @@ pub mod prelude {
     pub use iron_reiser::{ReiserBlockType, ReiserFs, ReiserOptions, ReiserParams};
 
     pub use iron_fsck::{FsckEngine, FsckOptions, FsckReport, FsckStats};
+
+    pub use iron_cluster::{ClusterStackExt, ReadPolicy, RepairReport, ReplicatedDisk};
 
     pub use iron_fingerprint::{
         fingerprint_fs, CampaignDevice, CampaignOptions, Ext3Adapter, FaultMode, FsUnderTest,

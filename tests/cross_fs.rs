@@ -210,7 +210,7 @@ fn only_ixt3_recovers_metadata_read_failure() {
         // a different inode-table block is not possible generically — so
         // instead fail the *next* uncached metadata read via a fresh file
         // in a fresh directory.
-        ctl.inject(FaultSpec::sticky(
+        let fault = ctl.inject(FaultSpec::sticky(
             FaultKind::ReadError,
             FaultTarget::Tag(BlockTag(match name {
                 "reiserfs" => "stat item",
@@ -221,7 +221,7 @@ fn only_ixt3_recovers_metadata_read_failure() {
         // For warm caches the fault may simply never fire; that is fine —
         // the assertion below only applies when it did.
         let r = v.read_file("/precious");
-        if ctl.fired(ironfs::faultinject::FaultId(0)) {
+        if ctl.fired(fault) {
             match name {
                 "ixt3" => {
                     assert_eq!(r.unwrap(), b"data", "ixt3 recovers from replica");
@@ -243,7 +243,7 @@ fn only_ixt3_recovers_metadata_read_failure() {
 fn whole_disk_failure_outcomes() {
     for (name, mut v, ctl, env) in mount_all() {
         v.write_file("/f", b"x").unwrap();
-        ctl.inject(FaultSpec::sticky(
+        let fault = ctl.inject(FaultSpec::sticky(
             FaultKind::WholeDisk,
             FaultTarget::Tag(BlockTag("data")),
         ));
@@ -254,7 +254,7 @@ fn whole_disk_failure_outcomes() {
             write.clone()
         };
         assert!(
-            ctl.fired(ironfs::faultinject::FaultId(0)),
+            ctl.fired(fault),
             "{name}: the whole-disk fault must trigger"
         );
         match name {
