@@ -27,6 +27,38 @@ fn commit_cycle(iron: IronConfig) -> (u64, u64) {
     (v.statfs().unwrap().blocks_free, clock.now_ns())
 }
 
+/// The group-commit cycle: bursts of writes between syncs, with a small
+/// commit threshold so several transactions close per burst. `group_commit`
+/// is the only knob that differs between the batched and unbatched runs —
+/// batching merges the closed transactions under one descriptor chain,
+/// commit block, and barrier pair per sync.
+fn batched_cycle(group_commit: usize) -> (u64, u64) {
+    let dev = MemDisk::for_tests(4096);
+    let clock = dev.clock();
+    let fs = Ext3Fs::format_and_mount(
+        dev,
+        FsEnv::new(),
+        Ext3Params::small(),
+        Ext3Options {
+            commit_threshold: 6,
+            group_commit,
+            checkpoint_lag: 48,
+            ..Ext3Options::with_iron(IronConfig::full())
+        },
+    )
+    .unwrap();
+    let mut v = Vfs::new(fs);
+    for burst in 0..4 {
+        for i in 0..5 {
+            let n = burst * 5 + i;
+            v.write_file(&format!("/f{n}"), &vec![n as u8; 8192])
+                .unwrap();
+        }
+        v.sync().unwrap();
+    }
+    (v.statfs().unwrap().blocks_free, clock.now_ns())
+}
+
 fn main() {
     let mut g = BenchGroup::from_env("journal_commit");
     let base = IronConfig {
@@ -43,5 +75,21 @@ fn main() {
     g.bench_with_sim("20_synced_creates_full_ixt3", || {
         commit_cycle(IronConfig::full())
     });
+    g.bench_with_sim("20_burst_creates_unbatched", || batched_cycle(1));
+    g.bench_with_sim("20_burst_creates_batched", || batched_cycle(8));
     g.finish();
+
+    // Commit-path throughput gate: the same burst workload over the same
+    // simulated disk must run at least 1.5x faster (simulated time) with
+    // group commit than without. The sim clock is deterministic, so this
+    // is a hard floor, not a flaky perf check.
+    let (_, unbatched_ns) = batched_cycle(1);
+    let (_, batched_ns) = batched_cycle(8);
+    let ratio = unbatched_ns as f64 / batched_ns as f64;
+    assert!(
+        ratio >= 1.5,
+        "group commit must speed the commit path by >=1.5x in simulated \
+         time; got {ratio:.2}x ({unbatched_ns} ns unbatched vs {batched_ns} ns batched)"
+    );
+    eprintln!("journal_commit: group-commit sim speedup {ratio:.2}x");
 }

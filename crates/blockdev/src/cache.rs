@@ -477,6 +477,13 @@ impl<D: BlockDevice> BlockDevice for BufferCache<D> {
         self.destage()?;
         self.inner.flush()
     }
+
+    fn readahead(&mut self, start: BlockAddr, len: u64) {
+        // Cache hits within the window cost nothing anyway; the misses
+        // stream from the device, so the hint is worth forwarding in
+        // either policy.
+        self.inner.readahead(start, len);
+    }
 }
 
 impl<D: BlockDevice + RawAccess> RawAccess for BufferCache<D> {

@@ -221,6 +221,11 @@ impl<D: BlockDevice> BlockDevice for CrashRecorder<D> {
         self.log.record_flush();
         Ok(())
     }
+
+    fn readahead(&mut self, start: BlockAddr, len: u64) {
+        // Hints move no data, so there is nothing to record.
+        self.inner.readahead(start, len);
+    }
 }
 
 impl<D: RawAccess> RawAccess for CrashRecorder<D> {

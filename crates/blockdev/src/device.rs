@@ -84,6 +84,20 @@ pub trait BlockDevice {
     /// enumerator exists to catch — so every implementation must state
     /// its flush semantics explicitly.
     fn flush(&mut self) -> DiskResult<()>;
+
+    /// Readahead hint: the caller is about to read `[start, start + len)`
+    /// in ascending order (a sequential scan — journal replay, an fsck
+    /// region pass, a scrub sweep). Purely advisory: it moves **no data**,
+    /// triggers no faults, and appears in no trace, so layered semantics
+    /// are bit-identical with or without it. A device with a timing model
+    /// may use it the way drive firmware uses its readahead buffer — keep
+    /// streaming across track boundaries instead of paying a positioning
+    /// charge per track (see `MemDisk`). Intermediate layers forward the
+    /// hint down the stack; the default drops it (hints are droppable by
+    /// definition).
+    fn readahead(&mut self, start: BlockAddr, len: u64) {
+        let _ = (start, len);
+    }
 }
 
 /// Untimed, untraced access to the raw medium.

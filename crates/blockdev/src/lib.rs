@@ -44,6 +44,6 @@ pub use crashrec::{CrashRecorder, WriteLog, WriteLogSnapshot, WriteRecord};
 pub use device::{BlockDevice, DiskError, DiskResult, RawAccess};
 pub use geometry::DiskGeometry;
 pub use memdisk::MemDisk;
-pub use sched::{IoScheduler, Sweep};
+pub use sched::{IoScheduler, ScanReadahead, Sweep};
 pub use stack::StackBuilder;
 pub use trace::{IoEvent, IoOutcome, IoTrace, TraceLayer};

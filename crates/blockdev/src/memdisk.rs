@@ -40,6 +40,12 @@ pub struct MemDisk {
     /// Set by [`BlockDevice::barrier`]: the next media access must wait for
     /// a full platter revolution (the dependent write missed its slot).
     pending_barrier: bool,
+    /// Active readahead window `[start, end)` from
+    /// [`BlockDevice::readahead`]: the firmware has the scan buffered, so
+    /// ascending reads inside it stream across track boundaries. Any
+    /// write, barrier, flush, or out-of-window access discards it (the
+    /// drive repurposes the buffer the moment the access pattern breaks).
+    ra_window: Option<(u64, u64)>,
 }
 
 impl MemDisk {
@@ -54,6 +60,7 @@ impl MemDisk {
             current_track: 0,
             last_addr: None,
             pending_barrier: false,
+            ra_window: None,
         }
     }
 
@@ -75,6 +82,7 @@ impl MemDisk {
             current_track: 0,
             last_addr: None,
             pending_barrier: false,
+            ra_window: None,
         }
     }
 
@@ -123,12 +131,31 @@ impl MemDisk {
     fn charge(&mut self, addr: BlockAddr, is_write: bool) {
         let g = self.geometry;
         let start = self.clock.now_ns();
+        // A write or an access outside the readahead window repurposes the
+        // firmware's readahead buffer; the streaming benefit is gone.
+        if let Some((ra_start, ra_end)) = self.ra_window {
+            if is_write || addr.0 < ra_start || addr.0 >= ra_end {
+                self.ra_window = None;
+            }
+        }
+        let streaming_read = !is_write
+            && !self.pending_barrier
+            && self.last_addr == Some(addr.0.wrapping_sub(1))
+            && self
+                .ra_window
+                .is_some_and(|(s, e)| addr.0 >= s && addr.0 < e);
         let sequential = !self.pending_barrier
             && self.last_addr == Some(addr.0.wrapping_sub(1))
             && g.track_of(addr.0) == self.current_track;
 
         let mut t = start;
-        if sequential {
+        if streaming_read {
+            // Firmware readahead: the next track is already (being)
+            // buffered, so a track crossing costs no positioning — the
+            // scan proceeds at media rate.
+            t += g.transfer_ns();
+            self.current_track = g.track_of(addr.0);
+        } else if sequential {
             t += g.transfer_ns();
         } else {
             t += g.overhead_ns;
@@ -186,6 +213,7 @@ impl BlockDevice for MemDisk {
     fn barrier(&mut self) -> DiskResult<()> {
         self.stats.barriers += 1;
         self.pending_barrier = true;
+        self.ra_window = None;
         Ok(())
     }
 
@@ -198,7 +226,18 @@ impl BlockDevice for MemDisk {
     fn flush(&mut self) -> DiskResult<()> {
         self.stats.flushes += 1;
         self.pending_barrier = true;
+        self.ra_window = None;
         Ok(())
+    }
+
+    /// Arm the readahead window. Free of charge: the firmware prefetches
+    /// in the background, overlapped with host-side processing of the
+    /// blocks already delivered; only the scan's own reads are billed.
+    fn readahead(&mut self, start: BlockAddr, len: u64) {
+        let end = (start.0 + len).min(self.blocks.len() as u64);
+        if start.0 < end {
+            self.ra_window = Some((start.0, end));
+        }
     }
 }
 
@@ -275,6 +314,74 @@ mod tests {
             rand_ns > seq_ns * 3,
             "random ({rand_ns}ns) should be far slower than sequential ({seq_ns}ns)"
         );
+    }
+
+    #[test]
+    fn readahead_streams_a_scan_across_track_boundaries() {
+        // 4 tracks' worth of blocks (128 blocks/track on ata_7200rpm).
+        let geom = DiskGeometry::ata_7200rpm();
+        let scan = |hint: bool| {
+            let clock = SimClock::new();
+            let mut d = MemDisk::new(1024, geom, clock.clone());
+            if hint {
+                d.readahead(BlockAddr(0), 512);
+            }
+            for i in 0..512 {
+                d.read(BlockAddr(i)).unwrap();
+            }
+            (clock.now_ns(), d.stats().seeks)
+        };
+        let (cold_ns, cold_seeks) = scan(false);
+        let (ra_ns, ra_seeks) = scan(true);
+        assert!(
+            ra_ns < cold_ns,
+            "hinted scan ({ra_ns}ns) must beat unhinted ({cold_ns}ns)"
+        );
+        assert!(cold_seeks >= 3, "an unhinted scan seeks at every track");
+        assert_eq!(ra_seeks, 0, "a hinted scan never repositions");
+        // The hinted scan pays pure media rate after the first block.
+        assert!(ra_ns < geom.transfer_ns() * 512 + geom.rev_ns * 2);
+    }
+
+    #[test]
+    fn readahead_is_invalidated_by_writes_and_barriers() {
+        let geom = DiskGeometry::ata_7200rpm();
+        let clock = SimClock::new();
+        let mut d = MemDisk::new(1024, geom, clock.clone());
+        d.readahead(BlockAddr(0), 512);
+        for i in 0..128 {
+            d.read(BlockAddr(i)).unwrap();
+        }
+        // A write repurposes the buffer: the scan's next track crossing
+        // pays the full positioning charge again.
+        d.write(BlockAddr(600), &Block::zeroed()).unwrap();
+        let seeks_before = d.stats().seeks;
+        d.read(BlockAddr(128)).unwrap();
+        d.read(BlockAddr(129)).unwrap();
+        assert!(d.stats().seeks > seeks_before, "window must be discarded");
+
+        // Same for a barrier.
+        d.readahead(BlockAddr(256), 256);
+        d.read(BlockAddr(255)).unwrap(); // position just before the window
+        d.barrier().unwrap();
+        let t0 = clock.now_ns();
+        d.read(BlockAddr(256)).unwrap();
+        assert!(
+            clock.now_ns() - t0 > geom.transfer_ns(),
+            "a post-barrier read must not stream"
+        );
+    }
+
+    #[test]
+    fn readahead_changes_no_content_or_counted_io() {
+        let mut d = MemDisk::for_tests(64);
+        d.write(BlockAddr(5), &Block::filled(0x5A)).unwrap();
+        let stats_before = d.stats();
+        let trace_len = d.trace().len();
+        d.readahead(BlockAddr(0), 64);
+        assert_eq!(d.stats().reads, stats_before.reads, "a hint reads nothing");
+        assert_eq!(d.trace().len(), trace_len, "a hint is not a traced event");
+        assert_eq!(d.read(BlockAddr(5)).unwrap(), Block::filled(0x5A));
     }
 
     #[test]

@@ -57,6 +57,27 @@ impl IoScheduler {
         IoScheduler { max_sweep: 128 }
     }
 
+    /// Plan a sequential scan of `[start, start + len)` into readahead
+    /// sweeps: contiguous ascending runs capped at `max_sweep` blocks.
+    /// Sequential log scans (journal replay, fsck region passes, scrub)
+    /// issue one [`crate::BlockDevice::readahead`] hint per sweep as the
+    /// scan enters it — the cap models the bounded readahead buffer a
+    /// real drive segments its cache into.
+    pub fn plan_scan(&self, start: BlockAddr, len: u64) -> Vec<Sweep<()>> {
+        let max = self.max_sweep.max(1) as u64;
+        let mut sweeps = Vec::new();
+        let mut pos = start.0;
+        let end = start.0 + len;
+        while pos < end {
+            let n = max.min(end - pos);
+            sweeps.push(Sweep {
+                items: (pos..pos + n).map(|a| (BlockAddr(a), ())).collect(),
+            });
+            pos += n;
+        }
+        sweeps
+    }
+
     /// Order `requests` (addresses unique within a call) into sweeps:
     /// sorted ascending, split wherever addresses are non-adjacent or the
     /// sweep cap is reached.
@@ -83,6 +104,49 @@ impl IoScheduler {
 impl Default for IoScheduler {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Cursor that feeds [`crate::BlockDevice::readahead`] hints to a device
+/// ahead of a sequential scan.
+///
+/// Built from [`IoScheduler::plan_scan`] over the region about to be read,
+/// it is advanced with [`ScanReadahead::hint`] just before each read: the
+/// first read landing in a sweep hints that whole sweep, so the device's
+/// track buffer can stream the rest of it without re-positioning. Reads
+/// outside the planned region (replica fallbacks, home-location writes)
+/// simply don't advance the cursor — the next in-region read re-hints.
+pub struct ScanReadahead {
+    sweeps: Vec<Sweep<()>>,
+    next: usize,
+}
+
+impl ScanReadahead {
+    /// Plan a hint schedule for an ascending scan of `len` blocks at
+    /// `start`, using `sched`'s sweep cap.
+    pub fn new(sched: &IoScheduler, start: BlockAddr, len: u64) -> Self {
+        ScanReadahead {
+            sweeps: sched.plan_scan(start, len),
+            next: 0,
+        }
+    }
+
+    /// Note that the scan is about to read `addr`; if that enters a sweep
+    /// not yet hinted, hint it (and any fully-skipped earlier sweeps are
+    /// abandoned — the scan jumped past them).
+    pub fn hint<D: crate::BlockDevice + ?Sized>(&mut self, dev: &mut D, addr: BlockAddr) {
+        while let Some(s) = self.sweeps.get(self.next) {
+            let end = s.start().0 + s.len() as u64;
+            if addr.0 >= end {
+                self.next += 1;
+                continue;
+            }
+            if addr.0 >= s.start().0 {
+                dev.readahead(s.start(), s.len() as u64);
+                self.next += 1;
+            }
+            break;
+        }
     }
 }
 
@@ -133,6 +197,23 @@ mod tests {
         assert_eq!(lens, vec![2, 2, 1]);
         assert_eq!(out[0].start(), BlockAddr(1));
         assert_eq!(out[1].start(), BlockAddr(3));
+    }
+
+    #[test]
+    fn plan_scan_covers_the_range_in_capped_sweeps() {
+        let sched = IoScheduler { max_sweep: 4 };
+        let out = sched.plan_scan(BlockAddr(10), 10);
+        let lens: Vec<usize> = out.iter().map(Sweep::len).collect();
+        assert_eq!(lens, vec![4, 4, 2]);
+        assert_eq!(out[0].start(), BlockAddr(10));
+        assert_eq!(out[1].start(), BlockAddr(14));
+        assert_eq!(out[2].start(), BlockAddr(18));
+        let all: Vec<u64> = out
+            .iter()
+            .flat_map(|s| s.items.iter().map(|(a, ())| a.0))
+            .collect();
+        assert_eq!(all, (10..20).collect::<Vec<u64>>());
+        assert!(sched.plan_scan(BlockAddr(0), 0).is_empty());
     }
 
     #[test]

@@ -223,6 +223,11 @@ impl<D: BlockDevice> BlockDevice for TraceLayer<D> {
     fn flush(&mut self) -> DiskResult<()> {
         self.inner.flush()
     }
+
+    fn readahead(&mut self, start: BlockAddr, len: u64) {
+        // A hint moves no data and is not a traced event.
+        self.inner.readahead(start, len);
+    }
 }
 
 impl<D: RawAccess> RawAccess for TraceLayer<D> {

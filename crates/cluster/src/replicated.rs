@@ -383,6 +383,14 @@ impl<D: BlockDevice> BlockDevice for ReplicatedDisk<D> {
         }
         first_err.map_or(Ok(()), Err)
     }
+
+    fn readahead(&mut self, start: BlockAddr, len: u64) {
+        // Any replica may serve the scan's reads (policy-dependent), so
+        // every spindle gets the hint.
+        for r in &mut self.replicas {
+            r.readahead(start, len);
+        }
+    }
 }
 
 impl<D: RawAccess> RawAccess for ReplicatedDisk<D> {

@@ -40,4 +40,6 @@ pub use campaign::{run_crash_campaign, CrashCampaignOptions, CrashReport};
 pub use enumerate::{enumerate_images, EnumOptions};
 pub use image::{apply_all, materialize, CrashImageSpec};
 pub use oracle::{check_image, walk_tree, FsTree, OracleKind, TreeNode, Violation};
-pub use workload::{run_workload, CrashOp, CrashWorkload, ShadowModel, CRASH_ROOT, WORKLOADS};
+pub use workload::{
+    run_workload, CrashOp, CrashWorkload, ShadowModel, BATCH_WORKLOADS, CRASH_ROOT, WORKLOADS,
+};

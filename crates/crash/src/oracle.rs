@@ -352,7 +352,14 @@ pub fn check_image(
                     format!("{path}: phantom file (never created by the workload)"),
                 )),
                 Some(versions) => {
-                    if shadow.create_once.contains(path) && data != &versions[0] {
+                    // `write_file` on a fresh path is create-then-write —
+                    // two journaled operations. A commit landing between
+                    // them (routine under group commit, where transactions
+                    // close on size, not op boundaries) legitimately
+                    // exposes the just-created empty file; only *content*
+                    // tears are violations.
+                    let created_empty = data.is_empty() && !versions[0].is_empty();
+                    if shadow.create_once.contains(path) && data != &versions[0] && !created_empty {
                         let expected = &versions[0];
                         let detail = if data.len() != expected.len() {
                             format!(

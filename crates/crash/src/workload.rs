@@ -241,3 +241,77 @@ pub const WORKLOADS: &[CrashWorkload] = &[
         ],
     },
 ];
+
+/// The batched-commit workload family. Each script issues enough
+/// operations between syncs that a mount with the pipelined commit
+/// profile (low commit threshold, `group_commit > 1`) closes several
+/// transactions into one batch — the sync then commits the whole batch
+/// under a single descriptor chain, commit block, and barrier pair. The
+/// scripts deliberately spread interesting hazards *across* the batched
+/// transactions: block free-and-reuse in a later transaction of the same
+/// batch (the merged revoke set), renames over batch boundaries, and an
+/// uncommitted tail after the last sync.
+pub const BATCH_WORKLOADS: &[CrashWorkload] = &[
+    // Many small synced creates: the bread-and-butter group-commit case.
+    // Two bursts of eight writes, each burst committed as one batch, plus
+    // an unsynced tail the atomicity oracle must see as all-or-nothing.
+    CrashWorkload {
+        name: "batch_streams",
+        ops: &[
+            Mkdir("/crash"),
+            Write("/crash/s0", 7000, 50),
+            Write("/crash/s1", 7000, 51),
+            Write("/crash/s2", 7000, 52),
+            Write("/crash/s3", 7000, 53),
+            Write("/crash/s4", 7000, 54),
+            Write("/crash/s5", 7000, 55),
+            Write("/crash/s6", 7000, 56),
+            Write("/crash/s7", 7000, 57),
+            Sync,
+            Write("/crash/s8", 5000, 58),
+            Write("/crash/s9", 5000, 59),
+            Write("/crash/s10", 5000, 60),
+            Write("/crash/s11", 5000, 61),
+            Sync,
+            Write("/crash/tail", 3000, 62),
+        ],
+    },
+    // Rename/unlink churn inside a batch: directory blocks logged by an
+    // early transaction of the batch are re-logged by a later one, so the
+    // merged batch carries multiple staged versions of the same block and
+    // replay must apply the newest.
+    CrashWorkload {
+        name: "batch_rename_mix",
+        ops: &[
+            Mkdir("/crash"),
+            Mkdir("/crash/d"),
+            Write("/crash/d/a", 6000, 70),
+            Write("/crash/d/b", 6000, 71),
+            Write("/crash/log", 8000, 72),
+            Rename("/crash/log", "/crash/log.old"),
+            Write("/crash/log", 4000, 73),
+            Unlink("/crash/d/a"),
+            Write("/crash/big", 20000, 74),
+            Sync,
+            Write("/crash/post", 5000, 75),
+            Sync,
+        ],
+    },
+    // free_reuse across batch members: a directory block freed by one
+    // transaction in the batch is reallocated as file data by a later
+    // transaction of the *same* batch. The merged revoke set must still
+    // suppress the stale staged copy at replay time.
+    CrashWorkload {
+        name: "batch_free_reuse",
+        ops: &[
+            Mkdir("/crash"),
+            Mkdir("/crash/d"),
+            Write("/crash/d/f", 6000, 81),
+            Write("/crash/x", 7000, 82),
+            Unlink("/crash/d/f"),
+            Rmdir("/crash/d"),
+            Write("/crash/big", 24000, 83),
+            Sync,
+        ],
+    },
+];

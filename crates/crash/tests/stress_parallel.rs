@@ -2,7 +2,9 @@
 //! the crash-enumeration campaign's parallel==sequential property at
 //! elevated thread counts, across every workload and two file systems.
 
-use iron_crash::{run_crash_campaign, CrashCampaignOptions, EnumOptions, WORKLOADS};
+use iron_crash::{
+    run_crash_campaign, CrashCampaignOptions, EnumOptions, BATCH_WORKLOADS, WORKLOADS,
+};
 use iron_fingerprint::{Ext3Adapter, FsUnderTest, JfsAdapter};
 
 fn stress_threads() -> usize {
@@ -14,10 +16,10 @@ fn stress_threads() -> usize {
 
 fn assert_width_invariant(fs: &dyn FsUnderTest) {
     let threads = stress_threads();
-    for (i, w) in WORKLOADS.iter().enumerate() {
+    for w in WORKLOADS.iter().chain(BATCH_WORKLOADS) {
         let sequential = run_crash_campaign(
             fs,
-            &WORKLOADS[i],
+            w,
             &CrashCampaignOptions {
                 enumeration: EnumOptions::default(),
                 threads: 1,
@@ -25,7 +27,7 @@ fn assert_width_invariant(fs: &dyn FsUnderTest) {
         );
         let parallel = run_crash_campaign(
             fs,
-            &WORKLOADS[i],
+            w,
             &CrashCampaignOptions {
                 enumeration: EnumOptions::default(),
                 threads,
@@ -50,4 +52,10 @@ fn ext3_crash_reports_are_identical_at_elevated_threads() {
 #[ignore = "stress lane; run with --ignored (IRON_TEST_THREADS)"]
 fn jfs_crash_reports_are_identical_at_elevated_threads() {
     assert_width_invariant(&JfsAdapter);
+}
+
+#[test]
+#[ignore = "stress lane; run with --ignored (IRON_TEST_THREADS)"]
+fn pipelined_ixt3_crash_reports_are_identical_at_elevated_threads() {
+    assert_width_invariant(&Ext3Adapter::ixt3().pipelined());
 }

@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use iron_blockdev::{BlockDevice, RawAccess};
+use iron_blockdev::{BlockDevice, IoScheduler, RawAccess, ScanReadahead};
 use iron_core::checksum::sha1;
 use iron_core::{Block, BlockAddr, Errno, SimClock, BLOCK_SIZE};
 use iron_vfs::{FsEnv, VfsError, VfsResult};
@@ -19,8 +19,8 @@ use crate::dir::{self, RawDirEntry};
 use crate::inode::DiskInode;
 use crate::iron::{IronConfig, SHA1_BLOCK_COST_NS, XOR_BLOCK_COST_NS};
 use crate::journal::{
-    classify_log_block, txn_checksum, CommitBlock, DescriptorBlock, JournalRecord, JournalSuper,
-    RevokeBlock, Txn, DESC_CAPACITY, REVOKE_CAPACITY,
+    checkpoint_group, classify_log_block, txn_checksum, Closed, CommitBlock, Committed,
+    JournalRecord, JournalSuper, LogSink, Txn, DESC_CAPACITY,
 };
 use crate::layout::{BlockType, DiskLayout, Ext3Params, ROOT_INO};
 use crate::superblock::{FsState, Superblock};
@@ -32,6 +32,15 @@ pub struct Ext3Options {
     pub iron: IronConfig,
     /// Commit the running transaction once it holds this many blocks.
     pub commit_threshold: usize,
+    /// Group commit: batch up to this many closed transactions under one
+    /// descriptor chain / commit block / barrier. `1` (the default) commits
+    /// each transaction as it reaches the threshold — classic JBD.
+    pub group_commit: usize,
+    /// Pipelined checkpointing: defer home-location write-back until this
+    /// many blocks are awaiting checkpoint, overlapping it with new
+    /// transaction building and deduplicating re-dirtied blocks into one
+    /// elevator sweep. `0` (the default) checkpoints at every commit.
+    pub checkpoint_lag: usize,
     /// Buffer-cache capacity in blocks.
     pub cache_blocks: usize,
     /// Testing hook: commits stop after the commit block is durable,
@@ -46,6 +55,12 @@ pub struct Ext3Options {
     /// regression-prove it would have caught the original bugs. Never set
     /// outside tests.
     pub legacy_journal_bugs: bool,
+    /// Testing knob: break group commit on purpose — the commit block is
+    /// written *before* the batch's journal-data blocks, with no barrier
+    /// between them, so a crash can leave a valid descriptor + commit pair
+    /// around garbage data. Exists only so the crash-state enumerator can
+    /// prove it would catch a broken batch. Never set outside tests.
+    pub legacy_group_commit_bug: bool,
     /// Clock for charging simulated CPU costs (checksum/XOR); `None`
     /// disables CPU accounting.
     pub cpu_clock: Option<SimClock>,
@@ -56,9 +71,12 @@ impl Default for Ext3Options {
         Ext3Options {
             iron: IronConfig::off(),
             commit_threshold: 64,
+            group_commit: 1,
+            checkpoint_lag: 0,
             cache_blocks: 2048,
             crash_mode: false,
             legacy_journal_bugs: false,
+            legacy_group_commit_bug: false,
             cpu_clock: None,
         }
     }
@@ -72,6 +90,20 @@ impl Ext3Options {
             ..Default::default()
         }
     }
+
+    /// The fast commit path: group commit (up to 8 transactions per
+    /// commit block, so up to 8 transactions share one barrier pair) plus
+    /// pipelined checkpointing (home-location write-back deferred until
+    /// ~3 transactions' worth of blocks are pending, deduplicated into
+    /// one elevator sweep). Crash-safe by the same oracles as the
+    /// classic path — the journal always holds every committed block.
+    pub fn pipelined(iron: IronConfig) -> Self {
+        Ext3Options {
+            group_commit: 8,
+            checkpoint_lag: 192,
+            ..Ext3Options::with_iron(iron)
+        }
+    }
 }
 
 /// The ext3/ixt3 file system over a block device.
@@ -83,7 +115,25 @@ pub struct Ext3Fs<D: BlockDevice + RawAccess> {
     pub(crate) sb: Superblock,
     /// Per-group (free_blocks, free_inodes) from the GDT.
     pub(crate) gdt: Vec<(u32, u32)>,
-    pub(crate) txn: Txn,
+    /// The running transaction, accepting dirty blocks from operations.
+    pub(crate) running: Txn,
+    /// Group-commit batch: transactions closed at the commit threshold
+    /// but not yet logged (merged eagerly; `batched()` counts members).
+    closed: Option<Txn<Closed>>,
+    /// Committed transactions whose checkpoint is deferred (pipelined
+    /// checkpointing). Oldest first; drained by [`Self::checkpoint_now`].
+    pending: Vec<Txn<Committed>>,
+    /// Blocks freed by transactions that have not committed yet. JBD's
+    /// reuse discipline: allocation works against the *committed* bitmap
+    /// state, so a block freed in the running transaction (or a closed
+    /// batch member) cannot be handed out until the free is durable — an
+    /// eager reuse would let an ordered-mode home write clobber contents a
+    /// committed mapping still references (found by the iron-crash
+    /// enumerator: COW overwrite freed the old block, the next allocation
+    /// reused it pre-commit, and a crash left the old file pointing at
+    /// foreign bytes). The `legacy_journal_bugs` knob keeps the seed's
+    /// eager-reuse behavior.
+    pub(crate) uncommitted_frees: BTreeSet<u64>,
     pub(crate) cache: BufferCache,
     /// Next journal sequence number.
     jseq: u64,
@@ -108,6 +158,41 @@ pub struct Ext3Fs<D: BlockDevice + RawAccess> {
     replica_log_head: u64,
     /// Commits since the last mirror checkpoint.
     commits_since_mirror_flush: u32,
+}
+
+/// [`LogSink`] adapter: appends land at the log cursor as tagged device
+/// writes, barriers go straight to the device. The cursor advances even
+/// for reserved (deferred) slots so the on-disk layout is identical with
+/// and without the `legacy_group_commit_bug` knob.
+struct JournalLog<'a, D: BlockDevice> {
+    dev: &'a mut D,
+    head: &'a mut u64,
+}
+
+impl<D: BlockDevice> LogSink for JournalLog<'_, D> {
+    fn append(&mut self, block: &Block, ty: BlockType) -> bool {
+        let r = self
+            .dev
+            .write_tagged(BlockAddr(*self.head), block, ty.tag());
+        *self.head += 1;
+        r.is_ok()
+    }
+
+    fn reserve(&mut self) -> u64 {
+        let slot = *self.head;
+        *self.head += 1;
+        slot
+    }
+
+    fn write_at(&mut self, addr: u64, block: &Block, ty: BlockType) -> bool {
+        self.dev
+            .write_tagged(BlockAddr(addr), block, ty.tag())
+            .is_ok()
+    }
+
+    fn barrier(&mut self) {
+        let _ = self.dev.barrier();
+    }
 }
 
 impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
@@ -314,7 +399,10 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             layout,
             sb,
             gdt: Vec::new(),
-            txn: Txn::new(),
+            running: Txn::new(),
+            closed: None,
+            pending: Vec::new(),
+            uncommitted_frees: BTreeSet::new(),
             cache: BufferCache::new(opts.cache_blocks),
             jseq: 1,
             log_head: layout.journal_start,
@@ -448,7 +536,19 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
 
     /// Size of the running transaction (testing hook).
     pub fn txn_len(&self) -> usize {
-        self.txn.len()
+        self.running.len()
+    }
+
+    /// Closed transactions waiting in the group-commit batch (testing
+    /// hook).
+    pub fn batched_txns(&self) -> usize {
+        self.closed.as_ref().map_or(0, Txn::batched)
+    }
+
+    /// Blocks committed to the journal but not yet checkpointed to their
+    /// home locations (testing hook; nonzero only with `checkpoint_lag`).
+    pub fn pending_checkpoint_blocks(&self) -> usize {
+        self.pending.iter().map(|t| t.len()).sum()
     }
 
     /// The recorded checksum for a device block (0 = none recorded). Used
@@ -479,8 +579,17 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
 
     fn load_cksum_table(&mut self) -> VfsResult<()> {
         let entries_per_block = BLOCK_SIZE as u64 / 8;
+        // Sequential sweep over the on-disk table; hint it like the replay
+        // scan so mount-time loading streams at media rate.
+        let sched = IoScheduler::new();
+        let mut ra = ScanReadahead::new(
+            &sched,
+            BlockAddr(self.layout.cksum_start),
+            self.layout.cksum_len,
+        );
         for i in 0..self.layout.cksum_len {
             let addr = BlockAddr(self.layout.cksum_start + i);
+            ra.hint(&mut self.dev, addr);
             let block = match self.dev.read_tagged(addr, BlockType::CksumTable.tag()) {
                 Ok(b) => b,
                 Err(_) => {
@@ -560,16 +669,18 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         cb
     }
 
-    /// Stage the dirty checksum-table blocks into the running transaction
-    /// (journaled and checkpointed like any other metadata). The table's
-    /// own blocks carry no self-checksums (entry 0), avoiding recursion.
-    fn stage_dirty_cksum_blocks(&mut self) {
+    /// Collect the dirty checksum-table blocks as a closed transaction to
+    /// merge into the commit batch (journaled and checkpointed like any
+    /// other metadata). The table's own blocks carry no self-checksums
+    /// (entry 0), avoiding recursion.
+    fn take_dirty_cksum_txn(&mut self) -> Option<Txn<Closed>> {
         if self.dirty_cksum_blocks.is_empty() {
-            return;
+            return None;
         }
         let dirty: Vec<u64> = std::mem::take(&mut self.dirty_cksum_blocks)
             .into_iter()
             .collect();
+        let mut t = Txn::new();
         for i in dirty {
             if i >= self.layout.cksum_len {
                 continue;
@@ -577,8 +688,9 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             let cb = self.cksum_table_block(i);
             let addr = self.layout.cksum_start + i;
             self.cache.insert(BlockAddr(addr), cb.clone());
-            self.txn.put(addr, cb, BlockType::CksumTable);
+            t.put(addr, cb, BlockType::CksumTable);
         }
+        Some(t.close())
     }
 
     /// Write the dirty checksum-table blocks to the medium (scrubber
@@ -694,79 +806,143 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
     /// computed once per commit, over the final images.)
     pub(crate) fn write_meta(&mut self, addr: u64, block: Block, ty: BlockType) {
         self.cache.insert(BlockAddr(addr), block.clone());
-        self.txn.put(addr, block, ty);
+        self.running.put(addr, block, ty);
     }
 
-    /// Revoke a freed metadata block so journal replay won't resurrect it.
+    /// Revoke a freed metadata block so neither checkpoint nor journal
+    /// replay can resurrect it: the running transaction drops its staged
+    /// copy and records the revoke, and every committed-but-not-yet-
+    /// checkpointed transaction *forgets* its copy (JBD `journal_forget`)
+    /// so a deferred checkpoint cannot write a stale image over the block
+    /// once it is reused.
     pub(crate) fn revoke_meta(&mut self, addr: u64) {
-        self.txn.revoke(addr);
+        self.running.revoke(addr);
+        for t in &mut self.pending {
+            t.forget(addr);
+        }
         self.cache.invalidate(BlockAddr(addr));
     }
 
-    /// Commit the running transaction if it has grown past the threshold.
-    pub(crate) fn maybe_commit(&mut self) -> VfsResult<()> {
-        if self.txn.len() >= self.opts.commit_threshold {
-            self.commit()
-        } else {
-            Ok(())
-        }
+    /// The freshest staged copy of `addr`, if any: the running
+    /// transaction, then the group-commit batch, then the newest pending
+    /// committed transaction. The read path consults this before the
+    /// buffer cache — the cache can evict, and with pipelined
+    /// checkpointing the home location is stale until the drain.
+    pub(crate) fn staged_copy(&self, addr: u64) -> Option<&Block> {
+        self.running
+            .get(addr)
+            .or_else(|| self.closed.as_ref().and_then(|c| c.get(addr)))
+            .or_else(|| self.pending.iter().rev().find_map(|t| t.get(addr)))
     }
 
-    /// Commit the running transaction: revoke records, descriptor, journal
-    /// copies, commit block, then checkpoint to home locations.
+    /// Freeze the running transaction into the group-commit batch.
+    fn close_running(&mut self) {
+        if self.running.is_empty() {
+            return;
+        }
+        let t = std::mem::take(&mut self.running).close();
+        self.closed = Some(match self.closed.take() {
+            Some(batch) => batch.merge(t),
+            None => t,
+        });
+    }
+
+    /// True if the batch would still fit in the journal after absorbing
+    /// the running transaction (counting descriptor/revoke overhead and
+    /// the checksum-table blocks staged at commit time).
+    fn batch_has_room(&self) -> bool {
+        let blocks = self.closed.as_ref().map_or(0, |t| t.len()) + self.running.len();
+        let needed =
+            blocks as u64 + blocks.div_ceil(DESC_CAPACITY) as u64 + self.layout.cksum_len + 8;
+        needed <= self.layout.journal_len
+    }
+
+    /// Commit or batch the running transaction once it passes the
+    /// threshold. With `group_commit > 1` the transaction is *closed*
+    /// into the batch instead — no I/O — until the batch holds that many
+    /// transactions (or would outgrow the journal), then the whole batch
+    /// is logged under one descriptor chain, commit block, and barrier
+    /// pair.
+    pub(crate) fn maybe_commit(&mut self) -> VfsResult<()> {
+        if self.running.len() < self.opts.commit_threshold {
+            return Ok(());
+        }
+        let batched = self.closed.as_ref().map_or(0, Txn::batched);
+        if self.opts.group_commit > 1
+            && batched + 1 < self.opts.group_commit
+            && self.batch_has_room()
+        {
+            self.close_running();
+            return Ok(());
+        }
+        self.commit()
+    }
+
+    /// Commit the batch (the group-commit queue plus the running
+    /// transaction, merged): revoke records, descriptor chain, journal
+    /// copies, commit block — then checkpoint now (`checkpoint_lag == 0`)
+    /// or queue the committed transaction for a later pipelined drain.
     ///
-    /// Stock ext3 (`PAPER-BUG`s, §5.1): journal write errors are ignored
-    /// and the commit block is written anyway; checkpoint write errors are
-    /// ignored entirely. With `fix_bugs`, any write error aborts the
-    /// journal and propagates `EIO`.
+    /// The write→commit→checkpoint ordering itself lives in the typestate
+    /// chain ([`Txn<Closed>::log`] → [`Txn<Logged>::commit`] →
+    /// [`checkpoint_group`]); this method supplies the *policy*: stock
+    /// ext3 (`PAPER-BUG`s, §5.1) ignores journal and checkpoint write
+    /// errors, `fix_bugs` aborts the journal and propagates `EIO`.
     ///
     /// With `Tc` the pre-commit barrier is skipped and the commit block
     /// carries a checksum over the transaction (§6.1).
     pub fn commit(&mut self) -> VfsResult<()> {
-        if self.txn.is_empty() {
-            self.flush_parity()?;
-            return Ok(());
-        }
+        self.close_running();
+        let batch = match self.closed.take() {
+            Some(b) if !b.is_empty() => b,
+            _ => {
+                self.flush_parity()?;
+                return Ok(());
+            }
+        };
         if self.journal_aborted {
-            self.txn.clear();
+            // The batch is dropped: an aborted journal accepts nothing.
             return Err(Errno::EROFS.into());
         }
         let seq = self.jseq;
-        let blocks = self.txn.blocks();
-        let revoked: Vec<u64> = self.txn.revoked.iter().copied().collect();
 
         // Metadata checksums are computed once per commit over the final
         // block images, and the dirty checksum-table blocks then join the
-        // transaction — the paper places checksums "first into the
-        // journal, and then checkpoint[s them] to their final location,
-        // distant from the blocks they checksum."
-        if self.opts.iron.meta_checksum {
-            let images: Vec<(u64, Block)> =
-                blocks.iter().map(|(a, b, _)| (*a, b.clone())).collect();
-            for (addr, b) in images {
-                self.note_cksum(addr, &b, true);
+        // batch — the paper places checksums "first into the journal, and
+        // then checkpoint[s them] to their final location, distant from
+        // the blocks they checksum."
+        let batch = if self.opts.iron.meta_checksum || self.opts.iron.data_checksum {
+            if self.opts.iron.meta_checksum {
+                for (addr, b, _) in batch.blocks() {
+                    self.note_cksum(addr, &b, true);
+                }
             }
-        }
-        let blocks = if self.opts.iron.meta_checksum || self.opts.iron.data_checksum {
-            self.stage_dirty_cksum_blocks();
-            self.txn.blocks()
+            match self.take_dirty_cksum_txn() {
+                Some(ct) => batch.merge(ct),
+                None => batch,
+            }
         } else {
-            blocks
+            batch
         };
 
-        // Space check: reset the log if this transaction wouldn't fit.
-        let needed = 1
-            + blocks.len() as u64
-            + blocks.len().div_ceil(DESC_CAPACITY) as u64
-            + revoked.len().div_ceil(REVOKE_CAPACITY.max(1)) as u64;
+        // Space check: drain pending checkpoints (which frees the whole
+        // log) if the batch wouldn't fit; without pending transactions
+        // fall back to the legacy cursor reset.
+        let needed = batch.log_space_needed();
         if self.log_head + needed > self.layout.journal_start + self.layout.journal_len {
-            self.log_head = self.layout.journal_start;
+            if !self.opts.crash_mode && !self.pending.is_empty() {
+                self.drain_checkpoints()?;
+            } else {
+                self.log_head = self.layout.journal_start;
+            }
         }
 
         // Mark the journal dirty before logging. The recorded sequence is
         // the first *unflushed* transaction: replay applies transactions
         // from that sequence onward and stops at anything older (stale log
-        // tails from already-checkpointed transactions).
+        // tails from already-checkpointed transactions). With pipelined
+        // checkpointing the journal simply stays dirty across commits
+        // until the drain, so the first pending sequence is preserved.
         if !self.journal_dirty_on_disk {
             let js_dirty = JournalSuper {
                 sequence: seq,
@@ -783,68 +959,32 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                 // aborts.
                 if self.opts.iron.fix_bugs {
                     self.abort_journal("journal superblock write failure");
-                    self.txn.clear();
                     return Err(Errno::EIO.into());
                 }
             }
             self.journal_dirty_on_disk = true;
         }
 
-        let mut journal_write_failed = false;
-        let mut log_images: Vec<Block> = Vec::new();
-
-        // Revoke records.
-        for chunk in revoked.chunks(REVOKE_CAPACITY.max(1)) {
-            let rb = RevokeBlock {
-                sequence: seq,
-                addrs: chunk.to_vec(),
-            }
-            .encode();
-            let r = self.dev.write_tagged(
-                BlockAddr(self.log_head),
-                &rb,
-                BlockType::JournalRevoke.tag(),
-            );
-            journal_write_failed |= r.is_err();
-            log_images.push(rb);
-            self.log_head += 1;
-        }
-
-        // Descriptor + journal copies.
-        for chunk in blocks.chunks(DESC_CAPACITY) {
-            let desc = DescriptorBlock {
-                sequence: seq,
-                entries: chunk.iter().map(|(a, _, t)| (*a, *t)).collect(),
-            }
-            .encode();
-            let r = self.dev.write_tagged(
-                BlockAddr(self.log_head),
-                &desc,
-                BlockType::JournalDesc.tag(),
-            );
-            journal_write_failed |= r.is_err();
-            log_images.push(desc);
-            self.log_head += 1;
-            for (_, b, _) in chunk {
-                let r = self.dev.write_tagged(
-                    BlockAddr(self.log_head),
-                    b,
-                    BlockType::JournalData.tag(),
-                );
-                journal_write_failed |= r.is_err();
-                log_images.push(b.clone());
-                self.log_head += 1;
-            }
-        }
-
-        if journal_write_failed {
+        // Log the batch. (`legacy_group_commit_bug` defers the journal
+        // data until after the commit block — the deliberately broken
+        // ordering the crash enumerator must catch.)
+        let defer_data = self.opts.legacy_group_commit_bug;
+        let logged = {
+            let mut sink = JournalLog {
+                dev: &mut self.dev,
+                head: &mut self.log_head,
+            };
+            batch.log(seq, &mut sink, defer_data)
+        };
+        if logged.log_write_failed() {
             if self.opts.iron.fix_bugs {
-                // ixt3: a failed journal write must not be committed.
+                // ixt3: a failed journal write must not be committed —
+                // dropping the Txn<Logged> aborts it (nothing replays
+                // without a commit block).
                 self.env
                     .klog
                     .error("ext3", "journal write failed; aborting transaction");
                 self.abort_journal("journal write failure");
-                self.txn.clear();
                 return Err(Errno::EIO.into());
             }
             // PAPER-BUG: stock ext3 "still writes the rest of the
@@ -856,31 +996,23 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                 .warn("ext3", "journal write error ignored (stock ext3 behavior)");
         }
 
-        // Transactional checksum (Tc) removes the pre-commit barrier.
-        let commit = if self.opts.iron.txn_checksum {
-            let refs: Vec<&Block> = log_images.iter().collect();
-            self.charge_cpu(SHA1_BLOCK_COST_NS * log_images.len() as u64 / 4);
-            CommitBlock {
-                sequence: seq,
-                txn_checksum: Some(txn_checksum(&refs)),
-            }
-        } else {
-            let _ = self.dev.barrier();
-            CommitBlock {
-                sequence: seq,
-                txn_checksum: None,
-            }
+        // Transactional checksum (Tc) removes the pre-commit barrier; the
+        // commit transition issues the barriers and the commit block.
+        let with_tc = self.opts.iron.txn_checksum;
+        if with_tc {
+            self.charge_cpu(SHA1_BLOCK_COST_NS * logged.log_block_count() as u64 / 4);
+        }
+        let committed = {
+            let mut sink = JournalLog {
+                dev: &mut self.dev,
+                head: &mut self.log_head,
+            };
+            logged.commit(with_tc, &mut sink)
         };
-        let r = self.dev.write_tagged(
-            BlockAddr(self.log_head),
-            &commit.encode(),
-            BlockType::JournalCommit.tag(),
-        );
-        self.log_head += 1;
-        if r.is_err() {
+        if committed.commit_write_failed() {
             if self.opts.iron.fix_bugs {
+                committed.abandon();
                 self.abort_journal("commit block write failure");
-                self.txn.clear();
                 return Err(Errno::EIO.into());
             }
             // PAPER-BUG: commit-block write error ignored; stock ext3
@@ -890,53 +1022,81 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                 "commit block write error ignored (stock ext3 behavior)",
             );
         }
-        let _ = self.dev.barrier(); // commit durable before checkpoint
 
         self.jseq = seq + 1;
+        // The batch's frees are durable once its commit block is written:
+        // freed blocks become allocatable again.
+        self.uncommitted_frees.clear();
 
         if self.opts.crash_mode {
-            // Simulated crash window: committed but not checkpointed.
-            self.txn.clear();
+            // Simulated crash window: committed but never checkpointed.
+            committed.abandon();
             return Ok(());
         }
 
-        // Checkpoint: home-location writes, elevator-sorted (the kernel's
-        // writeback submits checkpoint I/O in address order), then the
-        // mirror copies as a second sorted sweep — batching keeps the
-        // distant-replica cost at two long seeks per commit instead of two
-        // per block.
-        let mut checkpoint_failed = false;
-        let mut sorted: Vec<&(u64, Block, BlockType)> = blocks.iter().collect();
-        sorted.sort_by_key(|(addr, _, _)| *addr);
-        for (addr, b, ty) in &sorted {
-            let r = self.dev.write_tagged(BlockAddr(*addr), b, ty.tag());
-            if r.is_err() {
-                checkpoint_failed = true;
-                if self.opts.iron.fix_bugs {
-                    self.env
-                        .klog
-                        .error("ext3", format!("checkpoint write of block {addr} failed"));
-                } else {
-                    // PAPER-BUG: stock ext3 ignores checkpoint write errors
-                    // ("when checkpointing a transaction to its final
-                    // location") — the block silently never reaches home.
-                }
+        self.pending.push(committed);
+        // Parity before the drain: the clean journal superblock (written
+        // at the end of a drain, behind the fix_bugs barrier) must never
+        // become durable while parity accumulators are still volatile.
+        self.flush_parity()?;
+        let pending_blocks: usize = self.pending.iter().map(|t| t.len()).sum();
+        if self.opts.checkpoint_lag == 0 || pending_blocks > self.opts.checkpoint_lag {
+            self.drain_checkpoints()?;
+        }
+        Ok(())
+    }
+
+    /// Drain every pending committed transaction to its home location in
+    /// one deduplicated elevator sweep, then mark the journal clean. The
+    /// public entry point for "make the medium current" callers (unmount,
+    /// the scrubber, benches).
+    pub fn checkpoint_now(&mut self) -> VfsResult<()> {
+        self.drain_checkpoints()
+    }
+
+    /// Checkpoint: home-location writes, elevator-sorted (the kernel's
+    /// writeback submits checkpoint I/O in address order) and deduplicated
+    /// across the pending group, then the mirror copies as a second sorted
+    /// sweep — batching keeps the distant-replica cost at two long seeks
+    /// per drain instead of two per block.
+    fn drain_checkpoints(&mut self) -> VfsResult<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let group = std::mem::take(&mut self.pending);
+        let drained = group.len() as u32;
+        let fix_bugs = self.opts.iron.fix_bugs;
+        let dev = &mut self.dev;
+        let mut failed_addrs: Vec<u64> = Vec::new();
+        let sweep = checkpoint_group(group, |addr, b, ty| {
+            let ok = dev.write_tagged(BlockAddr(addr), b, ty.tag()).is_ok();
+            if !ok {
+                failed_addrs.push(addr);
+                // PAPER-BUG (stock): checkpoint write errors are ignored
+                // ("when checkpointing a transaction to its final
+                // location") — the block silently never reaches home.
+            }
+            ok
+        });
+        if fix_bugs {
+            for addr in &failed_addrs {
+                self.env
+                    .klog
+                    .error("ext3", format!("checkpoint write of block {addr} failed"));
             }
         }
-        for (addr, b, ty) in &sorted {
+        for (addr, b, ty) in &sweep.written {
             if ty.is_metadata() || *ty == BlockType::CksumTable {
                 self.mirror_meta_write(*addr, b);
             }
         }
-        self.commits_since_mirror_flush += 1;
+        self.commits_since_mirror_flush += drained;
         if self.commits_since_mirror_flush >= 16 {
             self.flush_replicas();
         }
-        self.flush_parity()?;
 
-        if checkpoint_failed && self.opts.iron.fix_bugs {
+        if sweep.write_failed && fix_bugs {
             self.abort_journal("checkpoint write failure");
-            self.txn.clear();
             return Err(Errno::EIO.into());
         }
 
@@ -946,13 +1106,18 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         // writes are still volatile — a crash there skips replay and
         // loses the committed transaction (found by the iron-crash
         // enumerator; kept paper-faithful for stock ext3, fixed in ixt3).
-        if self.opts.iron.fix_bugs {
+        if fix_bugs {
             let _ = self.dev.barrier();
         }
 
-        // Mark the journal clean again.
+        // Mark the journal clean again; only retired (checkpointed)
+        // transactions can advance the clean sequence.
+        let mut clean_seq = self.jseq;
+        for t in sweep.txns {
+            clean_seq = clean_seq.max(t.retire() + 1);
+        }
         let js_clean = JournalSuper {
-            sequence: self.jseq,
+            sequence: clean_seq,
             dirty: false,
             log_len: self.layout.journal_len,
         };
@@ -961,12 +1126,11 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             &js_clean.encode(),
             BlockType::JournalSuper.tag(),
         );
-        if r.is_err() && self.opts.iron.fix_bugs {
+        if r.is_err() && fix_bugs {
             self.abort_journal("journal superblock write failure");
         }
         self.journal_dirty_on_disk = false;
         self.log_head = self.layout.journal_start;
-        self.txn.clear();
         Ok(())
     }
 
@@ -1063,8 +1227,15 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         // Revokes are sequence-scoped, as in JBD: a revoke recorded at
         // sequence S suppresses copies of the block logged at sequence <= S
         // only. A later transaction that re-logs the block (after reuse)
-        // must still be replayed.
-        let mut revoked: BTreeMap<u64, u64> = BTreeMap::new();
+        // must still be replayed. Scanned revokes are *tentative* until
+        // their own transaction's commit block is seen: a revoke from an
+        // uncommitted (crash-torn) transaction must not suppress replay of
+        // an earlier committed transaction's staged copy. Found by the
+        // iron-crash enumerator on the pipelined profile: with checkpoint
+        // lag a committed batch's home blocks aren't written yet, and a
+        // torn successor's revoke silently discarded the only good copy of
+        // a freed-then-staged directory block.
+        let mut scanned_revokes: Vec<(u64, Vec<u64>)> = Vec::new();
         // Revoke blocks logged since the last commit. commit() includes
         // them in the transactional checksum (they are written first, before
         // the descriptor), so replay must hash the same block set — found by
@@ -1072,8 +1243,16 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         // revoke failed Tc on replay because the revoke image was missing
         // from the replay-side hash.
         let mut pending_revoke_images: Vec<Block> = Vec::new();
+        // The scan is strictly ascending over the whole journal region, so
+        // plan it into elevator sweeps and hint each one ahead of the reads:
+        // the disk streams the swept blocks from its track buffer instead of
+        // re-positioning per block. Purely a timing hint — the tagged read
+        // stream (what fault injection and traces see) is unchanged.
+        let sched = IoScheduler::new();
+        let mut ra = ScanReadahead::new(&sched, BlockAddr(start), self.layout.journal_len);
         let mut pos = start;
         'scan: while pos < end {
+            ra.hint(&mut self.dev, BlockAddr(pos));
             let block = match self
                 .dev
                 .read_tagged(BlockAddr(pos), BlockType::JournalDesc.tag())
@@ -1095,10 +1274,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                     if r.sequence < self.jseq {
                         break 'scan;
                     }
-                    for a in r.addrs {
-                        let e = revoked.entry(a).or_insert(r.sequence);
-                        *e = (*e).max(r.sequence);
-                    }
+                    scanned_revokes.push((r.sequence, r.addrs));
                     pending_revoke_images.push(block.clone());
                     pos += 1;
                 }
@@ -1117,6 +1293,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                         if daddr >= end {
                             break 'scan; // truncated transaction
                         }
+                        ra.hint(&mut self.dev, BlockAddr(daddr));
                         match self
                             .dev
                             .read_tagged(BlockAddr(daddr), BlockType::JournalData.tag())
@@ -1141,6 +1318,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                     if cpos >= end {
                         break 'scan;
                     }
+                    ra.hint(&mut self.dev, BlockAddr(cpos));
                     let cblock = match self
                         .dev
                         .read_tagged(BlockAddr(cpos), BlockType::JournalCommit.tag())
@@ -1206,14 +1384,17 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             }
         }
 
-        // Pass 2: apply, in order. Redo logging is sequential: once a
-        // transaction fails its checksum, later transactions may depend on
-        // it, so recovery STOPS there (the paper's Tc semantics — "reliably
-        // detect the crash and not replay the transaction" — generalized to
-        // mid-log damage).
-        let mut mirror_writes: Vec<(u64, Block)> = Vec::new();
-        for txn in &committed {
-            if self.opts.iron.txn_checksum {
+        // Transactional checksums are validated *before* the revoke pass:
+        // recovery stops at the first transaction whose checksum
+        // mismatches, so a revoke carried by a discarded transaction must
+        // not suppress replay of an earlier committed transaction's staged
+        // copy (found by the batched-commit crash campaigns: a torn batch
+        // with its commit block but missing journal data fails Tc, yet its
+        // revoke records would otherwise silence the predecessor's
+        // directory blocks).
+        if self.opts.iron.txn_checksum {
+            let mut valid = committed.len();
+            for (i, txn) in committed.iter().enumerate() {
                 if let Some(expected) = txn.checksum {
                     let refs: Vec<&Block> = txn.images.iter().collect();
                     if txn_checksum(&refs) != expected {
@@ -1224,10 +1405,37 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                             "ixt3",
                             "transactional checksum mismatch; recovery stops here",
                         );
+                        valid = i;
                         break;
                     }
                 }
             }
+            committed.truncate(valid);
+        }
+
+        // Only revokes whose carrying transaction committed take effect
+        // (JBD's revoke pass runs over committed transactions only).
+        let committed_seqs: BTreeSet<u64> = committed.iter().map(|t| t.sequence).collect();
+        let mut revoked: BTreeMap<u64, u64> = BTreeMap::new();
+        for (sequence, addrs) in scanned_revokes {
+            if !committed_seqs.contains(&sequence) {
+                continue;
+            }
+            for a in addrs {
+                let e = revoked.entry(a).or_insert(sequence);
+                *e = (*e).max(sequence);
+            }
+        }
+
+        // Pass 2: apply, in order. Redo logging is sequential: once a
+        // transaction fails its checksum, later transactions may depend on
+        // it, so recovery STOPS there (the paper's Tc semantics — "reliably
+        // detect the crash and not replay the transaction" — generalized to
+        // mid-log damage). The checksum cut already happened above, before
+        // the revoke pass, so `committed` holds only transactions that
+        // really replay.
+        let mut mirror_writes: Vec<(u64, Block)> = Vec::new();
+        for txn in &committed {
             for ((addr, ty), data) in txn.entries.iter().zip(&txn.data) {
                 let suppressed = if self.opts.legacy_journal_bugs {
                     // Seed bug (see Ext3Options::legacy_journal_bugs): a

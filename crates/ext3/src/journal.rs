@@ -1,4 +1,4 @@
-//! Journal block formats and the in-memory running transaction.
+//! Journal block formats and the typestate transaction API.
 //!
 //! ext3-style full-block journaling (JBD): a transaction is a descriptor
 //! block naming the home addresses, the journaled copies themselves, and a
@@ -7,8 +7,39 @@
 //! whole transaction (the paper's `Tc`, §6.1) — that is what lets ixt3 issue
 //! the commit without waiting for the journal data, and what lets recovery
 //! reject a partially written transaction.
+//!
+//! The in-memory transaction is a **typestate chain** (SquirrelFS-style):
+//!
+//! ```text
+//! Txn<Building> --close()--> Txn<Closed> --log()--> Txn<Logged>
+//!     --commit()--> Txn<Committed> --checkpoint_group()--> Txn<Checkpointed>
+//!     --retire()--> sequence number
+//! ```
+//!
+//! Each transition consumes the previous state, so the orderings the
+//! paper's §2.2 failure analysis blames for most loss windows are
+//! unrepresentable:
+//!
+//! * `revoke` exists only on [`Txn<Building>`] — a frozen or logged
+//!   transaction cannot change its revoke set after its records are
+//!   on disk;
+//! * `forget` exists only on [`Txn<Committed>`] (JBD's `journal_forget`):
+//!   dropping a freed block from the *checkpoint* set is meaningful only
+//!   after the log copy is durable and before it is written home — the
+//!   PR-1 freed-blocks-not-forgotten bug is now a type error;
+//! * checkpointing is only reachable *through* [`Txn<Logged>::commit`],
+//!   which issues the durable-commit barrier internally — home-location
+//!   writes cannot start before the commit block is on its way;
+//! * the clean journal superblock needs the sequence number that only
+//!   [`Txn<Checkpointed>::retire`] returns — the journal cannot be marked
+//!   clean while any committed transaction is still un-checkpointed.
+//!
+//! Group commit batches several [`Txn<Closed>`] into one logged unit via
+//! [`Txn<Closed>::merge`]; pipelined checkpointing holds [`Txn<Committed>`]
+//! back and later drains them in one deduplicated elevator sweep via
+//! [`checkpoint_group`].
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use iron_core::checksum::{crc32_update, sha1};
 use iron_core::{Block, BLOCK_SIZE};
@@ -263,70 +294,458 @@ pub fn txn_checksum(blocks: &[&Block]) -> u64 {
     sha1(&material).truncated64()
 }
 
-/// The in-memory running transaction: dirty metadata blocks in first-dirty
-/// order, plus revoked addresses.
-#[derive(Debug, Default)]
-pub struct Txn {
-    order: Vec<u64>,
-    map: HashMap<u64, (Block, BlockType)>,
-    /// Addresses revoked in this transaction.
-    pub revoked: BTreeSet<u64>,
+// ======================================================================
+// Typestate transaction chain
+// ======================================================================
+
+/// Where the next journal write goes. Implemented by the file system (it
+/// owns the device and the log cursor); the typestate transitions drive it
+/// so the *order* of log writes and barriers is fixed by the types, not by
+/// call-site discipline.
+pub trait LogSink {
+    /// Write `block` into the next log slot; `false` on a device write
+    /// error (recorded, policy applied by the caller's `fix_bugs` check).
+    fn append(&mut self, block: &Block, ty: BlockType) -> bool;
+    /// Reserve the next log slot without writing it, returning its
+    /// address (used only by the deliberate group-commit-bug knob, which
+    /// defers journal-data writes until after the commit block).
+    fn reserve(&mut self) -> u64;
+    /// Write `block` into a previously reserved slot.
+    fn write_at(&mut self, addr: u64, block: &Block, ty: BlockType) -> bool;
+    /// Issue an ordering barrier to the device.
+    fn barrier(&mut self);
 }
 
-impl Txn {
-    /// An empty transaction.
+/// State: accepting `put`/`revoke` from running operations.
+#[derive(Debug, Default)]
+pub struct Building {
+    order: Vec<u64>,
+    map: HashMap<u64, (Block, BlockType)>,
+    revoked: BTreeSet<u64>,
+}
+
+/// State: frozen block set awaiting (group) commit. Accepts `merge` of
+/// later closed transactions but no new dirty blocks or revokes.
+#[derive(Debug)]
+pub struct Closed {
+    order: Vec<u64>,
+    map: HashMap<u64, (Block, BlockType)>,
+    revoked: BTreeSet<u64>,
+    /// How many closed transactions were merged into this batch.
+    merged: usize,
+}
+
+/// State: revoke/descriptor/data records are in the log; the commit block
+/// is not. Dropping a `Txn<Logged>` aborts the transaction (nothing will
+/// replay without a commit block).
+#[derive(Debug)]
+pub struct Logged {
+    sequence: u64,
+    map: HashMap<u64, (Block, BlockType)>,
+    /// Every log image in log order (revokes, descriptors, data) — the
+    /// `Tc` checksum input.
+    log_images: Vec<Block>,
+    log_write_failed: bool,
+    /// Journal-data writes deferred until after the commit block
+    /// (deliberate-bug knob only): (reserved slot, image, type).
+    deferred: Vec<(u64, Block, BlockType)>,
+}
+
+/// State: the commit block is durable (the transition issued the
+/// barrier); home locations may still be stale until checkpoint.
+#[derive(Debug)]
+#[must_use = "a committed transaction must be checkpointed (or explicitly abandoned)"]
+pub struct Committed {
+    sequence: u64,
+    map: HashMap<u64, (Block, BlockType)>,
+    commit_write_failed: bool,
+    log_write_failed: bool,
+}
+
+/// State: home-location writes issued; retire() yields the sequence the
+/// clean journal superblock may advance to.
+#[derive(Debug)]
+pub struct Checkpointed {
+    sequence: u64,
+    write_failed: bool,
+}
+
+/// A journal transaction in typestate `S`. See the module docs for the
+/// chain and what each transition forbids.
+#[derive(Debug, Default)]
+pub struct Txn<S = Building> {
+    st: S,
+}
+
+impl Txn<Building> {
+    /// An empty running transaction.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Stage a dirty metadata block.
     pub fn put(&mut self, addr: u64, block: Block, ty: BlockType) {
-        if !self.map.contains_key(&addr) {
-            self.order.push(addr);
+        if !self.st.map.contains_key(&addr) {
+            self.st.order.push(addr);
         }
-        self.map.insert(addr, (block, ty));
-        self.revoked.remove(&addr);
+        self.st.map.insert(addr, (block, ty));
+        self.st.revoked.remove(&addr);
     }
 
     /// Fetch the staged copy of `addr`, if any.
     pub fn get(&self, addr: u64) -> Option<&Block> {
-        self.map.get(&addr).map(|(b, _)| b)
+        self.st.map.get(&addr).map(|(b, _)| b)
     }
 
-    /// Revoke `addr`: drop any staged copy and record the revocation.
+    /// Revoke `addr`: drop any staged copy and record the revocation so
+    /// replay won't resurrect older logged copies.
     pub fn revoke(&mut self, addr: u64) {
-        if self.map.remove(&addr).is_some() {
-            self.order.retain(|a| *a != addr);
+        if self.st.map.remove(&addr).is_some() {
+            self.st.order.retain(|a| *a != addr);
         }
-        self.revoked.insert(addr);
+        self.st.revoked.insert(addr);
     }
 
-    /// Dirty blocks in first-dirty order.
+    /// Addresses revoked in this transaction.
+    pub fn revoked(&self) -> impl Iterator<Item = u64> + '_ {
+        self.st.revoked.iter().copied()
+    }
+
+    /// Number of dirty blocks.
+    pub fn len(&self) -> usize {
+        self.st.order.len()
+    }
+
+    /// True if there is nothing to commit.
+    pub fn is_empty(&self) -> bool {
+        self.st.order.is_empty() && self.st.revoked.is_empty()
+    }
+
+    /// Freeze the block set: no further `put`/`revoke` is possible on the
+    /// result — group-commit batching and logging operate on closed
+    /// transactions only.
+    pub fn close(self) -> Txn<Closed> {
+        Txn {
+            st: Closed {
+                order: self.st.order,
+                map: self.st.map,
+                revoked: self.st.revoked,
+                merged: 1,
+            },
+        }
+    }
+}
+
+impl Txn<Closed> {
+    /// Group commit: absorb `later` (a transaction closed *after* this
+    /// one) into this batch. Later puts override earlier staged copies;
+    /// later revokes drop earlier staged copies — exactly the state the
+    /// disk would reach replaying the two transactions in order, so the
+    /// merged batch can be logged under a single sequence number with one
+    /// descriptor chain, one commit block, and one barrier.
+    pub fn merge(mut self, later: Txn<Closed>) -> Txn<Closed> {
+        for addr in later.st.order {
+            let (b, t) = later.st.map[&addr].clone();
+            if !self.st.map.contains_key(&addr) {
+                self.st.order.push(addr);
+            }
+            self.st.map.insert(addr, (b, t));
+            self.st.revoked.remove(&addr);
+        }
+        for addr in later.st.revoked {
+            if self.st.map.remove(&addr).is_some() {
+                self.st.order.retain(|a| *a != addr);
+            }
+            self.st.revoked.insert(addr);
+        }
+        self.st.merged += later.st.merged;
+        self
+    }
+
+    /// Fetch the staged copy of `addr`, if any (read path: a closed
+    /// batch is newer than anything committed or on disk).
+    pub fn get(&self, addr: u64) -> Option<&Block> {
+        self.st.map.get(&addr).map(|(b, _)| b)
+    }
+
+    /// Number of dirty blocks.
+    pub fn len(&self) -> usize {
+        self.st.order.len()
+    }
+
+    /// True if there is nothing to commit.
+    pub fn is_empty(&self) -> bool {
+        self.st.order.is_empty() && self.st.revoked.is_empty()
+    }
+
+    /// How many closed transactions this batch merges.
+    pub fn batched(&self) -> usize {
+        self.st.merged
+    }
+
+    /// Final block images, in first-dirty order (checksum staging).
     pub fn blocks(&self) -> Vec<(u64, Block, BlockType)> {
-        self.order
+        self.st
+            .order
             .iter()
             .map(|a| {
-                let (b, t) = &self.map[a];
+                let (b, t) = &self.st.map[a];
                 (*a, b.clone(), *t)
             })
             .collect()
     }
 
-    /// Number of dirty blocks.
+    /// Log blocks this batch will occupy: revoke chunks + descriptor
+    /// chunks + data + the commit block.
+    pub fn log_space_needed(&self) -> u64 {
+        1 + self.st.order.len() as u64
+            + self.st.order.len().div_ceil(DESC_CAPACITY) as u64
+            + self.st.revoked.len().div_ceil(REVOKE_CAPACITY.max(1)) as u64
+    }
+
+    /// Write this batch's revoke records, descriptors, and journal-data
+    /// copies to the log under `sequence`. With `defer_data` (the
+    /// deliberate group-commit-bug knob) the data slots are only
+    /// *reserved*; [`Txn<Logged>::commit`] then writes the commit block
+    /// before filling them — the broken ordering the crash enumerator
+    /// must catch.
+    pub fn log<W: LogSink>(self, sequence: u64, sink: &mut W, defer_data: bool) -> Txn<Logged> {
+        let mut failed = false;
+        let mut log_images: Vec<Block> = Vec::new();
+        let mut deferred: Vec<(u64, Block, BlockType)> = Vec::new();
+
+        // Ordered-mode barrier: home-location data writes issued while the
+        // batch's transactions were building must reach the platter before
+        // any journal block. JBD waits for ordered data writeback here; Tc
+        // removes only the *pre-commit* barrier (journal data vs. commit
+        // block), never this one — the transactional checksum covers the
+        // log copies, not home data, so a commit racing ordered data would
+        // validate a transaction whose file contents never landed (found
+        // by the iron-crash enumerator on the batched workloads).
+        sink.barrier();
+
+        let revoked: Vec<u64> = self.st.revoked.iter().copied().collect();
+        for chunk in revoked.chunks(REVOKE_CAPACITY.max(1)) {
+            let rb = RevokeBlock {
+                sequence,
+                addrs: chunk.to_vec(),
+            }
+            .encode();
+            failed |= !sink.append(&rb, BlockType::JournalRevoke);
+            log_images.push(rb);
+        }
+
+        let blocks = self.blocks();
+        for chunk in blocks.chunks(DESC_CAPACITY) {
+            let desc = DescriptorBlock {
+                sequence,
+                entries: chunk.iter().map(|(a, _, t)| (*a, *t)).collect(),
+            }
+            .encode();
+            failed |= !sink.append(&desc, BlockType::JournalDesc);
+            log_images.push(desc);
+            for (_, b, _) in chunk {
+                if defer_data {
+                    let slot = sink.reserve();
+                    deferred.push((slot, b.clone(), BlockType::JournalData));
+                } else {
+                    failed |= !sink.append(b, BlockType::JournalData);
+                }
+                log_images.push(b.clone());
+            }
+        }
+
+        Txn {
+            st: Logged {
+                sequence,
+                map: self.st.map,
+                log_images,
+                log_write_failed: failed,
+                deferred,
+            },
+        }
+    }
+}
+
+impl Txn<Logged> {
+    /// This transaction's sequence number.
+    pub fn sequence(&self) -> u64 {
+        self.st.sequence
+    }
+
+    /// True if any log write failed (`fix_bugs` aborts here by *dropping*
+    /// the `Txn<Logged>` — without a commit block nothing replays).
+    pub fn log_write_failed(&self) -> bool {
+        self.st.log_write_failed
+    }
+
+    /// Number of log images (revokes + descriptors + data) — the `Tc`
+    /// checksum input size, for CPU-cost accounting.
+    pub fn log_block_count(&self) -> usize {
+        self.st.log_images.len()
+    }
+
+    /// Write the commit block and make it durable. This transition owns
+    /// the commit-path ordering:
+    ///
+    /// * without `Tc` (`with_tc == false`) a barrier is issued *before*
+    ///   the commit block so it cannot pass its own journal data;
+    /// * with `Tc` the pre-barrier is skipped and the commit block
+    ///   carries a checksum over every log image (§6.1);
+    /// * a barrier is always issued *after* the commit block — a
+    ///   `Txn<Committed>` is durable by construction, and checkpoint
+    ///   writes (only reachable from `Committed`) cannot overtake it.
+    ///
+    /// The deliberate-bug knob's deferred data writes happen *after* the
+    /// commit block and *inside* its barrier epoch — precisely the
+    /// commit-before-data window the crash enumerator must flag.
+    pub fn commit<W: LogSink>(self, with_tc: bool, sink: &mut W) -> Txn<Committed> {
+        let txn_cksum = if with_tc {
+            let refs: Vec<&Block> = self.st.log_images.iter().collect();
+            Some(txn_checksum(&refs))
+        } else {
+            if self.st.deferred.is_empty() {
+                sink.barrier();
+            }
+            None
+        };
+        let commit = CommitBlock {
+            sequence: self.st.sequence,
+            txn_checksum: txn_cksum,
+        }
+        .encode();
+        let commit_write_failed = !sink.append(&commit, BlockType::JournalCommit);
+        let mut log_write_failed = self.st.log_write_failed;
+        for (slot, b, ty) in &self.st.deferred {
+            log_write_failed |= !sink.write_at(*slot, b, *ty);
+        }
+        sink.barrier();
+        Txn {
+            st: Committed {
+                sequence: self.st.sequence,
+                map: self.st.map,
+                commit_write_failed,
+                log_write_failed,
+            },
+        }
+    }
+}
+
+impl Txn<Committed> {
+    /// This transaction's sequence number.
+    pub fn sequence(&self) -> u64 {
+        self.st.sequence
+    }
+
+    /// True if the commit-block write failed.
+    pub fn commit_write_failed(&self) -> bool {
+        self.st.commit_write_failed
+    }
+
+    /// True if any journal write (including deferred data) failed.
+    pub fn log_write_failed(&self) -> bool {
+        self.st.log_write_failed
+    }
+
+    /// Fetch the not-yet-checkpointed copy of `addr`, if any (read path:
+    /// with pipelined checkpointing the home location is stale until the
+    /// drain, and the FS-internal cache may have evicted the block).
+    pub fn get(&self, addr: u64) -> Option<&Block> {
+        self.st.map.get(&addr).map(|(b, _)| b)
+    }
+
+    /// Blocks still awaiting checkpoint.
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.st.map.len()
     }
 
-    /// True if there is nothing to commit.
-    pub fn is_empty(&self) -> bool {
-        self.order.is_empty() && self.revoked.is_empty()
+    /// JBD `journal_forget`: drop `addr` from the checkpoint set. Called
+    /// when a later transaction frees the block — the log copy stays (a
+    /// later revoke record suppresses it on replay), but a deferred
+    /// checkpoint must not write the stale image over a reused block.
+    pub fn forget(&mut self, addr: u64) {
+        self.st.map.remove(&addr);
     }
 
-    /// Reset after commit.
-    pub fn clear(&mut self) {
-        self.order.clear();
-        self.map.clear();
-        self.revoked.clear();
+    /// Testing hook for simulated crash windows (`crash_mode`): drop the
+    /// transaction without checkpointing, leaving home locations stale
+    /// and the journal dirty. The explicit name exists so "committed but
+    /// never checkpointed" is a grep-able decision, not a silent drop.
+    pub fn abandon(self) {
+        drop(self);
+    }
+}
+
+/// The result of checkpointing a group of committed transactions.
+pub struct CheckpointSweep {
+    /// The checkpointed transactions, oldest first.
+    pub txns: Vec<Txn<Checkpointed>>,
+    /// What the sweep actually wrote: deduplicated across the group
+    /// (newest copy wins), address-sorted. The FS mirrors metadata from
+    /// this list.
+    pub written: Vec<(u64, Block, BlockType)>,
+    /// True if any home-location write failed.
+    pub write_failed: bool,
+}
+
+/// Checkpoint a group of committed transactions (oldest first) in one
+/// elevator sweep: blocks dirtied by several transactions in the group
+/// are written once, with the newest image — the kernel's writeback
+/// submits checkpoint I/O in address order, and deduplication is where
+/// pipelined checkpointing wins over checkpoint-per-commit.
+///
+/// `write_home` performs one home-location write, returning `false` on a
+/// device error.
+pub fn checkpoint_group<F>(group: Vec<Txn<Committed>>, mut write_home: F) -> CheckpointSweep
+where
+    F: FnMut(u64, &Block, BlockType) -> bool,
+{
+    let mut merged: BTreeMap<u64, (Block, BlockType)> = BTreeMap::new();
+    for txn in &group {
+        for (addr, (b, ty)) in &txn.st.map {
+            merged.insert(*addr, (b.clone(), *ty));
+        }
+    }
+    let mut write_failed = false;
+    let mut written = Vec::with_capacity(merged.len());
+    for (addr, (b, ty)) in merged {
+        write_failed |= !write_home(addr, &b, ty);
+        written.push((addr, b, ty));
+    }
+    let txns = group
+        .into_iter()
+        .map(|t| Txn {
+            st: Checkpointed {
+                sequence: t.st.sequence,
+                write_failed,
+            },
+        })
+        .collect();
+    CheckpointSweep {
+        txns,
+        written,
+        write_failed,
+    }
+}
+
+impl Txn<Checkpointed> {
+    /// This transaction's sequence number.
+    pub fn sequence(&self) -> u64 {
+        self.st.sequence
+    }
+
+    /// True if the checkpoint sweep that produced this state had a
+    /// failed home write.
+    pub fn checkpoint_write_failed(&self) -> bool {
+        self.st.write_failed
+    }
+
+    /// Consume the transaction; the returned sequence is what the clean
+    /// journal superblock may record. This is the only way a transaction
+    /// leaves the chain successfully, so "journal marked clean before
+    /// checkpoint finished" cannot be written by accident.
+    pub fn retire(self) -> u64 {
+        self.st.sequence
     }
 }
 
@@ -433,19 +852,161 @@ mod tests {
         t.put(10, Block::filled(3), BlockType::Inode); // overwrite keeps order
         assert_eq!(t.len(), 2);
         assert_eq!(t.get(10), Some(&Block::filled(3)));
-        let blocks = t.blocks();
-        assert_eq!(blocks[0].0, 10);
-        assert_eq!(blocks[1].0, 20);
 
         t.revoke(20);
         assert_eq!(t.len(), 1);
-        assert!(t.revoked.contains(&20));
+        assert!(t.revoked().any(|a| a == 20));
         // Re-dirtying un-revokes.
         t.put(20, Block::filled(4), BlockType::Dir);
-        assert!(!t.revoked.contains(&20));
+        assert!(!t.revoked().any(|a| a == 20));
 
-        t.clear();
-        assert!(t.is_empty());
+        let closed = t.close();
+        let blocks = closed.blocks();
+        assert_eq!(blocks[0].0, 10);
+        assert_eq!(blocks[1].0, 20);
+    }
+
+    /// An in-memory log that records what the typestate transitions wrote
+    /// and when barriers fired, so the tests can check ordering.
+    #[derive(Default)]
+    struct VecLog {
+        events: Vec<String>,
+        head: u64,
+    }
+
+    impl LogSink for VecLog {
+        fn append(&mut self, block: &Block, ty: BlockType) -> bool {
+            self.events.push(format!("w:{}@{}", ty.tag(), self.head));
+            let _ = block;
+            self.head += 1;
+            true
+        }
+        fn reserve(&mut self) -> u64 {
+            let slot = self.head;
+            self.head += 1;
+            slot
+        }
+        fn write_at(&mut self, addr: u64, _block: &Block, ty: BlockType) -> bool {
+            self.events.push(format!("w:{}@{addr}", ty.tag()));
+            true
+        }
+        fn barrier(&mut self) {
+            self.events.push("barrier".into());
+        }
+    }
+
+    #[test]
+    fn merge_applies_later_puts_and_revokes() {
+        let mut a = Txn::new();
+        a.put(10, Block::filled(1), BlockType::Inode);
+        a.put(20, Block::filled(2), BlockType::Dir);
+        let mut b = Txn::new();
+        b.put(10, Block::filled(9), BlockType::Inode); // overrides a's copy
+        b.revoke(20); // frees a's block
+        b.put(30, Block::filled(3), BlockType::DataBitmap);
+        let batch = a.close().merge(b.close());
+        assert_eq!(batch.batched(), 2);
+        assert_eq!(batch.get(10), Some(&Block::filled(9)));
+        assert_eq!(batch.get(20), None, "merged revoke drops staged copy");
+        assert_eq!(batch.get(30), Some(&Block::filled(3)));
+        // 2 data blocks + 1 descriptor + 1 revoke chunk + 1 commit.
+        assert_eq!(batch.log_space_needed(), 5);
+    }
+
+    #[test]
+    fn commit_without_tc_barriers_before_and_after_commit_block() {
+        let mut t = Txn::new();
+        t.put(10, Block::filled(1), BlockType::Inode);
+        let mut log = VecLog::default();
+        let logged = t.close().log(7, &mut log, false);
+        assert_eq!(logged.sequence(), 7);
+        assert!(!logged.log_write_failed());
+        let committed = logged.commit(false, &mut log);
+        assert!(!committed.commit_write_failed());
+        assert_eq!(
+            log.events,
+            vec![
+                "barrier", // ordered data durable before any journal write
+                "w:j-desc@0",
+                "w:j-data@1",
+                "barrier", // pre-commit: data durable before the commit block
+                "w:j-commit@2",
+                "barrier", // commit durable before any checkpoint
+            ]
+        );
+        committed.abandon();
+    }
+
+    #[test]
+    fn commit_with_tc_skips_the_pre_barrier() {
+        let mut t = Txn::new();
+        t.put(10, Block::filled(1), BlockType::Inode);
+        let mut log = VecLog::default();
+        let committed = t.close().log(7, &mut log, false).commit(true, &mut log);
+        assert_eq!(
+            log.events,
+            vec![
+                "barrier", // the ordered-data barrier stays even under Tc
+                "w:j-desc@0",
+                "w:j-data@1",
+                "w:j-commit@2",
+                "barrier",
+            ]
+        );
+        committed.abandon();
+    }
+
+    #[test]
+    fn deferred_data_bug_knob_writes_commit_block_first() {
+        let mut t = Txn::new();
+        t.put(10, Block::filled(1), BlockType::Inode);
+        t.put(20, Block::filled(2), BlockType::Dir);
+        let mut log = VecLog::default();
+        let committed = t.close().log(3, &mut log, true).commit(false, &mut log);
+        // Descriptor at 0, data slots 1-2 reserved but EMPTY, commit at 3,
+        // then the data lands after the commit block with no barrier
+        // between — the broken group commit the enumerator must catch.
+        assert_eq!(
+            log.events,
+            vec![
+                "barrier",
+                "w:j-desc@0",
+                "w:j-commit@3",
+                "w:j-data@1",
+                "w:j-data@2",
+                "barrier",
+            ]
+        );
+        committed.abandon();
+    }
+
+    #[test]
+    fn checkpoint_group_dedups_and_sorts_and_retires() {
+        let mut a = Txn::new();
+        a.put(50, Block::filled(1), BlockType::Inode);
+        a.put(10, Block::filled(2), BlockType::Dir);
+        let mut b = Txn::new();
+        b.put(50, Block::filled(9), BlockType::Inode); // newer copy of 50
+        b.put(30, Block::filled(3), BlockType::DataBitmap);
+        let mut log = VecLog::default();
+        let ca = a.close().log(1, &mut log, false).commit(false, &mut log);
+        let mut cb = b.close().log(2, &mut log, false).commit(false, &mut log);
+
+        // journal_forget on the committed (not yet checkpointed) txn.
+        cb.forget(30);
+        assert_eq!(cb.get(30), None);
+
+        let mut writes: Vec<(u64, u8)> = Vec::new();
+        let sweep = checkpoint_group(vec![ca, cb], |addr, b, _ty| {
+            writes.push((addr, b[0]));
+            true
+        });
+        // Address-sorted, deduped (50 written once, with b's image), and
+        // the forgotten block never written.
+        assert_eq!(writes, vec![(10, 2), (50, 9)]);
+        assert!(!sweep.write_failed);
+        let seqs: Vec<u64> = sweep.txns.into_iter().map(Txn::retire).collect();
+        assert_eq!(seqs, vec![1, 2]);
     }
 
     #[test]

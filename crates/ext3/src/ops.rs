@@ -30,7 +30,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
     ///   (`DRedundancy`); with `Mr`, a failed/corrupt primary is recovered
     ///   from the distant replica (`RRedundancy`).
     pub(crate) fn read_meta(&mut self, addr: u64, ty: BlockType) -> VfsResult<Block> {
-        if let Some(b) = self.txn.get(addr) {
+        if let Some(b) = self.staged_copy(addr) {
             return Ok(b.clone());
         }
         if let Some(b) = self.cache.get(BlockAddr(addr)) {
@@ -305,7 +305,16 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             let bm_addr = self.layout().data_bitmap(g).0;
             let mut bm = self.read_meta(bm_addr, BlockType::DataBitmap)?;
             let data_lo = self.layout().data_start(g) - self.layout().group_base(g);
-            if let Some(bit) = alloc::find_free(&bm, bpg, data_lo) {
+            // Allocate against the committed bitmap state: bits freed by
+            // not-yet-committed transactions are still busy (see
+            // `uncommitted_frees`).
+            let mut view = bm.clone();
+            for &a in &self.uncommitted_frees {
+                if self.layout().group_of_block(a) == Some(g) {
+                    alloc::bit_set(&mut view, a - self.layout().group_base(g));
+                }
+            }
+            if let Some(bit) = alloc::find_free(&view, bpg, data_lo) {
                 alloc::bit_set(&mut bm, bit);
                 self.write_meta(bm_addr, bm, BlockType::DataBitmap);
                 self.sb.free_blocks = self.sb.free_blocks.saturating_sub(1);
@@ -341,6 +350,7 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         // The legacy knob re-introduces the seed bug of skipping this.
         if !self.opts.legacy_journal_bugs {
             self.revoke_meta(addr);
+            self.uncommitted_frees.insert(addr);
         }
         Ok(())
     }
@@ -1016,6 +1026,7 @@ impl<D: BlockDevice + RawAccess> SpecificFs for Ext3Fs<D> {
             let within = (pos % bs) as usize;
             let take = ((end - pos) as usize).min(BLOCK_SIZE - within);
             let mut addr = self.get_file_block(&di, idx)?;
+            let preexisting = addr != 0;
             let old = if addr == 0 {
                 Block::zeroed()
             } else if within == 0 && take == BLOCK_SIZE && !self.opts.iron.data_parity {
@@ -1054,6 +1065,23 @@ impl<D: BlockDevice + RawAccess> SpecificFs for Ext3Fs<D> {
                     self.note_cksum(addr, &new, false);
                     self.cache.insert(BlockAddr(addr), new.clone());
                 }
+            } else if self.opts.iron.data_checksum && preexisting {
+                // `Dc` overwrites are copy-on-write: an in-place overwrite
+                // of a mapped block can leave new bytes under the old
+                // *committed* checksum (or old bytes under the new one)
+                // across a crash — the mismatch reads as EIO after an
+                // otherwise clean recovery (found by the iron-crash
+                // enumerator once the ordered-data barrier made the
+                // data/commit split a pure epoch prefix). Writing a fresh
+                // block instead lets the mapping, bitmaps, and checksum
+                // entry flip atomically in the journal: before the commit
+                // the old block/checksum pair is intact, after it the new
+                // pair is — and the ordered barrier puts the fresh
+                // contents on the platter before the commit block.
+                let fresh = self.alloc_block(hint)?;
+                self.write_data_block(fresh, &new)?;
+                self.free_block(addr)?;
+                self.set_file_block(&mut di, idx, fresh, hint)?;
             } else {
                 self.write_data_block(addr, &new)?;
             }
@@ -1113,7 +1141,16 @@ impl<D: BlockDevice + RawAccess> SpecificFs for Ext3Fs<D> {
                     if self.opts.iron.data_parity && di.parity != 0 {
                         self.parity_update(ino, di.parity as u64, &old, &b);
                     }
-                    self.write_data_block(addr, &b)?;
+                    if self.opts.iron.data_checksum {
+                        // Same COW-under-Dc rule as `write`: the zeroed
+                        // tail must swap in atomically with its checksum.
+                        let fresh = self.alloc_block(hint)?;
+                        self.write_data_block(fresh, &b)?;
+                        self.free_block(addr)?;
+                        self.set_file_block(&mut di, idx, fresh, hint)?;
+                    } else {
+                        self.write_data_block(addr, &b)?;
+                    }
                 }
             }
             di.size = size;
@@ -1169,6 +1206,7 @@ impl<D: BlockDevice + RawAccess> SpecificFs for Ext3Fs<D> {
     fn unmount(&mut self) -> VfsResult<()> {
         self.env.check_alive()?;
         self.commit()?;
+        self.checkpoint_now()?;
         self.flush_replicas();
         self.sb.state = FsState::Clean;
         let enc = self.sb.encode();

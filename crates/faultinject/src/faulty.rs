@@ -173,6 +173,12 @@ impl<D: BlockDevice + RawAccess> BlockDevice for FaultyDisk<D> {
     fn flush(&mut self) -> DiskResult<()> {
         self.inner.flush()
     }
+
+    fn readahead(&mut self, start: BlockAddr, len: u64) {
+        // A hint is not an access: no fault check, no trace record. Faults
+        // fire on the real tagged reads that follow.
+        self.inner.readahead(start, len);
+    }
 }
 
 impl<D: RawAccess> RawAccess for FaultyDisk<D> {

@@ -88,6 +88,18 @@ pub struct Ext3Adapter {
     /// [`Ext3Options::legacy_journal_bugs`]). Test-only: lets the
     /// crash-state enumerator regression-prove it would have caught them.
     pub legacy_journal_bugs: bool,
+    /// Mount with the pipelined commit profile: group commit plus lagged
+    /// checkpointing, with a commit threshold low enough that the modest
+    /// crash workloads close several transactions between syncs — so the
+    /// batched descriptor/commit path is what the enumerator actually
+    /// exercises.
+    pub pipelined: bool,
+    /// Deliberately break group-commit ordering: journal data blocks are
+    /// written *after* the batch's commit block, inside the same barrier
+    /// epoch (see [`Ext3Options::legacy_group_commit_bug`]). Test-only,
+    /// like `legacy_journal_bugs`: proves the enumerator catches a batch
+    /// whose commit block can land before all descriptors' data.
+    pub legacy_group_commit_bug: bool,
 }
 
 impl Ext3Adapter {
@@ -96,6 +108,8 @@ impl Ext3Adapter {
         Ext3Adapter {
             iron: IronConfig::off(),
             legacy_journal_bugs: false,
+            pipelined: false,
+            legacy_group_commit_bug: false,
         }
     }
 
@@ -103,13 +117,28 @@ impl Ext3Adapter {
     pub fn ixt3() -> Self {
         Ext3Adapter {
             iron: IronConfig::full(),
-            legacy_journal_bugs: false,
+            ..Ext3Adapter::stock()
         }
     }
 
     /// Same configuration with the PR-1 seed journaling bugs re-enabled.
     pub fn with_legacy_journal_bugs(mut self) -> Self {
         self.legacy_journal_bugs = true;
+        self
+    }
+
+    /// Same configuration mounted with the pipelined commit profile.
+    pub fn pipelined(mut self) -> Self {
+        self.pipelined = true;
+        self
+    }
+
+    /// Same configuration with group-commit ordering deliberately broken
+    /// (implies the pipelined profile — an unbatched mount never takes
+    /// the bugged path).
+    pub fn with_legacy_group_commit_bug(mut self) -> Self {
+        self.pipelined = true;
+        self.legacy_group_commit_bug = true;
         self
     }
 
@@ -121,19 +150,38 @@ impl Ext3Adapter {
     }
 
     fn options(&self) -> Ext3Options {
-        Ext3Options {
+        let mut opts = Ext3Options {
             legacy_journal_bugs: self.legacy_journal_bugs,
             ..Ext3Options::with_iron(self.iron)
+        };
+        if self.pipelined {
+            opts.commit_threshold = 6;
+            opts.group_commit = 4;
+            opts.checkpoint_lag = 48;
         }
+        opts.legacy_group_commit_bug = self.legacy_group_commit_bug;
+        opts
     }
 }
 
 impl FsUnderTest for Ext3Adapter {
     fn name(&self) -> &'static str {
-        match (
-            self.iron.any_iron() || self.iron.fix_bugs,
-            self.legacy_journal_bugs,
-        ) {
+        let iron_on = self.iron.any_iron() || self.iron.fix_bugs;
+        if self.legacy_group_commit_bug {
+            return if iron_on {
+                "ixt3-groupbug"
+            } else {
+                "ext3-groupbug"
+            };
+        }
+        if self.pipelined {
+            return if iron_on {
+                "ixt3-pipelined"
+            } else {
+                "ext3-pipelined"
+            };
+        }
+        match (iron_on, self.legacy_journal_bugs) {
             (true, false) => "ixt3",
             (true, true) => "ixt3-legacy",
             (false, false) => "ext3",

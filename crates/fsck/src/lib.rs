@@ -39,13 +39,6 @@ pub mod engine;
 pub mod issue;
 pub mod repair;
 
-/// The shared executor, re-exported from [`iron_core::exec`] (the
-/// scheduler used to live here; it was extracted so the fingerprinting
-/// campaign could reuse it).
-pub mod scheduler {
-    pub use iron_core::exec::{Job, WorkerPool};
-}
-
 pub use check::{Checkable, ChildEntry, FileKind, InodeSummary, SuperblockReport};
 pub use engine::{FsckEngine, FsckOptions, FsckStats, PassStat};
 pub use iron_core::exec::WorkerPool;

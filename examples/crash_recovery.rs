@@ -13,8 +13,6 @@ use ironfs::prelude::*;
 /// transaction, then corrupt its first journal-data block.
 fn crashed_image(tc: bool) -> MemDisk {
     let params = Ext3Params::small();
-    let mut dev = StackBuilder::memdisk(4096).build();
-    Ext3Fs::<MemDisk>::mkfs(&mut dev, params).unwrap();
     let iron = IronConfig {
         txn_checksum: tc,
         ..IronConfig::off()
@@ -24,7 +22,9 @@ fn crashed_image(tc: bool) -> MemDisk {
         crash_mode: true, // commits stop after the commit block
         ..Default::default()
     };
-    let fs = Ext3Fs::mount(dev, FsEnv::new(), opts).unwrap();
+    let fs = StackBuilder::memdisk(4096)
+        .mount_ext3(FsEnv::new(), params, opts)
+        .unwrap();
     let mut v = Vfs::new(fs);
     v.mkdir("/important", 0o755).unwrap();
     v.write_file("/important/ledger", b"the only copy").unwrap();

@@ -9,10 +9,10 @@ use ironfs::ixt3::scrub::scrub;
 use ironfs::prelude::*;
 
 fn main() {
-    let disk = StackBuilder::memdisk(4096).build();
     let env = FsEnv::new();
-    let mut fs =
-        ironfs::ixt3::format_and_mount_full(disk, env.clone(), Ext3Params::small()).expect("mount");
+    let mut fs = StackBuilder::memdisk(4096)
+        .mount_ixt3_full(env.clone(), Ext3Params::small())
+        .expect("mount");
 
     // A handful of files the user cares about.
     {

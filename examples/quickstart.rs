@@ -6,32 +6,34 @@
 use ironfs::prelude::*;
 
 fn main() {
-    // 1. A 16 MiB simulated disk with the fault-injection layer above it.
-    let mut faulty = StackBuilder::memdisk(4096).layer(FaultyDisk::new).build();
-    let faults = faulty.controller();
-    ironfs::ixt3::mkfs(faulty.inner_mut(), Ext3Params::small(), IronConfig::full()).expect("mkfs");
-
-    // 2. Mount the full ixt3: metadata+data checksums, metadata
-    //    replication, per-file parity, transactional checksums.
+    // 1. A 16 MiB simulated disk with the fault-injection layer above
+    //    it, formatted and mounted as the full ixt3 in one chain:
+    //    metadata+data checksums, metadata replication, per-file parity,
+    //    transactional checksums.
+    let plan = FaultPlan::new();
+    let faults = plan.controller();
     let env = FsEnv::new();
-    let fs = ironfs::ixt3::mount_full(faulty, env.clone()).expect("mount");
+    let fs = StackBuilder::memdisk(4096)
+        .with_faults(plan)
+        .mount_ixt3_full(env.clone(), Ext3Params::small())
+        .expect("mount");
     let mut v = Vfs::new(fs);
 
-    // 3. Ordinary POSIX-style use.
+    // 2. Ordinary POSIX-style use.
     v.mkdir("/photos", 0o755).unwrap();
     let album: Vec<u8> = (0..60_000u32).map(|i| (i % 251) as u8).collect();
     v.write_file("/photos/vacation.raw", &album).unwrap();
     v.sync().unwrap();
     println!("wrote {} bytes to /photos/vacation.raw", album.len());
 
-    // 4. Disaster: a latent sector error takes out an inode-table block.
+    // 3. Disaster: a latent sector error takes out an inode-table block.
     faults.inject(FaultSpec::sticky(
         FaultKind::ReadError,
         FaultTarget::Tag(BlockTag("inode")),
     ));
     println!("injected: sticky read failure on the next inode-table access");
 
-    // 5. ixt3 recovers from its distant replica — the application never
+    // 4. ixt3 recovers from its distant replica — the application never
     //    notices. (Stock ext3 would return EIO and remount read-only.)
     let back = v.read_file("/photos/vacation.raw").expect("ixt3 recovers");
     assert_eq!(back, album);

@@ -31,13 +31,11 @@
 //! ## Quickstart
 //!
 //! ```
-//! use ironfs::blockdev::MemDisk;
-//! use ironfs::ext3::Ext3Params;
-//! use ironfs::vfs::{FsEnv, SpecificFs, Vfs};
+//! use ironfs::prelude::*;
 //!
 //! // Format and mount a full ixt3 (checksums + replication + parity + Tc).
-//! let disk = MemDisk::for_tests(4096);
-//! let fs = ironfs::ixt3::format_and_mount_full(disk, FsEnv::new(), Ext3Params::small())
+//! let fs = StackBuilder::memdisk(4096)
+//!     .mount_ixt3_full(FsEnv::new(), Ext3Params::small())
 //!     .expect("mount");
 //! let mut v = Vfs::new(fs);
 //! v.write_file("/hello.txt", b"don't trust the disk").unwrap();
@@ -49,6 +47,8 @@
 //! regenerate every table and figure of the paper.
 
 #![forbid(unsafe_code)]
+
+pub mod stack;
 
 pub use iron_blockdev as blockdev;
 pub use iron_cluster as cluster;
@@ -72,15 +72,16 @@ pub use iron_workloads as workloads;
 /// ```
 /// use ironfs::prelude::*;
 ///
-/// let mut dev = StackBuilder::memdisk(4096)
+/// let fs = StackBuilder::memdisk(4096)
 ///     .with_cache(CachePolicy::write_back(256))
-///     .build();
-/// Ext3Fs::mkfs(&mut dev, Ext3Params::small()).unwrap();
-/// let fs = Ext3Fs::mount(dev, FsEnv::new(), Ext3Options::default()).unwrap();
+///     .mount_ext3(FsEnv::new(), Ext3Params::small(), Ext3Options::default())
+///     .unwrap();
 /// let mut v = Vfs::new(fs);
 /// v.write_file("/hello", b"hi").unwrap();
 /// ```
 pub mod prelude {
+    pub use crate::stack::MountStackExt;
+
     pub use iron_core::{
         Block, BlockAddr, BlockTag, DetectionLevel, Errno, FaultKind, IoKind, KernelLog,
         RecoveryLevel, SimClock, Transience, BLOCK_SIZE,
