@@ -13,18 +13,26 @@
 //! * `matrix_t{1,8}` — the stock-ext3 workload suite sequentially vs. on
 //!   8 worker threads; every sample asserts the reports are bit-identical
 //!   to the sequential baseline, so the parallel speedup is honest.
+//! * `gen_workloads` — pure ACE-style generation of the full seq-3
+//!   family; `units_per_s` is generated-workloads/sec.
+//! * `gen_seq2_states` — a deterministic slice of the generated seq-2
+//!   family campaigned on stock ext3; `units_per_s` is the
+//!   crash-states/sec figure for generated (owned-path) workloads.
 
 use iron_testkit::{black_box, BenchGroup};
 
-use iron_crash::{run_crash_campaign, CrashCampaignOptions, CrashReport, WORKLOADS};
+use iron_crash::{
+    generate_workloads, run_crash_campaign, run_generated_campaign, standard_workloads,
+    CrashCampaignOptions, CrashReport, CrashWorkload, GenOptions,
+};
 use iron_fingerprint::{Ext3Adapter, FsUnderTest};
 
-fn suite(fs: &dyn FsUnderTest, threads: usize) -> Vec<CrashReport> {
+fn suite(fs: &dyn FsUnderTest, workloads: &[CrashWorkload], threads: usize) -> Vec<CrashReport> {
     let opts = CrashCampaignOptions {
         threads,
         ..Default::default()
     };
-    WORKLOADS
+    workloads
         .iter()
         .map(|w| run_crash_campaign(fs, w, &opts))
         .collect()
@@ -40,10 +48,11 @@ fn main() {
     // Pre-run each kernel once: the enumeration is deterministic, so the
     // images-checked count is *the* count — recorded as units_per_iter so
     // the JSON carries crash-states/sec.
-    let ext3_images = run_crash_campaign(&ext3, &WORKLOADS[0], &opts).images_checked;
+    let workloads = standard_workloads();
+    let ext3_images = run_crash_campaign(&ext3, &workloads[0], &opts).images_checked;
     g.throughput_units(Some(ext3_images as u64));
     g.bench("ext3_create_sync", || {
-        let r = run_crash_campaign(&ext3, &WORKLOADS[0], &opts);
+        let r = run_crash_campaign(&ext3, &workloads[0], &opts);
         assert!(
             r.images_checked >= 20,
             "image set shrank: {}",
@@ -52,15 +61,15 @@ fn main() {
         black_box(r.images_checked)
     });
 
-    let ixt3_images = run_crash_campaign(&ixt3, &WORKLOADS[2], &opts).images_checked;
+    let ixt3_images = run_crash_campaign(&ixt3, &workloads[2], &opts).images_checked;
     g.throughput_units(Some(ixt3_images as u64));
     g.bench("ixt3_reuse_dir", || {
-        let r = run_crash_campaign(&ixt3, &WORKLOADS[2], &opts);
+        let r = run_crash_campaign(&ixt3, &workloads[2], &opts);
         assert!(r.is_clean(), "ixt3 regressed under the enumerator");
         black_box(r.images_checked)
     });
 
-    let baseline = suite(&ext3, 1);
+    let baseline = suite(&ext3, &workloads, 1);
     let total: usize = baseline.iter().map(|r| r.images_checked).sum();
     assert!(
         total >= 80,
@@ -69,9 +78,9 @@ fn main() {
 
     g.throughput_units(Some(total as u64));
     for threads in [1usize, 8] {
-        let (ext3, baseline) = (&ext3, &baseline);
+        let (ext3, baseline, workloads) = (&ext3, &baseline, &workloads);
         g.bench(&format!("matrix_t{threads}"), move || {
-            let rs = suite(ext3, threads);
+            let rs = suite(ext3, workloads, threads);
             assert_eq!(
                 &rs, baseline,
                 "t={threads} reports must be bit-identical to sequential"
@@ -79,6 +88,32 @@ fn main() {
             black_box(rs.len())
         });
     }
+
+    // Pure generation throughput: the full seq-2+3 family, counted as
+    // generated-workloads/sec. The size is asserted so a silently
+    // shrinking family cannot masquerade as a speedup.
+    let family = generate_workloads(&GenOptions::seq3());
+    g.throughput_units(Some(family.len() as u64));
+    g.bench("gen_workloads", || {
+        let wl = generate_workloads(&GenOptions::seq3());
+        assert_eq!(wl.len(), family.len(), "generated family changed size");
+        black_box(wl.len())
+    });
+
+    // Generated-campaign throughput: every 4th seq-2 workload on stock
+    // ext3 — crash-states/sec through the owned-path pipeline.
+    let seq2 = generate_workloads(&GenOptions::seq2());
+    let slice: Vec<_> = seq2.iter().step_by(4).cloned().collect();
+    let gen_images = run_generated_campaign(&ext3, &slice, &opts).images_checked;
+    g.throughput_units(Some(gen_images as u64));
+    g.bench("gen_seq2_states", || {
+        let r = run_generated_campaign(&ext3, &slice, &opts);
+        assert_eq!(
+            r.images_checked, gen_images,
+            "generated image set changed size"
+        );
+        black_box(r.images_checked)
+    });
 
     g.finish();
 }

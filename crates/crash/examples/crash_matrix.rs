@@ -1,7 +1,7 @@
 //! Run the full crash matrix and print every violation. Exploration /
 //! debugging aid; the test suite encodes the expected outcome.
 
-use iron_crash::{run_crash_campaign, CrashCampaignOptions, WORKLOADS};
+use iron_crash::{run_crash_campaign, standard_workloads, CrashCampaignOptions};
 use iron_fingerprint::{Ext3Adapter, FsUnderTest, JfsAdapter, ReiserAdapter};
 
 fn main() {
@@ -13,7 +13,7 @@ fn main() {
     ];
     let opts = CrashCampaignOptions::default();
     for a in &adapters {
-        for w in WORKLOADS {
+        for w in &standard_workloads() {
             let r = run_crash_campaign(a.as_ref(), w, &opts);
             println!(
                 "{:8} {:16} epochs={:3} writes={:4} flushes={} images={:3} violations={}",

@@ -13,8 +13,8 @@
 
 use iron_blockdev::{CrashRecorder, WriteLog};
 use iron_crash::{
-    apply_all, enumerate_images, materialize, run_workload, walk_tree, EnumOptions, TreeNode,
-    WORKLOADS,
+    apply_all, enumerate_images, materialize, run_workload, standard_workloads, walk_tree,
+    EnumOptions, TreeNode,
 };
 use iron_fingerprint::{Ext3Adapter, FsUnderTest, JfsAdapter, ReiserAdapter};
 use iron_vfs::{FsEnv, Vfs};
@@ -32,7 +32,8 @@ fn main() {
         other => panic!("unknown fs {other}"),
     };
     let fs = fs.as_ref();
-    let w = &WORKLOADS[wli];
+    let workloads = standard_workloads();
+    let w = &workloads[wli];
     let base = fs.golden(false);
     let log = WriteLog::new();
     let shadow = {

@@ -1,0 +1,92 @@
+//! Run the generated (ACE-style) crash campaign and print the per-FS
+//! matrix. Exploration / debugging aid; the test suite encodes the
+//! expected outcome.
+//!
+//! ```text
+//! gen_matrix [seq2|seq3] [fs-filter] [--verbose]
+//! ```
+
+use std::time::Instant;
+
+use iron_crash::{generate_workloads, run_generated_campaign, CrashCampaignOptions, GenOptions};
+use iron_fingerprint::{Ext3Adapter, FsUnderTest, JfsAdapter, NtfsAdapter, ReiserAdapter};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = if args.iter().any(|a| a == "seq3") {
+        GenOptions::seq3()
+    } else {
+        GenOptions::seq2()
+    };
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let filter = args
+        .iter()
+        .find(|a| *a != "seq2" && *a != "seq3" && *a != "--verbose")
+        .cloned();
+
+    let workloads = generate_workloads(&opts);
+    println!("generated {} workloads", workloads.len());
+
+    let adapters: Vec<Box<dyn FsUnderTest>> = vec![
+        Box::new(Ext3Adapter::stock()),
+        Box::new(Ext3Adapter::ixt3()),
+        Box::new(Ext3Adapter::stock().pipelined()),
+        Box::new(Ext3Adapter::ixt3().pipelined()),
+        Box::new(ReiserAdapter),
+        Box::new(JfsAdapter),
+        Box::new(NtfsAdapter),
+    ];
+    let copts = CrashCampaignOptions::default();
+    for a in &adapters {
+        if let Some(f) = &filter {
+            if !a.name().contains(f.as_str()) {
+                continue;
+            }
+        }
+        let t0 = Instant::now();
+        let r = run_generated_campaign(a.as_ref(), &workloads, &copts);
+        let prefix = r
+            .violations
+            .iter()
+            .filter(|v| v.image.subset.is_empty())
+            .count();
+        println!(
+            "{:16} workloads={:5} images={:6} dirty={:5} violations={:6} pure-prefix={:4} by_oracle={:?} ({:.1}s)",
+            r.fs,
+            r.workloads_run,
+            r.images_checked,
+            r.dirty_workloads,
+            r.violations.len(),
+            prefix,
+            r.by_oracle(),
+            t0.elapsed().as_secs_f64()
+        );
+        if prefix > 0 {
+            for v in r
+                .violations
+                .iter()
+                .filter(|v| v.image.subset.is_empty())
+                .take(6)
+            {
+                println!("    PREFIX {v}");
+            }
+        }
+        if verbose {
+            for v in &r.violations {
+                println!("    {v}");
+            }
+        } else {
+            // One sample violation per (workload-suffix, oracle) class.
+            let mut seen = std::collections::BTreeSet::new();
+            for v in &r.violations {
+                let class = (
+                    v.workload.rsplit('-').next().unwrap_or("").to_string(),
+                    v.oracle,
+                );
+                if seen.insert(class) {
+                    println!("    e.g. {v}");
+                }
+            }
+        }
+    }
+}

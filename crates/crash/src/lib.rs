@@ -32,14 +32,23 @@
 
 pub mod campaign;
 pub mod enumerate;
+pub mod gen;
 pub mod image;
 pub mod oracle;
 pub mod workload;
 
-pub use campaign::{run_crash_campaign, CrashCampaignOptions, CrashReport};
+pub use campaign::{
+    run_crash_campaign, run_generated_campaign, CrashCampaignOptions, CrashReport,
+    GeneratedCampaignReport,
+};
 pub use enumerate::{enumerate_images, EnumOptions};
+pub use gen::{
+    find_generated, generate_workloads, op_instances, GenOptions, SyncPlacement, GEN_CONTENT,
+    GEN_DIRS, GEN_EXTEND, GEN_FILES, GEN_SHRINK,
+};
 pub use image::{apply_all, materialize, CrashImageSpec};
 pub use oracle::{check_image, walk_tree, FsTree, OracleKind, TreeNode, Violation};
 pub use workload::{
-    run_workload, CrashOp, CrashWorkload, ShadowModel, BATCH_WORKLOADS, CRASH_ROOT, WORKLOADS,
+    batch_workloads, run_workload, standard_workloads, CrashOp, CrashPath, CrashWorkload,
+    ShadowModel, CRASH_ROOT,
 };

@@ -142,8 +142,8 @@ impl OracleKind {
 pub struct Violation {
     /// File system under test.
     pub fs: String,
-    /// Workload name.
-    pub workload: &'static str,
+    /// Workload name. Owned: generated workloads have computed names.
+    pub workload: String,
     /// The crash image that produced it — cut epoch and exact write
     /// subset.
     pub image: CrashImageSpec,
@@ -185,7 +185,7 @@ fn describe_node(n: Option<&TreeNode>) -> String {
 /// bit-identical reports.
 pub fn check_image(
     fs: &dyn FsUnderTest,
-    workload_name: &'static str,
+    workload_name: &str,
     base: &MemDisk,
     log: &WriteLogSnapshot,
     shadow: &ShadowModel,
@@ -195,7 +195,7 @@ pub fn check_image(
     let mut out = Vec::new();
     let viol = |oracle: OracleKind, detail: String| Violation {
         fs: fs.name().to_string(),
-        workload: workload_name,
+        workload: workload_name.to_string(),
         image: spec.clone(),
         oracle,
         detail,

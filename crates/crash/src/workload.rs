@@ -1,7 +1,7 @@
 //! Scripted crash workloads and the shadow model the oracles check
 //! against.
 //!
-//! Each workload is a fixed op script run over the VFS while the
+//! Each workload is an op script run over the VFS while the
 //! [`iron_blockdev::CrashRecorder`] captures the write stream. Alongside
 //! the real ops, a *shadow model* tracks what a correct file system must
 //! preserve: at every `Sync` a checkpoint snapshots the expected tree
@@ -9,9 +9,14 @@
 //! sync just bought — and per-path version history feeds the atomicity
 //! oracle.
 //!
-//! All workload paths live under [`CRASH_ROOT`], so the oracles can tell
-//! workload state apart from the pre-existing golden fixture.
+//! Paths are owned ([`CrashPath`], a `Cow<'static, str>`): the
+//! hand-written suites below borrow string literals for free, while the
+//! ACE-style generator ([`crate::gen`]) builds its workloads from
+//! computed paths. All workload paths live under [`CRASH_ROOT`], so the
+//! oracles can tell workload state apart from the pre-existing golden
+//! fixture.
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 
 use iron_blockdev::WriteLog;
@@ -20,30 +25,73 @@ use iron_vfs::{SpecificFs, Vfs, VfsResult};
 /// Directory every workload confines itself to.
 pub const CRASH_ROOT: &str = "/crash";
 
+/// An owned-or-borrowed workload path. Hand-written scripts borrow
+/// `'static` literals; generated workloads own their computed strings.
+pub type CrashPath = Cow<'static, str>;
+
 /// One step of a crash workload.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum CrashOp {
     /// Create a directory.
-    Mkdir(&'static str),
+    Mkdir(CrashPath),
     /// Create or overwrite a file with `pattern(len, seed)` content.
-    Write(&'static str, usize, u8),
+    Write(CrashPath, usize, u8),
+    /// Truncate a file to `size` — shrink, or extend with a zero hole.
+    Truncate(CrashPath, u64),
     /// Remove a file.
-    Unlink(&'static str),
+    Unlink(CrashPath),
     /// Remove an (empty) directory.
-    Rmdir(&'static str),
+    Rmdir(CrashPath),
     /// Rename a file or directory.
-    Rename(&'static str, &'static str),
+    Rename(CrashPath, CrashPath),
     /// `sync()`: commit and flush — a durability checkpoint.
     Sync,
 }
 
+impl CrashOp {
+    /// `Mkdir` from any path-ish value.
+    pub fn mkdir(p: impl Into<CrashPath>) -> Self {
+        CrashOp::Mkdir(p.into())
+    }
+    /// `Write` from any path-ish value.
+    pub fn write(p: impl Into<CrashPath>, len: usize, seed: u8) -> Self {
+        CrashOp::Write(p.into(), len, seed)
+    }
+    /// `Truncate` from any path-ish value.
+    pub fn truncate(p: impl Into<CrashPath>, size: u64) -> Self {
+        CrashOp::Truncate(p.into(), size)
+    }
+    /// `Unlink` from any path-ish value.
+    pub fn unlink(p: impl Into<CrashPath>) -> Self {
+        CrashOp::Unlink(p.into())
+    }
+    /// `Rmdir` from any path-ish value.
+    pub fn rmdir(p: impl Into<CrashPath>) -> Self {
+        CrashOp::Rmdir(p.into())
+    }
+    /// `Rename` from any pair of path-ish values.
+    pub fn rename(from: impl Into<CrashPath>, to: impl Into<CrashPath>) -> Self {
+        CrashOp::Rename(from.into(), to.into())
+    }
+}
+
 /// A named op script.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CrashWorkload {
     /// Display name (appears in violation reports).
-    pub name: &'static str,
+    pub name: Cow<'static, str>,
     /// The script.
-    pub ops: &'static [CrashOp],
+    pub ops: Vec<CrashOp>,
+}
+
+impl CrashWorkload {
+    /// Build a workload from a name and a script.
+    pub fn new(name: impl Into<Cow<'static, str>>, ops: Vec<CrashOp>) -> Self {
+        CrashWorkload {
+            name: name.into(),
+            ops,
+        }
+    }
 }
 
 /// Deterministic file content, reproducible from `(len, seed)`.
@@ -81,14 +129,20 @@ pub struct ShadowModel {
     pub versions: BTreeMap<String, Vec<Vec<u8>>>,
     /// Every path that was ever a directory.
     pub ever_dirs: BTreeSet<String>,
-    /// Paths written exactly once and never unlinked, renamed, or
-    /// rewritten — the only paths the strict create-atomicity oracle
-    /// applies to (in-place overwrites legitimately tear under
-    /// ordered-mode journaling).
+    /// Paths written exactly once whose namespace entry was never touched
+    /// by any other op — the only paths the strict create-atomicity
+    /// oracle applies to (in-place overwrites legitimately tear under
+    /// ordered-mode journaling, and a path reused across object kinds —
+    /// rmdir-then-create — may legitimately resurface as its old object).
     pub create_once: BTreeSet<String>,
     /// Op index of the last modification touching each path. Durability
     /// checks skip paths modified after the checkpoint they test.
     pub last_modified: BTreeMap<String, usize>,
+    /// File contents at the end of the script (what a loss-free replay
+    /// must show).
+    pub final_files: BTreeMap<String, Vec<u8>>,
+    /// Directories existing at the end of the script.
+    pub final_dirs: BTreeSet<String>,
 }
 
 /// Run `w` over a mounted file system, mirroring every op into the shadow
@@ -106,15 +160,19 @@ pub fn run_workload(
 
     for (op_index, op) in w.ops.iter().enumerate() {
         let op_index = op_index + 1; // 0 is reserved for the golden baseline
-        match *op {
+        match op {
             CrashOp::Mkdir(p) => {
                 v.mkdir(p, 0o755)?;
                 dirs.insert(p.to_string());
                 shadow.ever_dirs.insert(p.to_string());
+                // A directory appearing at this name disqualifies it from
+                // the strict create-once oracle: the namespace slot is
+                // being reused across object kinds.
+                mutated.insert(p.to_string());
                 shadow.last_modified.insert(p.to_string(), op_index);
             }
             CrashOp::Write(p, len, seed) => {
-                let data = pattern(len, seed);
+                let data = pattern(*len, *seed);
                 v.write_file(p, &data)?;
                 if files.insert(p.to_string(), data.clone()).is_some() {
                     mutated.insert(p.to_string());
@@ -122,20 +180,35 @@ pub fn run_workload(
                 shadow.versions.entry(p.to_string()).or_default().push(data);
                 shadow.last_modified.insert(p.to_string(), op_index);
             }
+            CrashOp::Truncate(p, size) => {
+                v.truncate(p, *size)?;
+                let data = files.get_mut(p.as_ref()).expect("truncate of live file");
+                data.resize(*size as usize, 0);
+                shadow
+                    .versions
+                    .entry(p.to_string())
+                    .or_default()
+                    .push(data.clone());
+                mutated.insert(p.to_string());
+                shadow.last_modified.insert(p.to_string(), op_index);
+            }
             CrashOp::Unlink(p) => {
                 v.unlink(p)?;
-                files.remove(p);
+                files.remove(p.as_ref());
                 mutated.insert(p.to_string());
                 shadow.last_modified.insert(p.to_string(), op_index);
             }
             CrashOp::Rmdir(p) => {
                 v.rmdir(p)?;
-                dirs.remove(p);
+                dirs.remove(p.as_ref());
+                // Like Mkdir: the name may be recreated as a different
+                // object kind later, so it leaves the create-once set.
+                mutated.insert(p.to_string());
                 shadow.last_modified.insert(p.to_string(), op_index);
             }
             CrashOp::Rename(from, to) => {
                 v.rename(from, to)?;
-                if let Some(data) = files.remove(from) {
+                if let Some(data) = files.remove(from.as_ref()) {
                     shadow
                         .versions
                         .entry(to.to_string())
@@ -143,9 +216,30 @@ pub fn run_workload(
                         .push(data.clone());
                     files.insert(to.to_string(), data);
                 }
-                if dirs.remove(from) {
+                if dirs.remove(from.as_ref()) {
                     dirs.insert(to.to_string());
                     shadow.ever_dirs.insert(to.to_string());
+                    // Contained paths move with the directory.
+                    let prefix = format!("{from}/");
+                    let moved: Vec<String> = files
+                        .keys()
+                        .filter(|p| p.starts_with(&prefix))
+                        .cloned()
+                        .collect();
+                    for old in moved {
+                        let new = format!("{to}/{}", &old[prefix.len()..]);
+                        let data = files.remove(&old).expect("moved file exists");
+                        shadow
+                            .versions
+                            .entry(new.clone())
+                            .or_default()
+                            .push(data.clone());
+                        files.insert(new.clone(), data);
+                        mutated.insert(old.clone());
+                        mutated.insert(new.clone());
+                        shadow.last_modified.insert(old, op_index);
+                        shadow.last_modified.insert(new, op_index);
+                    }
                 }
                 mutated.insert(from.to_string());
                 mutated.insert(to.to_string());
@@ -170,77 +264,122 @@ pub fn run_workload(
         .filter(|(p, vs)| vs.len() == 1 && !mutated.contains(*p))
         .map(|(p, _)| p.clone())
         .collect();
+    shadow.final_files = files;
+    shadow.final_dirs = dirs;
     Ok(shadow)
 }
 
-use CrashOp::*;
+fn mk(p: &'static str) -> CrashOp {
+    CrashOp::mkdir(p)
+}
+fn wr(p: &'static str, len: usize, seed: u8) -> CrashOp {
+    CrashOp::write(p, len, seed)
+}
+fn tr(p: &'static str, size: u64) -> CrashOp {
+    CrashOp::truncate(p, size)
+}
+fn un(p: &'static str) -> CrashOp {
+    CrashOp::unlink(p)
+}
+fn rd(p: &'static str) -> CrashOp {
+    CrashOp::rmdir(p)
+}
+fn rn(from: &'static str, to: &'static str) -> CrashOp {
+    CrashOp::rename(from, to)
+}
+const SYNC: CrashOp = CrashOp::Sync;
 
 /// The standard workload suite. Between them the scripts exercise synced
 /// creates (durability), unsynced creates (atomicity), in-place
-/// overwrite after sync (legitimately tearable), rename, unlink, and
-/// directory-block free-and-reuse (the journal-revoke hazard).
-pub const WORKLOADS: &[CrashWorkload] = &[
-    CrashWorkload {
-        name: "create_sync",
-        ops: &[
-            Mkdir("/crash"),
-            Write("/crash/a", 3000, 11),
-            Write("/crash/b", 9000, 12),
-            Sync,
-            Write("/crash/c", 5000, 13),
-            Mkdir("/crash/d"),
-            Write("/crash/d/e", 12000, 14),
-            Sync,
-            Write("/crash/late", 4000, 15),
-        ],
-    },
-    CrashWorkload {
-        name: "overwrite_rename",
-        ops: &[
-            Mkdir("/crash"),
-            Write("/crash/log", 8000, 21),
-            Sync,
-            Write("/crash/log", 8000, 22),
-            Rename("/crash/log", "/crash/log.old"),
-            Write("/crash/log", 2000, 23),
-            Sync,
-            Write("/crash/tmp", 1000, 24),
-            Unlink("/crash/tmp"),
-        ],
-    },
-    CrashWorkload {
-        name: "reuse_dir",
-        ops: &[
-            Mkdir("/crash"),
-            Mkdir("/crash/d"),
-            Write("/crash/d/f", 6000, 31),
-            Sync,
-            Unlink("/crash/d/f"),
-            Rmdir("/crash/d"),
-            Sync,
-            Mkdir("/crash/e"),
-            Write("/crash/e/g", 6000, 32),
-            Sync,
-        ],
-    },
-    // Metadata freed and reused as *file data* within one transaction:
-    // the freed directory block is reallocated to /crash/big before the
-    // sync commits. A journal that forgets to revoke the freed block's
-    // staged copy writes stale directory bytes over the file's data at
-    // checkpoint/replay time (the PR-1 `journal_forget` seed bug).
-    CrashWorkload {
-        name: "free_reuse",
-        ops: &[
-            Mkdir("/crash"),
-            Mkdir("/crash/d"),
-            Write("/crash/d/f", 6000, 41),
-            Unlink("/crash/d/f"),
-            Rmdir("/crash/d"),
-            Write("/crash/big", 24000, 42),
-            Sync,
-        ],
-    },
-];
+/// overwrite after sync (legitimately tearable), rename, unlink,
+/// truncate (shrink and extend, synced and torn), and directory-block
+/// free-and-reuse (the journal-revoke hazard).
+pub fn standard_workloads() -> Vec<CrashWorkload> {
+    vec![
+        CrashWorkload::new(
+            "create_sync",
+            vec![
+                mk("/crash"),
+                wr("/crash/a", 3000, 11),
+                wr("/crash/b", 9000, 12),
+                SYNC,
+                wr("/crash/c", 5000, 13),
+                mk("/crash/d"),
+                wr("/crash/d/e", 12000, 14),
+                SYNC,
+                wr("/crash/late", 4000, 15),
+            ],
+        ),
+        CrashWorkload::new(
+            "overwrite_rename",
+            vec![
+                mk("/crash"),
+                wr("/crash/log", 8000, 21),
+                SYNC,
+                wr("/crash/log", 8000, 22),
+                rn("/crash/log", "/crash/log.old"),
+                wr("/crash/log", 2000, 23),
+                SYNC,
+                wr("/crash/tmp", 1000, 24),
+                un("/crash/tmp"),
+            ],
+        ),
+        CrashWorkload::new(
+            "reuse_dir",
+            vec![
+                mk("/crash"),
+                mk("/crash/d"),
+                wr("/crash/d/f", 6000, 31),
+                SYNC,
+                un("/crash/d/f"),
+                rd("/crash/d"),
+                SYNC,
+                mk("/crash/e"),
+                wr("/crash/e/g", 6000, 32),
+                SYNC,
+            ],
+        ),
+        // Metadata freed and reused as *file data* within one transaction:
+        // the freed directory block is reallocated to /crash/big before the
+        // sync commits. A journal that forgets to revoke the freed block's
+        // staged copy writes stale directory bytes over the file's data at
+        // checkpoint/replay time (the PR-1 `journal_forget` seed bug).
+        CrashWorkload::new(
+            "free_reuse",
+            vec![
+                mk("/crash"),
+                mk("/crash/d"),
+                wr("/crash/d/f", 6000, 41),
+                un("/crash/d/f"),
+                rd("/crash/d"),
+                wr("/crash/big", 24000, 42),
+                SYNC,
+            ],
+        ),
+        // Truncate in both directions around durability points: a synced
+        // file shrunk below a block boundary (freed tail blocks are the
+        // journal-forget hazard again, this time on the truncate path),
+        // an extension over the shrink (the hole must read back zeroed),
+        // and an unsynced truncate the atomicity oracle must tolerate in
+        // either pre- or post-image.
+        CrashWorkload::new(
+            "truncate_churn",
+            vec![
+                mk("/crash"),
+                wr("/crash/t", 14000, 91),
+                SYNC,
+                tr("/crash/t", 3000),
+                wr("/crash/fill", 16000, 92),
+                SYNC,
+                tr("/crash/t", 10000),
+                tr("/crash/fill", 0),
+                SYNC,
+                wr("/crash/tail", 5000, 93),
+                tr("/crash/tail", 2000),
+            ],
+        ),
+    ]
+}
 
 /// The batched-commit workload family. Each script issues enough
 /// operations between syncs that a mount with the pipelined commit
@@ -251,67 +390,72 @@ pub const WORKLOADS: &[CrashWorkload] = &[
 /// transactions: block free-and-reuse in a later transaction of the same
 /// batch (the merged revoke set), renames over batch boundaries, and an
 /// uncommitted tail after the last sync.
-pub const BATCH_WORKLOADS: &[CrashWorkload] = &[
-    // Many small synced creates: the bread-and-butter group-commit case.
-    // Two bursts of eight writes, each burst committed as one batch, plus
-    // an unsynced tail the atomicity oracle must see as all-or-nothing.
-    CrashWorkload {
-        name: "batch_streams",
-        ops: &[
-            Mkdir("/crash"),
-            Write("/crash/s0", 7000, 50),
-            Write("/crash/s1", 7000, 51),
-            Write("/crash/s2", 7000, 52),
-            Write("/crash/s3", 7000, 53),
-            Write("/crash/s4", 7000, 54),
-            Write("/crash/s5", 7000, 55),
-            Write("/crash/s6", 7000, 56),
-            Write("/crash/s7", 7000, 57),
-            Sync,
-            Write("/crash/s8", 5000, 58),
-            Write("/crash/s9", 5000, 59),
-            Write("/crash/s10", 5000, 60),
-            Write("/crash/s11", 5000, 61),
-            Sync,
-            Write("/crash/tail", 3000, 62),
-        ],
-    },
-    // Rename/unlink churn inside a batch: directory blocks logged by an
-    // early transaction of the batch are re-logged by a later one, so the
-    // merged batch carries multiple staged versions of the same block and
-    // replay must apply the newest.
-    CrashWorkload {
-        name: "batch_rename_mix",
-        ops: &[
-            Mkdir("/crash"),
-            Mkdir("/crash/d"),
-            Write("/crash/d/a", 6000, 70),
-            Write("/crash/d/b", 6000, 71),
-            Write("/crash/log", 8000, 72),
-            Rename("/crash/log", "/crash/log.old"),
-            Write("/crash/log", 4000, 73),
-            Unlink("/crash/d/a"),
-            Write("/crash/big", 20000, 74),
-            Sync,
-            Write("/crash/post", 5000, 75),
-            Sync,
-        ],
-    },
-    // free_reuse across batch members: a directory block freed by one
-    // transaction in the batch is reallocated as file data by a later
-    // transaction of the *same* batch. The merged revoke set must still
-    // suppress the stale staged copy at replay time.
-    CrashWorkload {
-        name: "batch_free_reuse",
-        ops: &[
-            Mkdir("/crash"),
-            Mkdir("/crash/d"),
-            Write("/crash/d/f", 6000, 81),
-            Write("/crash/x", 7000, 82),
-            Unlink("/crash/d/f"),
-            Rmdir("/crash/d"),
-            Write("/crash/big", 24000, 83),
-            Sync,
-        ],
-    },
-];
+pub fn batch_workloads() -> Vec<CrashWorkload> {
+    vec![
+        // Many small synced creates: the bread-and-butter group-commit
+        // case. Two bursts of eight writes, each burst committed as one
+        // batch, plus an unsynced tail the atomicity oracle must see as
+        // all-or-nothing.
+        CrashWorkload::new(
+            "batch_streams",
+            vec![
+                mk("/crash"),
+                wr("/crash/s0", 7000, 50),
+                wr("/crash/s1", 7000, 51),
+                wr("/crash/s2", 7000, 52),
+                wr("/crash/s3", 7000, 53),
+                wr("/crash/s4", 7000, 54),
+                wr("/crash/s5", 7000, 55),
+                wr("/crash/s6", 7000, 56),
+                wr("/crash/s7", 7000, 57),
+                SYNC,
+                wr("/crash/s8", 5000, 58),
+                wr("/crash/s9", 5000, 59),
+                wr("/crash/s10", 5000, 60),
+                wr("/crash/s11", 5000, 61),
+                SYNC,
+                wr("/crash/tail", 3000, 62),
+            ],
+        ),
+        // Rename/unlink churn inside a batch: directory blocks logged by
+        // an early transaction of the batch are re-logged by a later one,
+        // so the merged batch carries multiple staged versions of the same
+        // block and replay must apply the newest.
+        CrashWorkload::new(
+            "batch_rename_mix",
+            vec![
+                mk("/crash"),
+                mk("/crash/d"),
+                wr("/crash/d/a", 6000, 70),
+                wr("/crash/d/b", 6000, 71),
+                wr("/crash/log", 8000, 72),
+                rn("/crash/log", "/crash/log.old"),
+                wr("/crash/log", 4000, 73),
+                un("/crash/d/a"),
+                wr("/crash/big", 20000, 74),
+                SYNC,
+                wr("/crash/post", 5000, 75),
+                SYNC,
+            ],
+        ),
+        // free_reuse across batch members: a directory block freed by one
+        // transaction in the batch is reallocated as file data by a later
+        // transaction of the *same* batch. The merged revoke set must
+        // still suppress the stale staged copy at replay time. The freed
+        // tail of a truncate rides the same hazard.
+        CrashWorkload::new(
+            "batch_free_reuse",
+            vec![
+                mk("/crash"),
+                mk("/crash/d"),
+                wr("/crash/d/f", 6000, 81),
+                wr("/crash/x", 7000, 82),
+                un("/crash/d/f"),
+                rd("/crash/d"),
+                tr("/crash/x", 1000),
+                wr("/crash/big", 24000, 83),
+                SYNC,
+            ],
+        ),
+    ]
+}

@@ -18,8 +18,8 @@
 
 use iron_blockdev::{CrashRecorder, WriteLog};
 use iron_crash::{
-    check_image, enumerate_images, run_crash_campaign, run_workload, walk_tree,
-    CrashCampaignOptions, CrashReport, EnumOptions, OracleKind, WORKLOADS,
+    check_image, enumerate_images, run_crash_campaign, run_workload, standard_workloads, walk_tree,
+    CrashCampaignOptions, CrashReport, EnumOptions, OracleKind,
 };
 use iron_fingerprint::{Ext3Adapter, FsUnderTest, JfsAdapter, ReiserAdapter};
 use iron_vfs::{FsEnv, Vfs};
@@ -27,7 +27,7 @@ use iron_vfs::{FsEnv, Vfs};
 fn campaign(fs: &dyn FsUnderTest, wl_index: usize, threads: usize) -> CrashReport {
     run_crash_campaign(
         fs,
-        &WORKLOADS[wl_index],
+        &standard_workloads()[wl_index],
         &CrashCampaignOptions {
             enumeration: EnumOptions::default(),
             threads,
@@ -45,7 +45,7 @@ fn dump(r: &CrashReport) -> String {
 #[test]
 fn ixt3_passes_all_oracles_on_every_workload() {
     let fs = Ext3Adapter::ixt3();
-    for (i, w) in WORKLOADS.iter().enumerate() {
+    for (i, w) in standard_workloads().iter().enumerate() {
         let r = campaign(&fs, i, 0);
         assert!(r.images_checked > 0, "{}: no images enumerated", w.name);
         assert!(
@@ -61,7 +61,7 @@ fn ixt3_passes_all_oracles_on_every_workload() {
 fn stock_ext3_shows_the_checkpoint_hazard_and_nothing_else() {
     let fs = Ext3Adapter::stock();
     let mut total = 0;
-    for (i, w) in WORKLOADS.iter().enumerate() {
+    for (i, w) in standard_workloads().iter().enumerate() {
         let r = campaign(&fs, i, 0);
         total += r.violations.len();
         for v in &r.violations {
@@ -85,7 +85,7 @@ fn stock_ext3_shows_the_checkpoint_hazard_and_nothing_else() {
 fn reiser_shows_only_the_checkpoint_hazard() {
     let fs = ReiserAdapter;
     let mut total = 0;
-    for (i, w) in WORKLOADS.iter().enumerate() {
+    for (i, w) in standard_workloads().iter().enumerate() {
         let r = campaign(&fs, i, 0);
         total += r.violations.len();
         for v in &r.violations {
@@ -107,7 +107,7 @@ fn jfs_shows_torn_creates_and_partial_log_application() {
     let fs = JfsAdapter;
     let mut torn = 0;
     let mut total = 0;
-    for (i, w) in WORKLOADS.iter().enumerate() {
+    for (i, w) in standard_workloads().iter().enumerate() {
         let r = campaign(&fs, i, 0);
         total += r.violations.len();
         for v in &r.violations {
@@ -158,7 +158,8 @@ fn same_seed_reproduces_the_same_report() {
 #[test]
 fn violation_witnesses_replay_from_scratch() {
     let fs = Ext3Adapter::stock();
-    let w = &WORKLOADS[2]; // reuse_dir
+    let workloads = standard_workloads();
+    let w = &workloads[2]; // reuse_dir
     let report = campaign(&fs, 2, 0);
     let witness = report
         .violations
@@ -192,7 +193,7 @@ fn violation_witnesses_replay_from_scratch() {
         "enumeration must regenerate the witness image spec verbatim"
     );
 
-    let replayed = check_image(&fs, w.name, &base, &snap, &shadow, &golden_tree, spec);
+    let replayed = check_image(&fs, &w.name, &base, &snap, &shadow, &golden_tree, spec);
     let expected: Vec<_> = report
         .violations
         .iter()

@@ -15,20 +15,20 @@
 
 use iron_blockdev::{CrashRecorder, WriteLog};
 use iron_crash::{
-    run_crash_campaign, run_workload, CrashCampaignOptions, CrashReport, EnumOptions, OracleKind,
-    BATCH_WORKLOADS, WORKLOADS,
+    batch_workloads, run_crash_campaign, run_workload, standard_workloads, CrashCampaignOptions,
+    CrashReport, EnumOptions, OracleKind,
 };
 use iron_ext3::{Ext3Fs, Ext3Options, IronConfig};
 use iron_fingerprint::{Ext3Adapter, FsUnderTest};
 use iron_vfs::{FsEnv, SpecificFs, Vfs};
 
-fn campaign(fs: &dyn FsUnderTest, wl: &'static iron_crash::CrashWorkload) -> CrashReport {
+fn campaign(fs: &dyn FsUnderTest, wl: &iron_crash::CrashWorkload) -> CrashReport {
     campaign_at(fs, wl, 0)
 }
 
 fn campaign_at(
     fs: &dyn FsUnderTest,
-    wl: &'static iron_crash::CrashWorkload,
+    wl: &iron_crash::CrashWorkload,
     threads: usize,
 ) -> CrashReport {
     run_crash_campaign(
@@ -55,7 +55,7 @@ fn dump(r: &CrashReport) -> String {
 fn pipelined_ixt3_passes_all_oracles_on_every_workload() {
     let fs = Ext3Adapter::ixt3().pipelined();
     assert_eq!(fs.name(), "ixt3-pipelined");
-    for w in WORKLOADS.iter().chain(BATCH_WORKLOADS) {
+    for w in standard_workloads().iter().chain(&batch_workloads()) {
         let r = campaign(&fs, w);
         assert!(r.images_checked > 0, "{}: no images enumerated", w.name);
         assert!(
@@ -91,7 +91,7 @@ fn pipelined_profile_actually_merges_transactions() {
         )
         .expect("mount");
         let mounted: Box<dyn SpecificFs> = Box::new(fs);
-        run_workload(&mut Vfs::new(mounted), &BATCH_WORKLOADS[0], &log).expect("workload");
+        run_workload(&mut Vfs::new(mounted), &batch_workloads()[0], &log).expect("workload");
         let snap = log.snapshot();
         let commits = snap
             .records
@@ -122,7 +122,7 @@ fn pipelined_profile_actually_merges_transactions() {
 fn pipelined_stock_ext3_introduces_no_new_violation_class() {
     let fs = Ext3Adapter::stock().pipelined();
     assert_eq!(fs.name(), "ext3-pipelined");
-    for w in WORKLOADS.iter().chain(BATCH_WORKLOADS) {
+    for w in standard_workloads().iter().chain(&batch_workloads()) {
         let r = campaign(&fs, w);
         for v in &r.violations {
             assert!(
@@ -162,7 +162,7 @@ fn enumerator_catches_a_deliberately_broken_batch() {
     assert_eq!(broken.name(), "ixt3-groupbug");
 
     let mut caught = 0;
-    for w in BATCH_WORKLOADS {
+    for w in &batch_workloads() {
         let ok = campaign(&fixed, w);
         assert!(
             ok.is_clean(),
@@ -203,9 +203,10 @@ fn batched_reports_are_bit_identical_at_any_thread_count() {
         ..Ext3Adapter::stock()
     }
     .with_legacy_group_commit_bug();
-    let baseline = campaign_at(&broken, &BATCH_WORKLOADS[0], 1);
+    let batch = batch_workloads();
+    let baseline = campaign_at(&broken, &batch[0], 1);
     for threads in [2usize, 4, 8] {
-        let r = campaign_at(&broken, &BATCH_WORKLOADS[0], threads);
+        let r = campaign_at(&broken, &batch[0], threads);
         assert_eq!(
             r, baseline,
             "threads={threads} batched report must match sequential"

@@ -3,7 +3,7 @@
 //! elevated thread counts, across every workload and two file systems.
 
 use iron_crash::{
-    run_crash_campaign, CrashCampaignOptions, EnumOptions, BATCH_WORKLOADS, WORKLOADS,
+    batch_workloads, run_crash_campaign, standard_workloads, CrashCampaignOptions, EnumOptions,
 };
 use iron_fingerprint::{Ext3Adapter, FsUnderTest, JfsAdapter};
 
@@ -16,7 +16,7 @@ fn stress_threads() -> usize {
 
 fn assert_width_invariant(fs: &dyn FsUnderTest) {
     let threads = stress_threads();
-    for w in WORKLOADS.iter().chain(BATCH_WORKLOADS) {
+    for w in standard_workloads().iter().chain(&batch_workloads()) {
         let sequential = run_crash_campaign(
             fs,
             w,
