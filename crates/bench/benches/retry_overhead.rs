@@ -1,0 +1,132 @@
+//! The failure-policy engine paying for itself: device-level retry and
+//! I/O deadlines must cost **zero simulated time** on the fault-free
+//! path. Run with `--smoke` for CI. Emits `BENCH_retry.json`.
+//!
+//! Three kernels:
+//!
+//! * `fs_ops_bare` / `fs_ops_policied` — the same ext3 write/sync/read
+//!   workload on a mechanically-timed disk, without and with a
+//!   [`RetryLayer`] (budget-3 policy, 1 s deadline) in the stack. The
+//!   two simulated times are asserted **equal**: a policy-equipped stack
+//!   is sim-time-identical to a bare one until a fault actually fires.
+//! * `masked_transient_reads` — a stream of reads each hitting a
+//!   depth-1 transient fault; every one is masked by a single re-issue,
+//!   and the reported simulated time is exactly the deterministic
+//!   backoff charge.
+
+use iron_testkit::{black_box, BenchGroup};
+
+use iron_blockdev::{
+    BlockDevice, DiskGeometry, MemDisk, RawAccess, RetryConfig, RetryLayer, StackBuilder,
+};
+use iron_core::recover::{Backoff, FailurePolicyTable, PolicyHandle, RecoveryAction};
+use iron_core::{BlockAddr, FaultKind, SimClock};
+use iron_ext3::{Ext3Fs, Ext3Options, Ext3Params};
+use iron_faultinject::{FaultSpec, FaultTarget, FaultyDisk};
+use iron_vfs::{FsEnv, Vfs};
+
+const FILES: usize = 16;
+const FILE_BYTES: usize = 24_000;
+const MASKED_READS: u32 = 256;
+const BACKOFF_BASE_NS: u64 = 1_000;
+
+fn policy(budget: u32) -> PolicyHandle {
+    PolicyHandle::new(FailurePolicyTable::with_default(vec![
+        RecoveryAction::Retry {
+            budget,
+            backoff: Backoff::exponential(BACKOFF_BASE_NS, 2, 1_000_000),
+        },
+        RecoveryAction::Propagate,
+    ]))
+}
+
+fn timed_disk() -> MemDisk {
+    MemDisk::new(4096, DiskGeometry::ata_7200rpm(), SimClock::new())
+}
+
+/// Format, write a file set, sync, read it back, unmount; returns sim ns.
+fn fs_workload<D: BlockDevice + RawAccess>(dev: D, clock: &SimClock) -> u64 {
+    let fs = Ext3Fs::format_and_mount(
+        dev,
+        FsEnv::new(),
+        Ext3Params::small(),
+        Ext3Options::default(),
+    )
+    .unwrap();
+    let mut v = Vfs::new(fs);
+    let start = clock.now_ns();
+    for i in 0..FILES {
+        v.write_file(&format!("/f{i}"), &vec![i as u8; FILE_BYTES])
+            .unwrap();
+    }
+    v.sync().unwrap();
+    for i in 0..FILES {
+        black_box(v.read_file(&format!("/f{i}")).unwrap());
+    }
+    v.umount().unwrap();
+    clock.elapsed_since(start)
+}
+
+fn main() {
+    let mut g = BenchGroup::from_env("retry");
+
+    let mut bare_ns = 0u64;
+    let mut policied_ns = 0u64;
+
+    g.bench_with_sim("fs_ops_bare", || {
+        let md = timed_disk();
+        let clock = md.clock();
+        let ns = fs_workload(md, &clock);
+        bare_ns = ns;
+        (0u8, ns)
+    });
+
+    g.bench_with_sim("fs_ops_policied", || {
+        let md = timed_disk();
+        let clock = md.clock();
+        let dev = StackBuilder::new(md)
+            .with_retry(RetryConfig::new(policy(3), clock.clone()).deadline_ns(1_000_000_000))
+            .build();
+        let ns = fs_workload(dev, &clock);
+        policied_ns = ns;
+        (0u8, ns)
+    });
+
+    // The headline claim, asserted on every run: the fault-free policy
+    // path charges no simulated time at all.
+    eprintln!("retry overhead: bare {bare_ns} ns, policied {policied_ns} ns");
+    assert_eq!(
+        bare_ns, policied_ns,
+        "fault-free RetryLayer must be sim-time-identical to a bare stack"
+    );
+
+    g.bench_with_sim("masked_transient_reads", || {
+        let md = MemDisk::for_tests(64);
+        let clock = md.clock();
+        let faulty = FaultyDisk::new(md).with_clock(clock.clone());
+        let ctl = faulty.controller();
+        let mut layer = RetryLayer::new(faulty, RetryConfig::new(policy(3), clock.clone()));
+        let start = clock.now_ns();
+        for _ in 0..MASKED_READS {
+            // A depth-1 transient per read: the first attempt fails, the
+            // re-issue succeeds.
+            ctl.inject(FaultSpec::transient(
+                FaultKind::ReadError,
+                FaultTarget::Addr(BlockAddr(5)),
+                1,
+            ));
+            black_box(layer.read(BlockAddr(5)).unwrap());
+        }
+        let ns = clock.elapsed_since(start);
+        let s = layer.stats().snapshot();
+        assert_eq!(s.masked, u64::from(MASKED_READS), "every read was masked");
+        assert_eq!(
+            ns,
+            u64::from(MASKED_READS) * BACKOFF_BASE_NS,
+            "sim time is exactly the first-re-issue backoff per read"
+        );
+        (0u8, ns)
+    });
+
+    g.finish();
+}

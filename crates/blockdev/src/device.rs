@@ -25,6 +25,16 @@ pub enum DiskError {
     },
     /// The whole device has failed (classic fail-stop).
     DeviceFailed,
+    /// The request exceeded its I/O deadline (sim-clock time). Produced
+    /// by a deadline-checking layer (e.g. `RetryLayer`), never by the
+    /// medium itself: it turns time-domain faults (slow/hung disks) into
+    /// an explicit, detectable error class.
+    Timeout {
+        /// The block whose request timed out.
+        addr: BlockAddr,
+        /// Whether the timed-out request was a read or a write.
+        kind: IoKind,
+    },
 }
 
 impl fmt::Display for DiskError {
@@ -33,6 +43,9 @@ impl fmt::Display for DiskError {
             DiskError::Io { addr, kind } => write!(f, "I/O error: {kind} of block {addr} failed"),
             DiskError::OutOfRange { addr } => write!(f, "block {addr} out of range"),
             DiskError::DeviceFailed => write!(f, "device failed"),
+            DiskError::Timeout { addr, kind } => {
+                write!(f, "I/O deadline exceeded: {kind} of block {addr}")
+            }
         }
     }
 }
@@ -131,5 +144,13 @@ mod tests {
             "block #5 out of range"
         );
         assert_eq!(DiskError::DeviceFailed.to_string(), "device failed");
+        assert_eq!(
+            DiskError::Timeout {
+                addr: BlockAddr(2),
+                kind: IoKind::Write
+            }
+            .to_string(),
+            "I/O deadline exceeded: write of block #2"
+        );
     }
 }

@@ -35,6 +35,7 @@ pub mod crashrec;
 pub mod device;
 pub mod geometry;
 pub mod memdisk;
+pub mod retry;
 pub mod sched;
 pub mod stack;
 pub mod trace;
@@ -44,6 +45,7 @@ pub use crashrec::{CrashRecorder, WriteLog, WriteLogSnapshot, WriteRecord};
 pub use device::{BlockDevice, DiskError, DiskResult, RawAccess};
 pub use geometry::DiskGeometry;
 pub use memdisk::MemDisk;
+pub use retry::{RetryConfig, RetryLayer, RetryStats, RetryStatsSnapshot};
 pub use sched::{IoScheduler, ScanReadahead, Sweep};
 pub use stack::StackBuilder;
 pub use trace::{IoEvent, IoOutcome, IoTrace, TraceLayer};

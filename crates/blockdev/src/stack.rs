@@ -26,6 +26,7 @@ use crate::crashrec::{CrashRecorder, WriteLog};
 use crate::device::BlockDevice;
 use crate::geometry::DiskGeometry;
 use crate::memdisk::MemDisk;
+use crate::retry::{RetryConfig, RetryLayer};
 use crate::trace::{IoTrace, TraceLayer};
 
 /// Builds a device stack bottom-up: start from a disk, wrap layers in
@@ -81,6 +82,15 @@ impl<D: BlockDevice> StackBuilder<D> {
     /// states are to be reconstructed.
     pub fn with_crash_recorder(self, log: WriteLog) -> StackBuilder<CrashRecorder<D>> {
         self.layer(|dev| CrashRecorder::with_log(dev, log))
+    }
+
+    /// Enact device-level failure policy at this point in the stack: a
+    /// [`RetryLayer`] that walks the configured escalation chain (bounded
+    /// retry with sim-clock backoff, then propagation) and applies the
+    /// configured I/O deadline. Place it above the fault-injection layer
+    /// and below the cache — where the SCSI mid-layer sits.
+    pub fn with_retry(self, config: RetryConfig) -> StackBuilder<RetryLayer<D>> {
+        self.layer(|dev| RetryLayer::new(dev, config))
     }
 
     /// Top the stack with the buffer cache under the given policy.

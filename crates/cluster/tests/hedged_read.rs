@@ -1,0 +1,127 @@
+//! Slow-replica failover: a replica read that exceeds the volume's I/O
+//! deadline is hedged to a peer, the slow replica is marked suspect, and
+//! later reads skip it — so a hung spindle no longer stalls the volume.
+
+use iron_blockdev::{BlockDevice, MemDisk, RawAccess};
+use iron_cluster::{mirror_with, ReadPolicy};
+use iron_core::{Block, BlockAddr, FaultKind, SimClock};
+use iron_faultinject::{FaultController, FaultSpec, FaultTarget, FaultyDisk, HANG_STALL_NS};
+
+const DEADLINE_NS: u64 = 1_000_000; // 1 ms of sim time
+
+/// A 3-way mirrored volume whose replicas share one sim clock, with a
+/// per-replica fault controller.
+fn volume(
+    policy: ReadPolicy,
+) -> (
+    iron_cluster::ReplicatedDisk<FaultyDisk<MemDisk>>,
+    Vec<FaultController>,
+    SimClock,
+) {
+    let mut golden = MemDisk::for_tests(64);
+    golden.poke(BlockAddr(0), &Block::filled(0x5A));
+    let clock = SimClock::new();
+    let mut ctls = Vec::new();
+    let v = mirror_with(&golden, 3, policy, |d, _i| {
+        let f = FaultyDisk::new(d).with_clock(clock.clone());
+        ctls.push(f.controller());
+        f
+    })
+    .with_read_deadline(clock.clone(), DEADLINE_NS);
+    (v, ctls, clock)
+}
+
+#[test]
+fn hung_primary_is_hedged_to_a_peer_and_then_skipped() {
+    let (mut v, ctls, clock) = volume(ReadPolicy::Primary);
+    ctls[0].inject(FaultSpec::sticky(
+        FaultKind::Hang,
+        FaultTarget::Addr(BlockAddr(0)),
+    ));
+
+    // First read: replica 0 hangs past the deadline; the volume hedges
+    // to replica 1 and still serves the right bytes.
+    let t0 = clock.now_ns();
+    assert_eq!(v.read(BlockAddr(0)).unwrap(), Block::filled(0x5A));
+    assert!(clock.now_ns() - t0 >= HANG_STALL_NS, "the hang was real");
+    let s = v.stats().snapshot();
+    assert_eq!(s.hedged_reads, 1);
+    assert_eq!(s.failovers, 0, "slowness is not an error failover");
+    assert_eq!(v.suspects(), vec![0]);
+
+    // Second read: the suspect is skipped outright — no stall at all.
+    let t1 = clock.now_ns();
+    assert_eq!(v.read(BlockAddr(0)).unwrap(), Block::filled(0x5A));
+    assert!(
+        clock.now_ns() - t1 < DEADLINE_NS,
+        "a hung replica no longer stalls reads"
+    );
+    let s = v.stats().snapshot();
+    assert_eq!(s.hedged_reads, 1, "no second hedge needed");
+    assert!(s.slow_replica_skips >= 1);
+    // Slowness is a timing condition, not bad data: nothing queued for
+    // repair.
+    assert_eq!(v.stats().pending_repairs(), 0);
+}
+
+#[test]
+fn hung_replica_no_longer_stalls_quorum_reads() {
+    let (mut v, ctls, clock) = volume(ReadPolicy::Quorum);
+    ctls[0].inject(FaultSpec::sticky(
+        FaultKind::Hang,
+        FaultTarget::Addr(BlockAddr(0)),
+    ));
+
+    // First quorum read pays the stall once (the hang is only detectable
+    // by exceeding the deadline) and marks the replica suspect.
+    assert_eq!(v.read(BlockAddr(0)).unwrap(), Block::filled(0x5A));
+    assert_eq!(v.suspects(), vec![0]);
+
+    // From now on quorum is arbitrated among the healthy peers only.
+    let t1 = clock.now_ns();
+    assert_eq!(v.read(BlockAddr(0)).unwrap(), Block::filled(0x5A));
+    assert!(
+        clock.now_ns() - t1 < DEADLINE_NS,
+        "quorum reads proceed without consulting the hung replica"
+    );
+    let s = v.stats().snapshot();
+    assert_eq!(s.quorum_reads, 2, "both reads found a majority");
+    assert!(s.slow_replica_skips >= 1);
+    assert_eq!(
+        v.stats().pending_repairs(),
+        0,
+        "a slow replica is not divergent"
+    );
+}
+
+#[test]
+fn slow_fault_below_the_deadline_is_not_hedged() {
+    let (mut v, ctls, _clock) = volume(ReadPolicy::Primary);
+    // A mild slowdown: service time multiplied, but still within the
+    // deadline — the volume must not give up on a merely busy replica.
+    ctls[0].inject(FaultSpec::sticky(
+        FaultKind::Slow { multiplier: 2 },
+        FaultTarget::Addr(BlockAddr(0)),
+    ));
+    assert_eq!(v.read(BlockAddr(0)).unwrap(), Block::filled(0x5A));
+    let s = v.stats().snapshot();
+    assert_eq!(s.hedged_reads, 0);
+    assert!(v.suspects().is_empty());
+}
+
+#[test]
+fn clearing_suspects_restores_the_primary() {
+    let (mut v, ctls, _clock) = volume(ReadPolicy::Primary);
+    ctls[0].inject(FaultSpec::sticky(
+        FaultKind::Hang,
+        FaultTarget::Addr(BlockAddr(0)),
+    ));
+    v.read(BlockAddr(0)).unwrap();
+    assert_eq!(v.suspects(), vec![0]);
+    ctls[0].clear();
+    v.clear_suspects();
+    v.read(BlockAddr(0)).unwrap();
+    // Healthy again: replica 0 served the read with no hedge.
+    assert_eq!(v.stats().snapshot().hedged_reads, 1);
+    assert!(v.suspects().is_empty());
+}

@@ -20,6 +20,13 @@
 //!   advances and the benchmarks read;
 //! * the simulated kernel log ([`klog::KernelLog`]) that file systems write
 //!   detection/recovery messages to and the fingerprinting framework reads;
+//! * the **runtime-configurable failure-policy engine** ([`recover`]): a
+//!   [`recover::FailurePolicyTable`] mapping (block type × I/O direction ×
+//!   error class) to an ordered escalation chain of
+//!   [`recover::RecoveryAction`]s — bounded retry with deterministic
+//!   sim-clock backoff, redundancy, remapping, graceful read-only
+//!   degradation, propagation, or stop — shared across layers through a
+//!   swappable [`recover::PolicyHandle`];
 //! * the shared parallel executor ([`exec::WorkerPool`]): the scoped
 //!   `std::thread` sharded scheduler behind both the pFSCK-style check
 //!   engine (`iron-fsck`) and the fingerprinting campaign
@@ -36,6 +43,7 @@ pub mod exec;
 pub mod klog;
 pub mod model;
 pub mod policy;
+pub mod recover;
 pub mod taxonomy;
 
 pub use block::{Block, BlockAddr, BlockTag, BLOCK_SIZE};
@@ -44,4 +52,8 @@ pub use errno::Errno;
 pub use exec::WorkerPool;
 pub use klog::KernelLog;
 pub use model::{FaultKind, IoKind, Transience};
+pub use recover::{
+    Backoff, ErrorClass, FailurePolicyTable, PolicyCounterSnapshot, PolicyCounters, PolicyHandle,
+    RecoveryAction,
+};
 pub use taxonomy::{DetectionLevel, RecoveryLevel};

@@ -46,6 +46,19 @@ pub enum FaultKind {
     /// Entire-disk failure: every subsequent request fails. The classic
     /// fail-stop case, retained for completeness.
     WholeDisk,
+    /// A *time-domain* fault: the request completes correctly but takes
+    /// `multiplier`× its nominal service time (a degraded head, a deep
+    /// internal retry loop inside the drive). No error code is produced —
+    /// only a deadline check against the sim clock can see it.
+    Slow {
+        /// Deterministic service-time multiplier (≥ 1).
+        multiplier: u32,
+    },
+    /// The request never completes in any useful time frame: the drive is
+    /// hung. Modeled as an enormous fixed service-time charge, so a stack
+    /// *without* deadlines simply stalls (in sim time) while one *with*
+    /// deadlines sees a timeout.
+    Hang,
 }
 
 impl FaultKind {
@@ -56,18 +69,20 @@ impl FaultKind {
             FaultKind::WriteError => "write",
             FaultKind::Corruption(_) => "corrupt",
             FaultKind::WholeDisk => "disk",
+            FaultKind::Slow { .. } => "slow",
+            FaultKind::Hang => "hang",
         }
     }
 
     /// Does this fault fire on the given I/O direction?
     ///
     /// Read errors and corruption manifest on reads; write errors on writes;
-    /// whole-disk failures on both.
+    /// whole-disk failures and latency faults on both.
     pub fn applies_to(&self, io: IoKind) -> bool {
         match self {
             FaultKind::ReadError | FaultKind::Corruption(_) => io == IoKind::Read,
             FaultKind::WriteError => io == IoKind::Write,
-            FaultKind::WholeDisk => true,
+            FaultKind::WholeDisk | FaultKind::Slow { .. } | FaultKind::Hang => true,
         }
     }
 }
@@ -79,6 +94,8 @@ impl fmt::Display for FaultKind {
             FaultKind::WriteError => write!(f, "write failure"),
             FaultKind::Corruption(style) => write!(f, "corruption ({style})"),
             FaultKind::WholeDisk => write!(f, "whole-disk failure"),
+            FaultKind::Slow { multiplier } => write!(f, "slow ({multiplier}× service time)"),
+            FaultKind::Hang => write!(f, "hang"),
         }
     }
 }
@@ -201,6 +218,10 @@ mod tests {
         assert!(FaultKind::Corruption(CorruptionStyle::Zeroed).applies_to(IoKind::Read));
         assert!(FaultKind::WholeDisk.applies_to(IoKind::Read));
         assert!(FaultKind::WholeDisk.applies_to(IoKind::Write));
+        assert!(FaultKind::Slow { multiplier: 8 }.applies_to(IoKind::Read));
+        assert!(FaultKind::Slow { multiplier: 8 }.applies_to(IoKind::Write));
+        assert!(FaultKind::Hang.applies_to(IoKind::Read));
+        assert!(FaultKind::Hang.applies_to(IoKind::Write));
     }
 
     #[test]
@@ -232,6 +253,12 @@ mod tests {
         assert_eq!(
             FaultKind::Corruption(CorruptionStyle::RandomNoise).label(),
             "corrupt"
+        );
+        assert_eq!(FaultKind::Slow { multiplier: 4 }.label(), "slow");
+        assert_eq!(FaultKind::Hang.label(), "hang");
+        assert_eq!(
+            format!("{}", FaultKind::Slow { multiplier: 4 }),
+            "slow (4× service time)"
         );
         assert_eq!(format!("{}", IoKind::Read), "read");
         assert_eq!(format!("{}", Transience::Transient(1)), "transient×1");

@@ -10,7 +10,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use iron_blockdev::{BlockDevice, IoScheduler, RawAccess, ScanReadahead};
 use iron_core::checksum::sha1;
-use iron_core::{Block, BlockAddr, Errno, SimClock, BLOCK_SIZE};
+use iron_core::recover::{Backoff, ErrorClass, FailurePolicyTable, PolicyHandle, RecoveryAction};
+use iron_core::{Block, BlockAddr, Errno, IoKind, SimClock, BLOCK_SIZE};
 use iron_vfs::{FsEnv, VfsError, VfsResult};
 
 use crate::alloc;
@@ -64,6 +65,58 @@ pub struct Ext3Options {
     /// Clock for charging simulated CPU costs (checksum/XOR); `None`
     /// disables CPU accounting.
     pub cpu_clock: Option<SimClock>,
+    /// The failure-policy table driving ext3's recovery reactions.
+    /// Defaults to [`ext3_stock_policy`] — the exact escalation chains
+    /// §5.1 observes for stock ext3 — and can be swapped at runtime
+    /// through any clone of the handle (e.g. to widen a retry budget or
+    /// force degradation). Stock PAPER-BUG paths (ignored write errors)
+    /// never consult the table: the bug is precisely that no policy runs.
+    pub policy: PolicyHandle,
+}
+
+/// The failure-policy table reproducing stock ext3's documented behavior
+/// (§5.1 of the paper), expressed as escalation chains:
+///
+/// * **data reads** — one immediate re-read of the originally requested
+///   block (`RRetry`), then redundancy (parity, when `Dp` is on), then
+///   `EIO` to the caller (`RPropagate`);
+/// * **corrupt data reads** (`Dc` checksum mismatch) — no re-read of
+///   bytes that arrived "successfully": straight to redundancy, then
+///   `EIO`;
+/// * **metadata reads** — redundancy (the `Mr` distant replica, when
+///   on), else abort the journal and remount read-only (`RStop`);
+/// * **writes** (data or metadata, when the error is noticed at all) —
+///   graceful read-only degradation rather than propagating garbage.
+pub fn ext3_stock_policy() -> FailurePolicyTable {
+    use RecoveryAction::{DegradeReadOnly, Propagate, Redundancy, Retry};
+    let data = BlockType::Data.tag();
+    FailurePolicyTable::with_default(vec![Propagate])
+        .rule(
+            Some(data),
+            Some(IoKind::Read),
+            Some(ErrorClass::Corrupt),
+            vec![Redundancy, Propagate],
+        )
+        .rule(
+            Some(data),
+            Some(IoKind::Read),
+            None,
+            vec![
+                Retry {
+                    budget: 1,
+                    backoff: Backoff::none(),
+                },
+                Redundancy,
+                Propagate,
+            ],
+        )
+        .rule(
+            None,
+            Some(IoKind::Read),
+            None,
+            vec![Redundancy, DegradeReadOnly],
+        )
+        .rule(None, Some(IoKind::Write), None, vec![DegradeReadOnly])
 }
 
 impl Default for Ext3Options {
@@ -78,6 +131,7 @@ impl Default for Ext3Options {
             legacy_journal_bugs: false,
             legacy_group_commit_bug: false,
             cpu_clock: None,
+            policy: PolicyHandle::new(ext3_stock_policy()),
         }
     }
 }
@@ -795,6 +849,10 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
             return;
         }
         self.journal_aborted = true;
+        // The journal abort *is* the DegradeReadOnly rung of the policy
+        // engine: count it against the shared policy counters so every
+        // degradation — whatever site triggered it — is observable.
+        self.opts.policy.counters().count_degrade();
         self.env.klog.error(
             "ext3",
             format!("ext3_abort called: {why}; remounting filesystem read-only"),
@@ -1066,10 +1124,47 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         let group = std::mem::take(&mut self.pending);
         let drained = group.len() as u32;
         let fix_bugs = self.opts.iron.fix_bugs;
+        let policy = self.opts.policy.clone();
+        let cpu_clock = self.opts.cpu_clock.clone();
+        let klog = self.env.klog.clone();
         let dev = &mut self.dev;
         let mut failed_addrs: Vec<u64> = Vec::new();
         let sweep = checkpoint_group(group, |addr, b, ty| {
-            let ok = dev.write_tagged(BlockAddr(addr), b, ty.tag()).is_ok();
+            let mut ok = dev.write_tagged(BlockAddr(addr), b, ty.tag()).is_ok();
+            if !ok && fix_bugs {
+                // Enact any leading Retry rungs of the metadata-write
+                // chain right here, while the failed image is in hand;
+                // later rungs (DegradeReadOnly) are applied by the
+                // post-sweep abort below. The stock chain has no retry,
+                // so this is dormant until a policy configures one.
+                let chain = policy.chain_for(ty.tag(), IoKind::Write, ErrorClass::Io);
+                'chain: for action in chain {
+                    let RecoveryAction::Retry { budget, backoff } = action else {
+                        break 'chain;
+                    };
+                    for reissue in 1..=budget {
+                        let delay = backoff.delay_ns(reissue);
+                        if delay > 0 {
+                            if let Some(c) = &cpu_clock {
+                                c.advance_ns(delay);
+                            }
+                            policy.counters().add_backoff_ns(delay);
+                        }
+                        policy.record(
+                            &klog,
+                            "ext3",
+                            action,
+                            &format!("checkpoint write {addr} re-issue {reissue}/{budget}"),
+                        );
+                        if dev.write_tagged(BlockAddr(addr), b, ty.tag()).is_ok() {
+                            ok = true;
+                            policy.counters().count_masked();
+                            break 'chain;
+                        }
+                    }
+                    policy.counters().count_exhausted();
+                }
+            }
             if !ok {
                 failed_addrs.push(addr);
                 // PAPER-BUG (stock): checkpoint write errors are ignored

@@ -2,8 +2,9 @@
 //! supporting machinery (inode I/O, allocation, block maps, directories),
 //! with ext3's per-operation failure policy — bugs included.
 
-use iron_blockdev::{BlockDevice, RawAccess};
-use iron_core::{Block, BlockAddr, Errno, BLOCK_SIZE};
+use iron_blockdev::{retry::classify, BlockDevice, RawAccess};
+use iron_core::recover::{ErrorClass, RecoveryAction};
+use iron_core::{Block, BlockAddr, Errno, IoKind, BLOCK_SIZE};
 use iron_vfs::{DirEntry, FileType, FsEnv, InodeAttr, MountState, SpecificFs, StatFs, VfsResult};
 
 use crate::alloc;
@@ -24,11 +25,13 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
     ///
     /// * staged transaction copy and buffer cache are consulted first;
     /// * a device error is detected via the error code (`DErrorCode`),
-    ///   logged, and — stock ext3 — the journal is aborted (`RStop`) and
-    ///   `EIO` propagates (`RPropagate`);
+    ///   logged, and the metadata-read escalation chain from the policy
+    ///   table runs — stock ext3's chain is `Redundancy` (skipped without
+    ///   `Mr`) then `DegradeReadOnly` (abort the journal, `EIO`);
     /// * with `Mc`, contents are verified against the checksum table
-    ///   (`DRedundancy`); with `Mr`, a failed/corrupt primary is recovered
-    ///   from the distant replica (`RRedundancy`).
+    ///   (`DRedundancy`); a mismatch walks the same chain under the
+    ///   `Corrupt` error class, so `Mr` recovers from the distant replica
+    ///   (`RRedundancy`).
     pub(crate) fn read_meta(&mut self, addr: u64, ty: BlockType) -> VfsResult<Block> {
         if let Some(b) = self.staged_copy(addr) {
             return Ok(b.clone());
@@ -43,36 +46,105 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                         "ixt3",
                         format!("checksum mismatch on metadata block {addr} ({})", ty.tag()),
                     );
-                    return self.meta_recover(addr, ty);
+                    return self.meta_read_chain(addr, ty, ErrorClass::Corrupt);
                 }
                 self.cache.insert(BlockAddr(addr), b.clone());
                 Ok(b)
             }
-            Err(_) => {
+            Err(e) => {
                 self.env.klog.error(
                     "ext3",
                     format!("I/O error reading metadata block {addr} ({})", ty.tag()),
                 );
-                self.meta_recover(addr, ty)
+                self.meta_read_chain(addr, ty, classify(&e))
             }
         }
     }
 
-    /// Recover a lost/corrupt metadata block: replica if `Mr`, else ext3's
-    /// stock reaction (abort journal, propagate).
-    fn meta_recover(&mut self, addr: u64, _ty: BlockType) -> VfsResult<Block> {
-        if self.opts.iron.meta_replication {
-            // A replica still in the write-back set is the freshest copy.
-            if let Some(b) = self.replica_pending.get(&addr).cloned() {
-                self.env.klog.info(
-                    "ixt3",
-                    format!("metadata block {addr} recovered from replica"),
-                );
-                self.cache.insert(BlockAddr(addr), b.clone());
-                return Ok(b);
+    /// Charge a backoff delay to the CPU clock (if accounting is on) and
+    /// the shared policy counters.
+    fn charge_backoff(&self, ns: u64) {
+        if ns == 0 {
+            return;
+        }
+        if let Some(c) = &self.opts.cpu_clock {
+            c.advance_ns(ns);
+        }
+        self.opts.policy.counters().add_backoff_ns(ns);
+    }
+
+    /// Walk the policy chain for a failed metadata read.
+    fn meta_read_chain(&mut self, addr: u64, ty: BlockType, class: ErrorClass) -> VfsResult<Block> {
+        let chain = self.opts.policy.chain_for(ty.tag(), IoKind::Read, class);
+        for action in chain {
+            match action {
+                RecoveryAction::Retry { budget, backoff } => {
+                    // Bytes that arrived but failed their checksum are not
+                    // re-read by default policy; when a chain does retry a
+                    // corrupt read, verify each re-read inline.
+                    for reissue in 1..=budget {
+                        self.charge_backoff(backoff.delay_ns(reissue));
+                        self.opts.policy.record(
+                            &self.env.klog,
+                            "ext3",
+                            action,
+                            &format!("metadata read {addr} re-issue {reissue}/{budget}"),
+                        );
+                        if let Ok(b) = self.dev.read_tagged(BlockAddr(addr), ty.tag()) {
+                            if !self.opts.iron.meta_checksum || self.verify_cksum(addr, &b) {
+                                self.opts.policy.counters().count_masked();
+                                self.cache.insert(BlockAddr(addr), b.clone());
+                                return Ok(b);
+                            }
+                        }
+                    }
+                    self.opts.policy.counters().count_exhausted();
+                }
+                RecoveryAction::Redundancy => {
+                    if let Some(b) = self.meta_replica(addr) {
+                        self.opts.policy.counters().count_redundancy();
+                        return Ok(b);
+                    }
+                }
+                RecoveryAction::Remap => {}
+                RecoveryAction::DegradeReadOnly => {
+                    self.abort_journal("metadata read failure");
+                    return Err(Errno::EIO.into());
+                }
+                RecoveryAction::Propagate => {
+                    self.opts.policy.counters().count_propagate();
+                    return Err(Errno::EIO.into());
+                }
+                RecoveryAction::Stop => {
+                    self.opts.policy.counters().count_stop();
+                    return Err(self
+                        .env
+                        .panic("ext3", format!("unrecoverable metadata read, block {addr}")));
+                }
             }
-            let raddr = self.layout().replica_of(addr);
-            if let Ok(b) = self.dev.read_tagged(raddr, BlockType::Replica.tag()) {
+        }
+        Err(Errno::EIO.into())
+    }
+
+    /// The `Mr` redundancy rung: recover a metadata block from its
+    /// distant replica, freshest copy first. `None` when replication is
+    /// off or every copy is bad.
+    fn meta_replica(&mut self, addr: u64) -> Option<Block> {
+        if !self.opts.iron.meta_replication {
+            return None;
+        }
+        // A replica still in the write-back set is the freshest copy.
+        if let Some(b) = self.replica_pending.get(&addr).cloned() {
+            self.env.klog.info(
+                "ixt3",
+                format!("metadata block {addr} recovered from replica"),
+            );
+            self.cache.insert(BlockAddr(addr), b.clone());
+            return Some(b);
+        }
+        let raddr = self.layout().replica_of(addr);
+        match self.dev.read_tagged(raddr, BlockType::Replica.tag()) {
+            Ok(b) => {
                 let ok = !self.opts.iron.meta_checksum || self.verify_cksum(addr, &b);
                 if ok {
                     self.env.klog.info(
@@ -80,20 +152,20 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
                         format!("metadata block {addr} recovered from replica"),
                     );
                     self.cache.insert(BlockAddr(addr), b.clone());
-                    return Ok(b);
+                    return Some(b);
                 }
                 self.env
                     .klog
                     .error("ixt3", format!("replica of metadata block {addr} also bad"));
-            } else {
+            }
+            Err(_) => {
                 self.env.klog.error(
                     "ixt3",
                     format!("replica read failed for metadata block {addr}"),
                 );
             }
         }
-        self.abort_journal("metadata read failure");
-        Err(Errno::EIO.into())
+        None
     }
 
     // ==================================================================
@@ -102,12 +174,15 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
 
     /// Read a data block. `file` supplies parity context when available.
     ///
-    /// Stock policy: error code checked; one retry of the originally
-    /// requested block (ext3's prefetch behavior — §5.1 "when a prefetch
-    /// read fails, ext3 retries only the originally requested block");
-    /// then `EIO` propagates — no journal abort for data. With `Dc`,
-    /// contents are checksum-verified; with `Dp`, a lost block is
-    /// reconstructed from the file's other blocks and its parity block.
+    /// The data-read escalation chain comes from the policy table; the
+    /// stock chain reproduces §5.1 exactly — one immediate re-read of the
+    /// originally requested block ("when a prefetch read fails, ext3
+    /// retries only the originally requested block", `RRetry`), then
+    /// redundancy, then `EIO` with no journal abort (`RPropagate`). With
+    /// `Dc`, contents are checksum-verified (a mismatch walks the chain
+    /// under the `Corrupt` class, which stock policy does *not* re-read);
+    /// with `Dp`, the `Redundancy` rung reconstructs the block from the
+    /// file's other blocks and its parity block.
     pub(crate) fn read_data_block(
         &mut self,
         file: Option<(Ino, DiskInode)>,
@@ -116,73 +191,128 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         if let Some(b) = self.cache.get(BlockAddr(addr)) {
             return Ok(b);
         }
-        let first = self.dev.read_tagged(BlockAddr(addr), BlockType::Data.tag());
-        let outcome = match first {
-            Ok(b) => Ok(b),
-            Err(_) => {
-                self.env
-                    .klog
-                    .error("ext3", format!("I/O error reading data block {addr}"));
-                // RRetry: retry the originally requested block once.
-                self.dev.read_tagged(BlockAddr(addr), BlockType::Data.tag())
-            }
-        };
-        match outcome {
+        match self.dev.read_tagged(BlockAddr(addr), BlockType::Data.tag()) {
             Ok(b) => {
                 if self.opts.iron.data_checksum && !self.verify_cksum(addr, &b) {
                     self.env
                         .klog
                         .error("ixt3", format!("checksum mismatch on data block {addr}"));
-                    return self.data_recover(file, addr);
+                    return self.data_read_chain(file, addr, ErrorClass::Corrupt);
                 }
                 self.cache.insert(BlockAddr(addr), b.clone());
                 Ok(b)
             }
-            Err(_) => self.data_recover(file, addr),
+            Err(e) => {
+                self.env
+                    .klog
+                    .error("ext3", format!("I/O error reading data block {addr}"));
+                self.data_read_chain(file, addr, classify(&e))
+            }
         }
     }
 
-    /// Recover a lost data block from parity, or propagate `EIO`.
-    fn data_recover(&mut self, file: Option<(Ino, DiskInode)>, addr: u64) -> VfsResult<Block> {
-        if self.opts.iron.data_parity {
-            if let Some((ino, di)) = file {
-                if di.parity != 0 {
-                    match self.reconstruct_from_parity(ino, di, addr) {
-                        // A reconstruction is only as good as the parity
-                        // it came from: a crash can tear data and parity
-                        // together, so the rebuilt block must pass the
-                        // same checksum the original failed — otherwise
-                        // silent garbage would be returned as file data
-                        // (found by the iron-crash enumerator).
-                        Ok(b) => {
-                            if self.opts.iron.data_checksum && !self.verify_cksum(addr, &b) {
-                                self.env.klog.error(
-                                    "ixt3",
-                                    format!(
-                                        "parity reconstruction of block {addr} failed its \
-                                         checksum; returning EIO"
-                                    ),
-                                );
-                                return Err(Errno::EIO.into());
+    /// Walk the policy chain for a failed data read.
+    fn data_read_chain(
+        &mut self,
+        file: Option<(Ino, DiskInode)>,
+        addr: u64,
+        class: ErrorClass,
+    ) -> VfsResult<Block> {
+        let tag = BlockType::Data.tag();
+        let chain = self.opts.policy.chain_for(tag, IoKind::Read, class);
+        for action in chain {
+            match action {
+                RecoveryAction::Retry { budget, backoff } => {
+                    for reissue in 1..=budget {
+                        self.charge_backoff(backoff.delay_ns(reissue));
+                        self.opts.policy.record(
+                            &self.env.klog,
+                            "ext3",
+                            action,
+                            &format!("data read {addr} re-issue {reissue}/{budget}"),
+                        );
+                        if let Ok(b) = self.dev.read_tagged(BlockAddr(addr), tag) {
+                            // A re-read is accepted only if it passes the
+                            // same content check the chain was entered
+                            // under (inline, so attempts stay bounded).
+                            if !self.opts.iron.data_checksum || self.verify_cksum(addr, &b) {
+                                self.opts.policy.counters().count_masked();
+                                self.cache.insert(BlockAddr(addr), b.clone());
+                                return Ok(b);
                             }
-                            self.env.klog.info(
-                                "ixt3",
-                                format!("data block {addr} reconstructed from parity"),
-                            );
-                            self.cache.insert(BlockAddr(addr), b.clone());
-                            return Ok(b);
-                        }
-                        Err(_) => {
-                            self.env.klog.error(
-                                "ixt3",
-                                format!("parity reconstruction failed for block {addr}"),
-                            );
                         }
                     }
+                    self.opts.policy.counters().count_exhausted();
+                }
+                RecoveryAction::Redundancy => {
+                    if let Some(b) = self.data_parity_recover(file, addr) {
+                        self.opts.policy.counters().count_redundancy();
+                        return Ok(b);
+                    }
+                }
+                RecoveryAction::Remap => {}
+                RecoveryAction::DegradeReadOnly => {
+                    self.abort_journal("data read failure");
+                    return Err(Errno::EIO.into());
+                }
+                RecoveryAction::Propagate => {
+                    self.opts.policy.counters().count_propagate();
+                    return Err(Errno::EIO.into());
+                }
+                RecoveryAction::Stop => {
+                    self.opts.policy.counters().count_stop();
+                    return Err(self
+                        .env
+                        .panic("ext3", format!("unrecoverable data read, block {addr}")));
                 }
             }
         }
         Err(Errno::EIO.into())
+    }
+
+    /// The `Dp` redundancy rung: rebuild a lost data block from parity.
+    /// `None` when parity is off, unavailable for this file, or the
+    /// reconstruction fails (including its verification checksum).
+    fn data_parity_recover(&mut self, file: Option<(Ino, DiskInode)>, addr: u64) -> Option<Block> {
+        if !self.opts.iron.data_parity {
+            return None;
+        }
+        let (ino, di) = file?;
+        if di.parity == 0 {
+            return None;
+        }
+        match self.reconstruct_from_parity(ino, di, addr) {
+            // A reconstruction is only as good as the parity it came
+            // from: a crash can tear data and parity together, so the
+            // rebuilt block must pass the same checksum the original
+            // failed — otherwise silent garbage would be returned as
+            // file data (found by the iron-crash enumerator).
+            Ok(b) => {
+                if self.opts.iron.data_checksum && !self.verify_cksum(addr, &b) {
+                    self.env.klog.error(
+                        "ixt3",
+                        format!(
+                            "parity reconstruction of block {addr} failed its \
+                             checksum; returning EIO"
+                        ),
+                    );
+                    return None;
+                }
+                self.env.klog.info(
+                    "ixt3",
+                    format!("data block {addr} reconstructed from parity"),
+                );
+                self.cache.insert(BlockAddr(addr), b.clone());
+                Some(b)
+            }
+            Err(_) => {
+                self.env.klog.error(
+                    "ixt3",
+                    format!("parity reconstruction failed for block {addr}"),
+                );
+                None
+            }
+        }
     }
 
     /// XOR together the file's other data blocks and its parity block to
@@ -233,19 +363,65 @@ impl<D: BlockDevice + RawAccess> Ext3Fs<D> {
         self.cache.insert(BlockAddr(addr), block.clone());
         match r {
             Ok(()) => Ok(()),
-            Err(_) => {
+            Err(e) => {
                 if self.opts.iron.fix_bugs {
                     self.env
                         .klog
                         .error("ext3", format!("I/O error writing data block {addr}"));
-                    self.abort_journal("data write failure");
-                    Err(Errno::EIO.into())
+                    self.data_write_chain(addr, block, classify(&e))
                 } else {
-                    // PAPER-BUG: silently ignored.
+                    // PAPER-BUG: silently ignored — the bug is precisely
+                    // that no policy chain runs at all.
                     Ok(())
                 }
             }
         }
+    }
+
+    /// Walk the policy chain for a failed data write (only reached with
+    /// `fix_bugs`; the stock chain degrades to read-only immediately).
+    fn data_write_chain(&mut self, addr: u64, block: &Block, class: ErrorClass) -> VfsResult<()> {
+        let tag = BlockType::Data.tag();
+        let chain = self.opts.policy.chain_for(tag, IoKind::Write, class);
+        for action in chain {
+            match action {
+                RecoveryAction::Retry { budget, backoff } => {
+                    for reissue in 1..=budget {
+                        self.charge_backoff(backoff.delay_ns(reissue));
+                        self.opts.policy.record(
+                            &self.env.klog,
+                            "ext3",
+                            action,
+                            &format!("data write {addr} re-issue {reissue}/{budget}"),
+                        );
+                        if self.dev.write_tagged(BlockAddr(addr), block, tag).is_ok() {
+                            self.opts.policy.counters().count_masked();
+                            return Ok(());
+                        }
+                    }
+                    self.opts.policy.counters().count_exhausted();
+                }
+                // In-place data writes have no redundant copy to fall
+                // back on; remapping is handled earlier in the write path
+                // (the `Rm` probe in `write_file`), not here.
+                RecoveryAction::Redundancy | RecoveryAction::Remap => {}
+                RecoveryAction::DegradeReadOnly => {
+                    self.abort_journal("data write failure");
+                    return Err(Errno::EIO.into());
+                }
+                RecoveryAction::Propagate => {
+                    self.opts.policy.counters().count_propagate();
+                    return Err(Errno::EIO.into());
+                }
+                RecoveryAction::Stop => {
+                    self.opts.policy.counters().count_stop();
+                    return Err(self
+                        .env
+                        .panic("ext3", format!("unrecoverable data write, block {addr}")));
+                }
+            }
+        }
+        Err(Errno::EIO.into())
     }
 
     // ==================================================================

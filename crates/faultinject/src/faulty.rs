@@ -2,9 +2,21 @@
 
 use iron_blockdev::{BlockDevice, DiskError, DiskResult, IoOutcome, IoTrace, RawAccess};
 use iron_core::model::CorruptionStyle;
-use iron_core::{Block, BlockAddr, BlockTag, FaultKind, IoKind, BLOCK_SIZE};
+use iron_core::{Block, BlockAddr, BlockTag, FaultKind, IoKind, SimClock, BLOCK_SIZE};
 
 use crate::plan::{FaultController, FaultPlan};
+
+/// Floor on the nominal service time used when enacting a
+/// [`FaultKind::Slow`] fault: an instant-geometry disk charges ~0 ns per
+/// request, so the multiplier is applied to at least this much (0.1 sim
+/// ms) to keep slowness observable on any stack.
+pub const SLOW_NOMINAL_NS: u64 = 100_000;
+
+/// Sim time charged by a [`FaultKind::Hang`] fault: the request
+/// "completes", but only after 30 simulated seconds — far past any
+/// reasonable I/O deadline. A stack without deadlines stalls (in sim
+/// time); one with deadlines sees a timeout.
+pub const HANG_STALL_NS: u64 = 30_000_000_000;
 
 /// A block device that injects faults per a shared [`FaultPlan`].
 ///
@@ -20,6 +32,9 @@ pub struct FaultyDisk<D> {
     trace: IoTrace,
     /// Seed for deterministic noise fabrication.
     noise_seed: u64,
+    /// Clock used to enact latency faults (`Slow`/`Hang`). When absent,
+    /// latency faults pass the request through without charging time.
+    clock: Option<SimClock>,
 }
 
 impl<D: BlockDevice + RawAccess> FaultyDisk<D> {
@@ -30,6 +45,7 @@ impl<D: BlockDevice + RawAccess> FaultyDisk<D> {
             plan: FaultPlan::new(),
             trace: IoTrace::new(),
             noise_seed: 0x1234_5678_9ABC_DEF0,
+            clock: None,
         }
     }
 
@@ -40,7 +56,40 @@ impl<D: BlockDevice + RawAccess> FaultyDisk<D> {
             plan,
             trace: IoTrace::new(),
             noise_seed: 0x1234_5678_9ABC_DEF0,
+            clock: None,
         }
+    }
+
+    /// Attach the sim clock that latency faults (`Slow`/`Hang`) charge
+    /// their extra service time against. Use the same clock the inner
+    /// timed device advances, so deadlines measured above this layer see
+    /// the slowness.
+    pub fn with_clock(mut self, clock: SimClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Enact a latency fault around an inner operation: run `op`, then
+    /// charge the extra sim time the fault demands.
+    fn slow_io<T>(
+        &mut self,
+        kind: FaultKind,
+        op: impl FnOnce(&mut D) -> DiskResult<T>,
+    ) -> DiskResult<T> {
+        let start = self.clock.as_ref().map(SimClock::now_ns);
+        let out = op(&mut self.inner);
+        if let (Some(clock), Some(start)) = (self.clock.as_ref(), start) {
+            let extra = match kind {
+                FaultKind::Slow { multiplier } => {
+                    let nominal = clock.elapsed_since(start).max(SLOW_NOMINAL_NS);
+                    nominal.saturating_mul(u64::from(multiplier.max(1) - 1))
+                }
+                FaultKind::Hang => HANG_STALL_NS,
+                _ => 0,
+            };
+            clock.advance_ns(extra);
+        }
+        out
     }
 
     /// Controller handle for injecting faults while the file system owns
@@ -134,6 +183,13 @@ impl<D: BlockDevice + RawAccess> BlockDevice for FaultyDisk<D> {
                     .record(IoKind::Read, addr, tag, IoOutcome::SilentlyCorrupted, 0);
                 Ok(bad)
             }
+            Some(kind @ (FaultKind::Slow { .. } | FaultKind::Hang)) => {
+                // The data is correct and no error code is produced — the
+                // fault lives purely in the time domain.
+                let block = self.slow_io(kind, |d| d.read_tagged(addr, tag))?;
+                self.trace.record(IoKind::Read, addr, tag, IoOutcome::Ok, 0);
+                Ok(block)
+            }
             Some(FaultKind::WriteError) | None => {
                 let block = self.inner.read_tagged(addr, tag)?;
                 self.trace.record(IoKind::Read, addr, tag, IoOutcome::Ok, 0);
@@ -156,6 +212,12 @@ impl<D: BlockDevice + RawAccess> BlockDevice for FaultyDisk<D> {
                     addr,
                     kind: IoKind::Write,
                 })
+            }
+            Some(kind @ (FaultKind::Slow { .. } | FaultKind::Hang)) => {
+                self.slow_io(kind, |d| d.write_tagged(addr, block, tag))?;
+                self.trace
+                    .record(IoKind::Write, addr, tag, IoOutcome::Ok, 0);
+                Ok(())
             }
             _ => {
                 self.inner.write_tagged(addr, block, tag)?;
@@ -359,6 +421,64 @@ mod tests {
         let s = disk.inner().stats();
         assert_eq!(s.flushes, 1);
         assert_eq!(s.barriers, 1);
+    }
+
+    #[test]
+    fn slow_fault_charges_multiplied_service_time() {
+        let inner = MemDisk::for_tests(64);
+        let clock = inner.clock();
+        let mut disk = FaultyDisk::new(inner).with_clock(clock.clone());
+        let ctl = disk.controller();
+        ctl.inject(FaultSpec::sticky(
+            FaultKind::Slow { multiplier: 8 },
+            FaultTarget::Addr(BlockAddr(3)),
+        ));
+        let before = clock.now_ns();
+        let got = disk.read(BlockAddr(3)).unwrap();
+        assert_eq!(got, Block::zeroed(), "data is still correct");
+        let slow_elapsed = clock.elapsed_since(before);
+        // Instant geometry charges ~0 nominal, so the extra is the floor
+        // times (multiplier - 1).
+        assert_eq!(slow_elapsed, 7 * SLOW_NOMINAL_NS);
+        // Other blocks are unaffected.
+        let before = clock.now_ns();
+        disk.read(BlockAddr(4)).unwrap();
+        assert_eq!(clock.elapsed_since(before), 0);
+        // Trace sees a plain Ok — no error code anywhere.
+        let events = disk.trace().events();
+        assert!(events.iter().all(|e| e.outcome == IoOutcome::Ok));
+    }
+
+    #[test]
+    fn hang_fault_stalls_for_the_full_stall_time() {
+        let inner = MemDisk::for_tests(64);
+        let clock = inner.clock();
+        let mut disk = FaultyDisk::new(inner).with_clock(clock.clone());
+        let ctl = disk.controller();
+        ctl.inject(FaultSpec::sticky(
+            FaultKind::Hang,
+            FaultTarget::Addr(BlockAddr(5)),
+        ));
+        let before = clock.now_ns();
+        disk.write(BlockAddr(5), &Block::filled(1)).unwrap();
+        assert_eq!(clock.elapsed_since(before), HANG_STALL_NS);
+        // The write did land: a hang is not a lost write, just a stall.
+        assert_eq!(disk.peek(BlockAddr(5)), Block::filled(1));
+    }
+
+    #[test]
+    fn latency_faults_without_a_clock_pass_through() {
+        let (mut disk, ctl) = setup();
+        ctl.inject(FaultSpec::sticky(
+            FaultKind::Slow { multiplier: 1000 },
+            FaultTarget::Addr(BlockAddr(1)),
+        ));
+        ctl.inject(FaultSpec::sticky(
+            FaultKind::Hang,
+            FaultTarget::Addr(BlockAddr(2)),
+        ));
+        assert_eq!(disk.read(BlockAddr(1)).unwrap(), Block::filled(2));
+        assert_eq!(disk.read(BlockAddr(2)).unwrap(), Block::filled(3));
     }
 
     #[test]

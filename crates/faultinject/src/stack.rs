@@ -19,6 +19,7 @@
 //! ```
 
 use iron_blockdev::{BlockDevice, RawAccess, StackBuilder};
+use iron_core::SimClock;
 
 use crate::faulty::FaultyDisk;
 use crate::plan::FaultPlan;
@@ -29,11 +30,21 @@ pub trait FaultStackExt<D: BlockDevice + RawAccess> {
     /// directly above the disk, below any cache, exactly where the paper
     /// puts its pseudo-device driver (§4.2).
     fn with_faults(self, plan: FaultPlan) -> StackBuilder<FaultyDisk<D>>;
+
+    /// Like [`Self::with_faults`], but also attaches `clock` so latency
+    /// faults ([`iron_core::FaultKind::Slow`] / `Hang`) charge their
+    /// extra service time. Pass the same clock the timed disk below
+    /// advances, so deadline checks above this layer observe the stall.
+    fn with_timed_faults(self, plan: FaultPlan, clock: SimClock) -> StackBuilder<FaultyDisk<D>>;
 }
 
 impl<D: BlockDevice + RawAccess> FaultStackExt<D> for StackBuilder<D> {
     fn with_faults(self, plan: FaultPlan) -> StackBuilder<FaultyDisk<D>> {
         self.layer(|dev| FaultyDisk::with_plan(dev, plan))
+    }
+
+    fn with_timed_faults(self, plan: FaultPlan, clock: SimClock) -> StackBuilder<FaultyDisk<D>> {
+        self.layer(|dev| FaultyDisk::with_plan(dev, plan).with_clock(clock))
     }
 }
 

@@ -7,7 +7,7 @@
 //! image, which block-type rows the file system has, and how to mount it
 //! over a fault-armed device.
 
-use iron_blockdev::{BufferCache, CrashRecorder, MemDisk, RawAccess};
+use iron_blockdev::{BufferCache, CrashRecorder, MemDisk, RawAccess, RetryLayer};
 use iron_core::BlockTag;
 use iron_faultinject::FaultyDisk;
 use iron_vfs::{FsEnv, SpecificFs, Vfs, VfsError, VfsResult};
@@ -25,6 +25,13 @@ use crate::workloads::build_fixture;
 /// type-aware fault targeting and the recorded traces stay byte-exact
 /// while the mounted stack matches Figure 1 layer for layer.
 pub type CampaignDevice = BufferCache<FaultyDisk<MemDisk>>;
+
+/// The policy-equipped campaign stack used by the fault-transience axis:
+/// the fault layer is clock-attached (so `Slow`/`Hang` faults charge
+/// simulated service time) and a [`RetryLayer`] sits between it and the
+/// cache, enacting device-level retry/deadline policy exactly where the
+/// SCSI mid-layer would.
+pub type RetryDevice = BufferCache<RetryLayer<FaultyDisk<MemDisk>>>;
 
 /// The device stack crash-state enumeration records through: the file
 /// system writes directly onto the medium with every write, barrier, and
@@ -56,6 +63,10 @@ pub trait FsUnderTest: Sync {
 
     /// Mount over a crash-recording device (the `iron-crash` stack).
     fn mount_crash(&self, dev: CrashDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>>;
+
+    /// Mount over the policy-equipped retry stack (the fault-transience
+    /// axis of the campaign).
+    fn mount_retry(&self, dev: RetryDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>>;
 
     /// Offline structural check of an unmounted medium, for file systems
     /// that have an fsck: `None` when no checker exists, otherwise the
@@ -230,6 +241,10 @@ impl FsUnderTest for Ext3Adapter {
         Ok(Box::new(Ext3Fs::mount(dev, env, self.options())?))
     }
 
+    fn mount_retry(&self, dev: RetryDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
+        Ok(Box::new(Ext3Fs::mount(dev, env, self.options())?))
+    }
+
     fn fsck_issues(&self, dev: &MemDisk) -> Option<Vec<String>> {
         let sb = iron_ext3::Superblock::decode(&dev.peek(iron_core::BlockAddr(0)))?;
         let layout = iron_ext3::DiskLayout::compute(sb.params());
@@ -313,6 +328,14 @@ impl FsUnderTest for ReiserAdapter {
             ReiserOptions::default(),
         )?))
     }
+
+    fn mount_retry(&self, dev: RetryDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
+        Ok(Box::new(ReiserFs::mount(
+            dev,
+            env,
+            ReiserOptions::default(),
+        )?))
+    }
 }
 
 // ======================================================================
@@ -362,6 +385,10 @@ impl FsUnderTest for JfsAdapter {
     fn mount_crash(&self, dev: CrashDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
         Ok(Box::new(JfsFs::mount(dev, env, JfsOptions::default())?))
     }
+
+    fn mount_retry(&self, dev: RetryDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
+        Ok(Box::new(JfsFs::mount(dev, env, JfsOptions::default())?))
+    }
 }
 
 // ======================================================================
@@ -398,6 +425,10 @@ impl FsUnderTest for NtfsAdapter {
     }
 
     fn mount_crash(&self, dev: CrashDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
+        Ok(Box::new(NtfsFs::mount(dev, env, NtfsOptions::default())?))
+    }
+
+    fn mount_retry(&self, dev: RetryDevice, env: FsEnv) -> VfsResult<Box<dyn SpecificFs>> {
         Ok(Box::new(NtfsFs::mount(dev, env, NtfsOptions::default())?))
     }
 }

@@ -27,7 +27,9 @@
 //! [`cluster`] lifts the campaign above a replicated multi-disk volume
 //! (`iron-cluster`), adding a replica-fault topology axis: which
 //! single-disk policy cells vanish under quorum arbitration, and which
-//! fault topologies still defeat the cluster.
+//! fault topologies still defeat the cluster. [`transience`] adds a
+//! fault-transience axis (sticky / transient-*n* / slow) driven through
+//! the policy-equipped retry/deadline device stack.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,15 +41,19 @@ pub mod greybox;
 pub mod observe;
 pub mod render;
 pub mod summary;
+pub mod transience;
 pub mod workloads;
 
 pub use adapters::{
     CampaignDevice, CrashDevice, Ext3Adapter, FsUnderTest, Instance, JfsAdapter, NtfsAdapter,
-    ReiserAdapter,
+    ReiserAdapter, RetryDevice,
 };
 pub use campaign::{fingerprint_fs, CampaignOptions, FaultMode, PolicyMatrix};
 pub use cluster::{
     fingerprint_cluster, ClusterCampaignDevice, ClusterCampaignOptions, ClusterCell,
     ClusterFsUnderTest, ClusterMatrix, Ext3ClusterAdapter, ReplicaTopology,
+};
+pub use transience::{
+    transience_matrix, FaultTransience, TransienceCell, TransienceMatrix, TransienceOptions,
 };
 pub use workloads::{Workload, WorkloadOutput};

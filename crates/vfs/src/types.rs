@@ -222,6 +222,10 @@ mod tests {
                 addr: iron_core::BlockAddr(9),
             },
             DiskError::DeviceFailed,
+            DiskError::Timeout {
+                addr: iron_core::BlockAddr(4),
+                kind: IoKind::Write,
+            },
         ];
         for v in variants {
             assert_eq!(VfsError::from(v).errno(), Some(Errno::EIO));
